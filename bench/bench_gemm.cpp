@@ -1,0 +1,73 @@
+// GEMM kernel microbenchmarks (google-benchmark):
+//  * host reference sgemm throughput (the framework's functional engine),
+//  * the functional mesh-GEMM simulation (including its simulated-time
+//    outputs), and
+//  * the RLC-vs-no-RLC analytic ablation (Principle 4: register
+//    communication cuts the DMA stream by the mesh factor).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "hw/chip.h"
+#include "swgemm/estimate.h"
+#include "swgemm/mesh_gemm.h"
+#include "swgemm/reference.h"
+
+namespace {
+
+using namespace swcaffe;
+
+void BM_ReferenceSgemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  base::Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n) * n),
+      b(static_cast<std::size_t>(n) * n), c(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    gemm::sgemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceSgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MeshGemmFunctional(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  base::Rng rng(2);
+  std::vector<double> a(static_cast<std::size_t>(n) * n),
+      b(static_cast<std::size_t>(n) * n), c(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  hw::CoreGroup cg{hw::HwParams{}};
+  double simulated = 0.0;
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0);
+    const auto stats = gemm::mesh_gemm(cg, a, b, c, n, n, n);
+    simulated = stats.ledger.elapsed_s;
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["sim_us"] = simulated * 1e6;
+}
+BENCHMARK(BM_MeshGemmFunctional)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EstimateRlcVsNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  hw::CostModel cost;
+  double ratio = 0.0;
+  for (auto _ : state) {
+    const auto rlc = gemm::estimate_gemm(cost, n, n, n);
+    const auto naive = gemm::estimate_gemm_no_rlc(cost, n, n, n);
+    ratio = naive.seconds / rlc.seconds;
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["no_rlc_slowdown"] = ratio;
+  state.counters["rlc_gflops"] =
+      gemm::estimate_gemm(cost, n, n, n).achieved_gflops;
+}
+BENCHMARK(BM_EstimateRlcVsNaive)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace

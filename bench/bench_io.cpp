@@ -1,0 +1,80 @@
+// Sec. V-B reproduction (parallel I/O): aggregate read bandwidth of N
+// concurrent mini-batch readers under the default single-split layout vs
+// the paper's 32-way / 256 MB striping, plus the readers-per-array bound
+// and the prefetch-overlap effect on iteration time.
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.h"
+#include "base/units.h"
+#include "io/disk_model.h"
+
+using namespace swcaffe;
+using base::TablePrinter;
+using base::fmt;
+
+int main() {
+  io::DiskParams disk;  // 32 arrays x 2 GB/s, 256 MB stripes
+  const std::int64_t batch_bytes = 192LL << 20;  // paper: ~192 MB / 256 images
+  const std::int64_t file_bytes = 240LL << 30;   // ImageNet-scale dataset
+
+  std::printf("=== Sec. V-B: aggregate read bandwidth (GB/s) vs process "
+              "count ===\n");
+  {
+    TablePrinter t({"processes", "single-split", "striped (32x256MB)",
+                    "striped speedup", "mini-batch read (striped)"});
+    for (int procs : {1, 4, 16, 64, 256, 1024}) {
+      const double single = io::aggregate_bandwidth(
+          disk, io::FileLayout::kSingleSplit, procs, batch_bytes, file_bytes);
+      const double striped = io::aggregate_bandwidth(
+          disk, io::FileLayout::kStriped, procs, batch_bytes, file_bytes);
+      const double read_s = io::read_time(disk, io::FileLayout::kStriped,
+                                          procs, batch_bytes, file_bytes);
+      t.add_row({std::to_string(procs), fmt(single / 1e9, 2),
+                 fmt(striped / 1e9, 2), fmt(striped / single, 1) + "x",
+                 base::format_seconds(read_s)});
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\n=== Readers-per-array bound (paper: N/32 * 2 for 192 MB "
+              "reads) ===\n");
+  {
+    TablePrinter t({"processes", "bound", "N/32*2"});
+    for (int procs : {32, 64, 256, 1024}) {
+      t.add_row({std::to_string(procs),
+                 std::to_string(io::max_readers_per_array(disk, procs,
+                                                          batch_bytes)),
+                 std::to_string(procs / 32 * 2)});
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\n=== Prefetch overlap: per-iteration time = max(compute, "
+              "I/O) ===\n");
+  {
+    // AlexNet-like iteration: ~2.7 s of compute per 256-image batch.
+    const double compute_s = 2.72;
+    TablePrinter t({"processes", "layout", "I/O (s)", "iteration (s)",
+                    "I/O hidden?"});
+    for (int procs : {64, 1024}) {
+      for (auto layout :
+           {io::FileLayout::kSingleSplit, io::FileLayout::kStriped}) {
+        const double io_s =
+            io::read_time(disk, layout, procs, batch_bytes, file_bytes);
+        const double iter = std::max(compute_s, io_s);
+        t.add_row({std::to_string(procs),
+                   layout == io::FileLayout::kSingleSplit ? "single-split"
+                                                          : "striped",
+                   fmt(io_s, 3), fmt(iter, 3),
+                   io_s <= compute_s ? "yes" : "NO - I/O bound"});
+      }
+    }
+    t.print(std::cout);
+  }
+  std::printf("\nPaper shapes to check: single-split aggregate bandwidth "
+              "saturates at ONE array regardless of process count,\nmaking "
+              "training I/O-bound at scale; striping restores compute-bound "
+              "iterations.\n");
+  return 0;
+}

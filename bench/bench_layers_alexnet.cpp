@@ -1,0 +1,23 @@
+// Fig. 8 reproduction: per-layer forward/backward time of AlexNet (with the
+// paper's LRN->BN refinement) on the SW26010 model vs the K40m GPU model,
+// batch 256 (SW times shown for one core group processing batch/4 = 64, the
+// unit Algorithm 1 schedules).
+#include <cstdio>
+
+#include "core/models.h"
+#include "layer_table.h"
+
+int main() {
+  using namespace swcaffe;
+  std::printf("=== Fig. 8: AlexNet-BN per-layer times, batch 256 "
+              "(SW column: one CG at batch 64) ===\n\n");
+  const auto descs = core::describe_net_spec(core::alexnet_bn(64));
+  benchutil::print_layer_comparison(descs);
+  std::printf(
+      "\nPaper shapes to check (Sec. VI-A): bandwidth-bound layers "
+      "(pool/bn/relu) cost real time on SW26010 but are\nnearly free on the "
+      "GPU's 288 GB/s memory; conv1 (3 input channels, large image) is "
+      "SW26010's weakest layer;\nfc6/fc7 GEMMs are competitive thanks to the "
+      "register-communication kernel.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figs. 10 and 11 reproduction: SSGD scalability of AlexNet (sub-batch 64,
+// 128, 256) and ResNet-50 (sub-batch 32, 64) up to 1024 nodes, with the
+// paper's topology-aware all-reduce, plus communication-time fractions and
+// the adjacent-placement ablation.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "base/table.h"
+#include "base/units.h"
+#include "core/models.h"
+#include "hw/cost_model.h"
+#include "parallel/ssgd.h"
+
+using namespace swcaffe;
+using base::TablePrinter;
+using base::fmt;
+
+namespace {
+
+struct Series {
+  const char* name;
+  core::NetSpec quarter;   // per-core-group spec (sub_batch / 4)
+  std::int64_t param_bytes;
+  double paper_speedup_1024;  // Fig. 10
+  double paper_comm_1024;     // Fig. 11 (%)
+};
+
+}  // namespace
+
+int main() {
+  hw::CostModel cost;
+  const std::vector<int> nodes = {1, 2, 8, 32, 128, 512, 1024};
+  std::vector<Series> series;
+  series.push_back({"AlexNet B=64", core::alexnet_bn(16),
+                    static_cast<std::int64_t>(232.6e6), 409.50, 60.01});
+  series.push_back({"AlexNet B=128", core::alexnet_bn(32),
+                    static_cast<std::int64_t>(232.6e6), 561.58, 45.15});
+  series.push_back({"AlexNet B=256", core::alexnet_bn(64),
+                    static_cast<std::int64_t>(232.6e6), 715.45, 30.13});
+  series.push_back({"ResNet50 B=32", core::resnet50(8),
+                    static_cast<std::int64_t>(97.7e6), 928.15, 10.65});
+  series.push_back({"ResNet50 B=64", core::resnet50(16),
+                    static_cast<std::int64_t>(97.7e6), 828.32, 19.11});
+
+  parallel::SsgdOptions opt;  // binomial + round-robin, q = 256
+
+  std::printf("=== Fig. 10: speedup vs node count (topology-aware "
+              "all-reduce) ===\n");
+  {
+    std::vector<std::string> header{"nodes"};
+    for (const auto& s : series) header.push_back(s.name);
+    TablePrinter t(header);
+    std::vector<std::vector<parallel::ScalePoint>> curves;
+    for (const auto& s : series) {
+      curves.push_back(parallel::scalability_curve(
+          cost, core::describe_net_spec(s.quarter), s.param_bytes, opt,
+          nodes));
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::vector<std::string> row{std::to_string(nodes[i])};
+      for (const auto& c : curves) row.push_back(fmt(c[i].speedup, 1) + "x");
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::printf("Paper at 1024 nodes: ");
+    for (const auto& s : series) {
+      std::printf("%s %.0fx  ", s.name, s.paper_speedup_1024);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Fig. 11: communication time share (%%), ours (paper at "
+              "1024) ===\n");
+  {
+    std::vector<std::string> header{"nodes"};
+    for (const auto& s : series) header.push_back(s.name);
+    TablePrinter t(header);
+    for (int n : nodes) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (const auto& s : series) {
+        const auto c = parallel::scalability_curve(
+            cost, core::describe_net_spec(s.quarter), s.param_bytes, opt, {n});
+        row.push_back(fmt(100.0 * c[0].comm_fraction, 1));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::printf("Paper at 1024 nodes: ");
+    for (const auto& s : series) {
+      std::printf("%s %.1f%%  ", s.name, s.paper_comm_1024);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Ablation: placement and algorithm at 1024 nodes "
+              "(AlexNet B=256) ===\n");
+  {
+    TablePrinter t({"all-reduce", "comm/iter", "speedup"});
+    for (auto algo : {parallel::AllreduceAlgo::kRhdRoundRobin,
+                      parallel::AllreduceAlgo::kRhdAdjacent,
+                      parallel::AllreduceAlgo::kRing,
+                      parallel::AllreduceAlgo::kParamServer}) {
+      parallel::SsgdOptions o;
+      o.algo = algo;
+      const auto c = parallel::scalability_curve(
+          cost, core::describe_net_spec(core::alexnet_bn(64)),
+          static_cast<std::int64_t>(232.6e6), o, {1024});
+      t.add_row({parallel::allreduce_algo_name(algo),
+                 base::format_seconds(c[0].comm_s), fmt(c[0].speedup, 1) + "x"});
+    }
+    t.print(std::cout);
+  }
+  std::printf(
+      "\nPaper shapes to check: larger sub-batches scale better; ResNet-50 "
+      "(97.7 MB params, more compute) scales best;\ncommunication share "
+      "grows with node count and dominates AlexNet at small sub-batch.\n");
+  return 0;
+}

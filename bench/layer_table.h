@@ -1,0 +1,51 @@
+// Shared helper for the Fig. 8 / Fig. 9 benches: prints per-layer forward
+// and backward times on the SW26010 model vs the K40m GPU model.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+#include "base/units.h"
+#include "core/layer_desc.h"
+#include "hw/cost_model.h"
+#include "perfmodel/device_model.h"
+#include "swdnn/layer_estimate.h"
+
+namespace swcaffe::benchutil {
+
+/// Prints the per-layer table and returns (sw_total, gpu_total) seconds.
+inline std::pair<double, double> print_layer_comparison(
+    const std::vector<core::LayerDesc>& descs) {
+  hw::CostModel cost;
+  const perfmodel::DeviceModel gpu = perfmodel::k40m();
+  base::TablePrinter t({"layer", "SW fwd", "GPU fwd", "SW bwd", "GPU bwd",
+                        "SW/GPU fwd"});
+  double sw_total = 0.0, gpu_total = 0.0;
+  bool saw_conv = false;
+  for (const auto& d : descs) {
+    if (d.kind == core::LayerKind::kData ||
+        d.kind == core::LayerKind::kAccuracy ||
+        d.kind == core::LayerKind::kSoftmaxLoss) {
+      continue;
+    }
+    const bool first = d.kind == core::LayerKind::kConv && !saw_conv;
+    if (d.kind == core::LayerKind::kConv) saw_conv = true;
+    const dnn::LayerTime sw = dnn::estimate_layer_sw(cost, d, first);
+    const dnn::LayerTime gp = perfmodel::estimate_layer_dev(gpu, d, first);
+    sw_total += sw.total();
+    gpu_total += gp.total();
+    t.add_row({d.name, base::format_seconds(sw.fwd_s),
+               base::format_seconds(gp.fwd_s), base::format_seconds(sw.bwd_s),
+               base::format_seconds(gp.bwd_s),
+               base::fmt(sw.fwd_s / gp.fwd_s, 1) + "x"});
+  }
+  t.print(std::cout);
+  std::printf("\nTotals: SW26010 (one CG) %s vs K40m %s per iteration.\n",
+              base::format_seconds(sw_total).c_str(),
+              base::format_seconds(gpu_total).c_str());
+  return {sw_total, gpu_total};
+}
+
+}  // namespace swcaffe::benchutil

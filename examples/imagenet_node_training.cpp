@@ -1,0 +1,68 @@
+// Single-node "ImageNet" training tour (the paper's Algorithm 1 on one
+// SW26010): an I/O prefetch thread feeds mini-batches from the synthetic
+// ImageNet stand-in, four core-group threads compute gradients on quarter
+// batches, CG0 averages them, and the solver updates. Functional compute
+// runs at reduced resolution so the example finishes in seconds; alongside
+// it we print the cost model's paper-scale (224x224, batch 256) timing for
+// the same network.
+#include <cstdio>
+
+#include "base/units.h"
+#include "core/models.h"
+#include "core/solver.h"
+#include "hw/cost_model.h"
+#include "io/prefetch.h"
+#include "parallel/node_runner.h"
+#include "swdnn/layer_estimate.h"
+
+using namespace swcaffe;
+
+int main() {
+  // --- Functional training at reduced resolution ---------------------------
+  const int sub_batch = 2;         // per core group
+  const int cgs = 4;               // SW26010 core groups
+  const int image = 67;            // reduced from 227 for host-speed compute
+  const int classes = 10;
+
+  core::NetSpec spec = core::alexnet_bn(sub_batch, classes, image);
+  parallel::NodeRunner node(spec, cgs, /*seed=*/7);
+  core::SolverSpec solver_spec;
+  solver_spec.base_lr = 0.0005f;
+  solver_spec.momentum = 0.9f;
+  core::SgdSolver solver(node.master(), solver_spec);
+
+  io::DatasetSpec dataset;
+  dataset.num_samples = 4096;
+  dataset.classes = classes;
+  dataset.channels = 3;
+  dataset.height = dataset.width = image;
+  io::DiskParams disk;
+  io::Prefetcher prefetcher(dataset, disk, io::FileLayout::kStriped,
+                            sub_batch * cgs, /*rank=*/0, /*num_procs=*/1);
+
+  std::printf("AlexNet-BN at %dx%d, mini-batch %d over %d core groups "
+              "(Algorithm 1)\n",
+              image, image, sub_batch * cgs, cgs);
+  for (int iter = 0; iter < 8; ++iter) {
+    const io::Batch batch = prefetcher.pop();
+    const double loss = node.compute_gradients(batch.images, batch.labels);
+    solver.apply_update();
+    node.broadcast_params();
+    std::printf("  iter %d  loss %.4f  (prefetched I/O, simulated read %s)\n",
+                iter, loss,
+                base::format_seconds(batch.simulated_read_s).c_str());
+  }
+
+  // --- Paper-scale timing from the cost model --------------------------------
+  std::printf("\nSimulated SW26010 performance at paper scale "
+              "(227x227 ImageNet, batch 256):\n");
+  hw::CostModel cost;
+  const auto descs = core::describe_net_spec(core::alexnet_bn(64));  // B/4
+  const double t_cg = dnn::estimate_net_sw(cost, descs);
+  std::printf("  one core group, batch 64:   %s per iteration\n",
+              base::format_seconds(t_cg).c_str());
+  std::printf("  node throughput (4 CGs):    %.1f img/s  (paper Table III: "
+              "94.17)\n",
+              dnn::node_throughput_img_s(cost, descs, 256));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// LSTM demo: learn a memory task that a memoryless model cannot solve.
+//
+// Each sequence starts with a cue step (+1 or -1 in the first feature); all
+// later steps carry pure noise. The label of EVERY step is the cue's sign,
+// so the model must carry the cue through its cell state — only the LSTM's
+// recurrence can do that. A feedforward baseline with the same head is shown
+// for contrast: it stays near chance on the post-cue steps.
+#include <cstdio>
+
+#include "base/rng.h"
+#include "core/net.h"
+#include "core/solver.h"
+
+using namespace swcaffe;
+
+namespace {
+
+constexpr int kSteps = 8, kDim = 4, kHidden = 12, kClasses = 2;
+
+core::NetSpec make_net(bool with_lstm) {
+  core::NetSpec spec;
+  spec.name = with_lstm ? "lstm-memory" : "feedforward-baseline";
+  spec.inputs.push_back({"x", {kSteps, 1, kDim}});
+  spec.inputs.push_back({"label", {kSteps}});
+  if (with_lstm) {
+    spec.layers.push_back(core::lstm_spec("lstm", "x", "h", kHidden));
+    spec.layers.push_back(core::ip_spec("head", "h", "scores", kClasses));
+  } else {
+    spec.layers.push_back(core::ip_spec("fc", "x", "h", kHidden));
+    spec.layers.push_back(core::tanh_spec("act", "h", "h_act"));
+    spec.layers.push_back(core::ip_spec("head", "h_act", "scores", kClasses));
+  }
+  spec.layers.push_back(
+      core::softmax_loss_spec("loss", "scores", "label", "loss"));
+  return spec;
+}
+
+void fill_sequence(core::Net& net, base::Rng& rng) {
+  auto x = net.blob("x")->data();
+  auto label = net.blob("label")->data();
+  const int cue = rng.bernoulli(0.5) ? 1 : 0;
+  for (int t = 0; t < kSteps; ++t) {
+    label[t] = static_cast<float>(cue);
+    for (int i = 0; i < kDim; ++i) {
+      x[t * kDim + i] = rng.gaussian(0.0f, 0.3f);
+    }
+  }
+  x[0] = cue == 1 ? 1.5f : -1.5f;  // the only informative value
+}
+
+double post_cue_accuracy(core::Net& net, base::Rng& rng, int trials) {
+  int hits = 0, total = 0;
+  for (int s = 0; s < trials; ++s) {
+    fill_sequence(net, rng);
+    net.forward();
+    const auto scores = net.blob("scores")->data();
+    const auto label = net.blob("label")->data();
+    for (int t = 1; t < kSteps; ++t) {  // exclude the cue step itself
+      const int pred = scores[t * kClasses + 1] > scores[t * kClasses] ? 1 : 0;
+      hits += pred == static_cast<int>(label[t]);
+      ++total;
+    }
+  }
+  return static_cast<double>(hits) / total;
+}
+
+void train(core::Net& net, const char* name) {
+  core::SolverSpec ss;
+  ss.base_lr = 0.05f;
+  ss.momentum = 0.9f;
+  core::SgdSolver solver(net, ss);
+  base::Rng rng(7);
+  for (int iter = 0; iter < 400; ++iter) {
+    fill_sequence(net, rng);
+    const double loss = solver.step();
+    if (iter % 100 == 0) std::printf("  [%s] iter %3d loss %.4f\n", name, iter, loss);
+  }
+  base::Rng eval_rng(99);
+  std::printf("  [%s] post-cue accuracy: %.1f%% (chance 50%%)\n\n", name,
+              100.0 * post_cue_accuracy(net, eval_rng, 50));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Memory task: the label of every step is set by a cue visible "
+              "only at t=0.\n\n");
+  core::Net lstm(make_net(true), 1);
+  train(lstm, "LSTM");
+  core::Net ff(make_net(false), 1);
+  train(ff, "feedforward");
+  std::printf("The LSTM carries the cue through its cell state; the "
+              "feedforward net cannot see past the current step.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// swcaffe_time: the equivalent of `caffe time` — per-layer forward/backward
+// timing for a model, reporting both the functional host wall-clock and the
+// simulated SW26010 core-group time the cost model assigns to each layer.
+//
+// Usage:
+//   swcaffe_time <net.prototxt | alexnet | vgg16 | vgg19 | resnet50 |
+//                 googlenet> [iterations] [batch]
+// Zoo models run at reduced resolution functionally; the simulated column
+// is computed for the shapes actually instantiated.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "base/table.h"
+#include "base/units.h"
+#include "core/models.h"
+#include "core/net.h"
+#include "core/proto.h"
+#include "hw/cost_model.h"
+#include "swdnn/layer_estimate.h"
+
+using namespace swcaffe;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+core::NetSpec resolve_model(const std::string& arg, int batch) {
+  if (arg == "alexnet") return core::alexnet_bn(batch, 10, 67);
+  if (arg == "vgg16") return core::vgg(16, batch, 10, 32);
+  if (arg == "vgg19") return core::vgg(19, batch, 10, 32);
+  if (arg == "resnet50") return core::resnet50(batch, 10, 64);
+  if (arg == "googlenet") return core::googlenet(batch, 10, 64);
+  return core::load_net_prototxt(arg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "alexnet";
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int batch = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  core::NetSpec spec = resolve_model(model, batch);
+  core::Net net(spec, 1);
+  base::Rng rng(2);
+  if (net.has_blob("data")) {
+    for (auto& v : net.blob("data")->data()) v = rng.gaussian(0.0f, 1.0f);
+  }
+  if (net.has_blob("label")) {
+    for (auto& v : net.blob("label")->data()) {
+      v = static_cast<float>(rng.uniform_int(0, 9));
+    }
+  }
+
+  // Warm-up pass (plan selection, buffer allocation).
+  net.forward_backward();
+
+  const double t0 = now_s();
+  for (int i = 0; i < iterations; ++i) net.forward_backward();
+  const double host_iter = (now_s() - t0) / iterations;
+
+  hw::CostModel cost;
+  base::TablePrinter t({"layer", "type", "SW26010 fwd", "SW26010 bwd"});
+  double sw_total = 0.0;
+  bool saw_conv = false;
+  for (const auto& d : net.describe()) {
+    const bool first = d.kind == core::LayerKind::kConv && !saw_conv;
+    if (d.kind == core::LayerKind::kConv) saw_conv = true;
+    const auto sw = dnn::estimate_layer_sw(cost, d, first);
+    sw_total += sw.total();
+    t.add_row({d.name, core::layer_kind_name(d.kind),
+               base::format_seconds(sw.fwd_s),
+               base::format_seconds(sw.bwd_s)});
+  }
+  t.print(std::cout);
+  std::printf("\nmodel: %s  (batch %d, %d timed iterations)\n",
+              spec.name.c_str(), batch, iterations);
+  std::printf("host functional iteration:      %s\n",
+              base::format_seconds(host_iter).c_str());
+  std::printf("simulated SW26010 iteration:    %s (one core group at this "
+              "batch)\n",
+              base::format_seconds(sw_total).c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// swcaffe_train: the Caffe-style command-line trainer. Takes a net
+// prototxt and a solver prototxt, trains on the synthetic ImageNet stand-in
+// with the full Algorithm 1 stack (prefetch thread, 4 core-group threads,
+// gradient averaging), and reports losses plus the simulated SW26010 time.
+//
+// Usage:
+//   swcaffe_train [net.prototxt solver.prototxt] [iterations]
+// With no arguments a built-in demo net is used.
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/units.h"
+#include "core/proto.h"
+#include "parallel/trainer.h"
+
+using namespace swcaffe;
+
+namespace {
+
+constexpr const char* kDemoNet = R"(
+name: "demo-cnn"
+input: "data"  input_dim: 4 input_dim: 3 input_dim: 32 input_dim: 32
+input: "label" input_dim: 4
+layer { name: "conv1" type: "Convolution" bottom: "data" top: "conv1"
+        convolution_param { num_output: 16 kernel_size: 3 pad: 1 } }
+layer { name: "bn1" type: "BatchNorm" bottom: "conv1" top: "bn1" }
+layer { name: "relu1" type: "ReLU" bottom: "bn1" top: "relu1" }
+layer { name: "pool1" type: "Pooling" bottom: "relu1" top: "pool1"
+        pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+layer { name: "conv2" type: "Convolution" bottom: "pool1" top: "conv2"
+        convolution_param { num_output: 32 kernel_size: 3 pad: 1 } }
+layer { name: "relu2" type: "ReLU" bottom: "conv2" top: "relu2" }
+layer { name: "fc" type: "InnerProduct" bottom: "relu2" top: "scores"
+        inner_product_param { num_output: 10 } }
+layer { name: "loss" type: "SoftmaxWithLoss"
+        bottom: "scores" bottom: "label" top: "loss" }
+)";
+
+constexpr const char* kDemoSolver = R"(
+base_lr: 0.02
+momentum: 0.9
+weight_decay: 0.0005
+lr_policy: "step"
+gamma: 0.5
+stepsize: 40
+type: "SGD"
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::NetSpec net_spec;
+  core::SolverSpec solver_spec;
+  int iterations = 60;
+  if (argc >= 3) {
+    net_spec = core::load_net_prototxt(argv[1]);
+    solver_spec = core::load_solver_prototxt(argv[2]);
+    if (argc >= 4) iterations = std::atoi(argv[3]);
+  } else {
+    std::printf("(no prototxt arguments: using the built-in demo net)\n");
+    net_spec = core::parse_net_prototxt(kDemoNet);
+    solver_spec = core::parse_solver_prototxt(kDemoSolver);
+    if (argc == 2) iterations = std::atoi(argv[1]);
+  }
+
+  // The dataset must match the net's data blob.
+  io::DatasetSpec dataset;
+  dataset.num_samples = 8192;
+  dataset.classes = 10;
+  const auto& data_shape = net_spec.inputs.at(0).second;
+  dataset.channels = data_shape.at(1);
+  dataset.height = data_shape.at(2);
+  dataset.width = data_shape.at(3);
+
+  parallel::TrainOptions options;
+  options.max_iter = iterations;
+  options.display_every = std::max(1, iterations / 10);
+  options.test_every = std::max(1, iterations / 3);
+
+  parallel::Trainer trainer(net_spec, solver_spec, dataset, io::DiskParams{},
+                            options);
+  std::printf("training '%s' for %d iterations (%zu learnable floats, "
+              "node batch %d)\n",
+              net_spec.name.c_str(), iterations,
+              trainer.net().param_count(), data_shape.at(0) * 4);
+  const parallel::TrainStats stats = trainer.run();
+
+  std::printf("\nfinal loss: %.4f\n", stats.final_loss);
+  if (!stats.test_accuracy.empty()) {
+    std::printf("test accuracy trajectory:");
+    for (double a : stats.test_accuracy) std::printf(" %.1f%%", 100.0 * a);
+    std::printf("\n");
+  }
+  std::printf("simulated SW26010 node time for the run: %s "
+              "(exposed I/O: %s)\n",
+              base::format_seconds(stats.simulated_seconds).c_str(),
+              base::format_seconds(stats.simulated_io_seconds).c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "base/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace swcaffe::base {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[swcaffe %s] %s\n", level_name(level), msg.c_str());
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "Check failed: " << expr << " (" << file << ":" << line << ")";
+  if (!msg.empty()) os << " " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace swcaffe::base

@@ -1,0 +1,93 @@
+// Lightweight logging and runtime-check facilities for swCaffe.
+//
+// Checks throw swcaffe::base::CheckError (derived from std::logic_error) so
+// tests can assert on failure paths without aborting the process; this keeps
+// the library usable as a simulator substrate where a bad kernel plan is a
+// recoverable configuration error, not a fatal condition.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swcaffe::base {
+
+/// Exception thrown by SWC_CHECK* macros on failure.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+/// Stream-style message collector used by the CHECK macros.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+/// Log levels for the (intentionally minimal) logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually printed (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one log line to stderr if `level` passes the filter.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace swcaffe::base
+
+#define SWC_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::swcaffe::base::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                       \
+  } while (0)
+
+#define SWC_CHECK_MSG(expr, ...)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::swcaffe::base::detail::MessageStream swc_ms;                      \
+      swc_ms << __VA_ARGS__;                                              \
+      ::swcaffe::base::detail::check_failed(#expr, __FILE__, __LINE__,    \
+                                            swc_ms.str());                \
+    }                                                                     \
+  } while (0)
+
+#define SWC_CHECK_OP(a, b, op)                                              \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      ::swcaffe::base::detail::MessageStream swc_ms;                        \
+      swc_ms << "lhs=" << (a) << " rhs=" << (b);                            \
+      ::swcaffe::base::detail::check_failed(#a " " #op " " #b, __FILE__,    \
+                                            __LINE__, swc_ms.str());        \
+    }                                                                       \
+  } while (0)
+
+#define SWC_CHECK_EQ(a, b) SWC_CHECK_OP(a, b, ==)
+#define SWC_CHECK_NE(a, b) SWC_CHECK_OP(a, b, !=)
+#define SWC_CHECK_LT(a, b) SWC_CHECK_OP(a, b, <)
+#define SWC_CHECK_LE(a, b) SWC_CHECK_OP(a, b, <=)
+#define SWC_CHECK_GT(a, b) SWC_CHECK_OP(a, b, >)
+#define SWC_CHECK_GE(a, b) SWC_CHECK_OP(a, b, >=)
+
+#define SWC_LOG(level, msg)                                                  \
+  do {                                                                       \
+    ::swcaffe::base::detail::MessageStream swc_ms;                           \
+    swc_ms << msg;                                                           \
+    ::swcaffe::base::log_line(::swcaffe::base::LogLevel::level, swc_ms.str()); \
+  } while (0)

@@ -1,0 +1,4 @@
+#include "base/rng.h"
+
+// Header-only today; this translation unit anchors the library target.
+namespace swcaffe::base {}

@@ -1,0 +1,44 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in swCaffe (weight fillers, dropout masks,
+// synthetic datasets, sampling) draws from an explicitly seeded Rng so that
+// simulations and tests are bit-reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace swcaffe::base {
+
+/// Seedable RNG wrapper with the distributions the framework needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Gaussian float with the given mean and standard deviation.
+  float gaussian(float mean, float stddev) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace swcaffe::base

@@ -1,0 +1,73 @@
+#include "base/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "base/log.h"
+
+namespace swcaffe::base {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SWC_CHECK(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  SWC_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << row[c]
+         << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "-|") << std::string(width[c] + 2, '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  const double a = std::fabs(v);
+  if (a >= 1e12) {
+    scaled = v / 1e12;
+    suffix = "T";
+  } else if (a >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (a >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (a >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+}  // namespace swcaffe::base

@@ -1,0 +1,39 @@
+// ASCII table printer used by the benchmark harnesses to emit rows in the
+// same shape as the paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swcaffe::base {
+
+/// Collects rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"layer", "fwd (s)", "Gflops"});
+///   t.add_row({"conv1_1", "4.19", "110.8"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints the header, a separator, and all rows, padded per column.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt(double v, int precision = 2);
+
+/// Formats a double in engineering style: "12.3G", "4.5M", "678K", "9.1".
+std::string fmt_si(double v, int precision = 1);
+
+}  // namespace swcaffe::base

@@ -1,0 +1,49 @@
+#include "base/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace swcaffe::base {
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= static_cast<double>(kGiB)) {
+    std::snprintf(buf, sizeof(buf), "%.1fGiB", bytes / static_cast<double>(kGiB));
+  } else if (bytes >= static_cast<double>(kMiB)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", bytes / static_cast<double>(kMiB));
+  } else if (bytes >= static_cast<double>(kKiB)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", bytes / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  if (bytes_per_second >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB/s", bytes_per_second / 1e9);
+  } else if (bytes_per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB/s", bytes_per_second / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fKB/s", bytes_per_second / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace swcaffe::base

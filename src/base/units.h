@@ -1,0 +1,27 @@
+// Unit helpers: byte-size literals and time formatting used across the
+// simulator, the cost models and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace swcaffe::base {
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = 1024 * kKiB;
+constexpr std::size_t kGiB = 1024 * kMiB;
+
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+/// Pretty-prints a byte count: "64B", "2.0KiB", "1.5MiB", "3.2GiB".
+std::string format_bytes(double bytes);
+
+/// Pretty-prints a simulated duration in seconds: "1.2us", "3.4ms", "5.6s".
+std::string format_seconds(double seconds);
+
+/// Pretty-prints a bandwidth in bytes/second: "12.3GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+}  // namespace swcaffe::base

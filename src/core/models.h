@@ -1,0 +1,46 @@
+// Model zoo: the five networks of the paper's evaluation (Sec. VI), as
+// NetSpecs parameterized by batch size, class count and input resolution.
+// Paper-scale resolutions would need multi-GB activations, so the timing
+// benches use describe_net_spec() — pure shape inference over a spec — while
+// the functional tests/examples instantiate the same specs at small
+// resolution through core::Net.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+
+namespace swcaffe::core {
+
+/// AlexNet with the paper's refinement: LRN replaced by BatchNorm
+/// (Sec. VI-A). Layer names match Fig. 8. `with_loss` appends
+/// SoftmaxWithLoss fed from a "label" input.
+NetSpec alexnet_bn(int batch, int classes = 1000, int image = 227,
+                   bool with_loss = true);
+
+/// The original Krizhevsky AlexNet: LRN after conv1/conv2 and 2-group
+/// convolutions for conv2/4/5 (the historical dual-GPU split). Kept for
+/// comparison with the paper's BN refinement.
+NetSpec alexnet_original(int batch, int classes = 1000, int image = 227,
+                         bool with_loss = true);
+
+/// VGG-16 / VGG-19 (Simonyan & Zisserman); layer names match Fig. 9 /
+/// Table II (conv1_1 ... conv5_3/conv5_4).
+NetSpec vgg(int depth, int batch, int classes = 1000, int image = 224,
+            bool with_loss = true);
+
+/// ResNet-50 (He et al.): bottleneck blocks, BN after every conv,
+/// projection shortcuts on stage entry.
+NetSpec resnet50(int batch, int classes = 1000, int image = 224,
+                 bool with_loss = true);
+
+/// GoogleNet (Inception v1) without the auxiliary classifiers.
+NetSpec googlenet(int batch, int classes = 1000, int image = 224,
+                  bool with_loss = true);
+
+/// Pure shape inference: produces the same LayerDescs Net::describe() would,
+/// without allocating any tensor data. Throws on shape errors.
+std::vector<LayerDesc> describe_net_spec(const NetSpec& spec);
+
+}  // namespace swcaffe::core

@@ -1,0 +1,184 @@
+// Shape inference over NetSpecs: produces LayerDescs identical to what
+// Net::describe() yields, without allocating activations — this is what lets
+// the benches time batch-128 VGG-16 on a laptop-scale host.
+#include <map>
+#include <numeric>
+
+#include "base/log.h"
+#include "core/models.h"
+
+namespace swcaffe::core {
+
+namespace {
+
+std::int64_t count_of(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (int d : shape) n *= d;
+  return n;
+}
+
+}  // namespace
+
+std::vector<LayerDesc> describe_net_spec(const NetSpec& spec) {
+  std::map<std::string, std::vector<int>> shapes;
+  for (const auto& [name, shape] : spec.inputs) shapes[name] = shape;
+
+  std::vector<LayerDesc> out;
+  out.reserve(spec.layers.size());
+  for (const auto& ls : spec.layers) {
+    for (const auto& b : ls.bottoms) {
+      SWC_CHECK_MSG(shapes.count(b) > 0, "describe: undefined blob '"
+                                             << b << "' for layer '" << ls.name
+                                             << "'");
+    }
+    LayerDesc d;
+    d.name = ls.name;
+    d.kind = ls.kind;
+    std::vector<int> top_shape;
+    switch (ls.kind) {
+      case LayerKind::kData: {
+        SWC_CHECK_EQ(ls.data_shape.size(), 4u);
+        shapes[ls.tops[0]] = ls.data_shape;
+        if (ls.tops.size() > 1) shapes[ls.tops[1]] = {ls.data_shape[0]};
+        d.output_count = count_of(ls.data_shape);
+        out.push_back(d);
+        continue;
+      }
+      case LayerKind::kConv: {
+        const auto& in = shapes[ls.bottoms[0]];
+        SWC_CHECK_EQ(in.size(), 4u);
+        ConvGeom g;
+        g.batch = in[0];
+        g.in_c = in[1];
+        g.in_h = in[2];
+        g.in_w = in[3];
+        g.out_c = ls.num_output;
+        g.kernel = ls.kernel;
+        g.stride = ls.stride;
+        g.pad = ls.pad;
+        g.group = ls.group;
+        SWC_CHECK_GT(g.out_h(), 0);
+        d.conv = g;
+        d.input_count = g.input_count();
+        d.output_count = g.output_count();
+        d.param_count = g.weight_count() + (ls.bias ? g.out_c : 0);
+        top_shape = {g.batch, g.out_c, g.out_h(), g.out_w()};
+        break;
+      }
+      case LayerKind::kInnerProduct: {
+        const auto& in = shapes[ls.bottoms[0]];
+        const std::int64_t m = in[0];
+        const std::int64_t k = count_of(in) / m;
+        d.fc = FcGeom{m, ls.num_output, k};
+        d.input_count = count_of(in);
+        d.output_count = m * ls.num_output;
+        d.param_count = static_cast<std::int64_t>(ls.num_output) * k +
+                        (ls.bias ? ls.num_output : 0);
+        top_shape = {static_cast<int>(m), ls.num_output};
+        break;
+      }
+      case LayerKind::kLSTM: {
+        const auto& in = shapes[ls.bottoms[0]];
+        SWC_CHECK_EQ(in.size(), 3u);  // (T, B, I)
+        const int h = ls.num_output;
+        d.fc = FcGeom{in[1], 4 * h, static_cast<std::int64_t>(in[2]) + h};
+        d.steps = in[0];
+        d.input_count = count_of(in);
+        d.output_count = static_cast<std::int64_t>(in[0]) * in[1] * h;
+        d.param_count = static_cast<std::int64_t>(4) * h * (in[2] + h) +
+                        (ls.bias ? 4 * h : 0);
+        top_shape = {in[0], in[1], h};
+        break;
+      }
+      case LayerKind::kPool: {
+        const auto& in = shapes[ls.bottoms[0]];
+        SWC_CHECK_EQ(in.size(), 4u);
+        PoolGeom g;
+        g.batch = in[0];
+        g.channels = in[1];
+        g.in_h = in[2];
+        g.in_w = in[3];
+        g.global = ls.global_pool;
+        g.kernel = ls.global_pool ? in[2] : ls.pool_kernel;
+        g.stride = ls.global_pool ? 1 : ls.pool_stride;
+        g.pad = ls.global_pool ? 0 : ls.pool_pad;
+        d.pool = g;
+        d.input_count = count_of(in);
+        d.output_count =
+            static_cast<std::int64_t>(g.batch) * g.channels * g.out_h() *
+            g.out_w();
+        top_shape = {g.batch, g.channels, g.out_h(), g.out_w()};
+        break;
+      }
+      case LayerKind::kReLU:
+      case LayerKind::kSigmoid:
+      case LayerKind::kTanH:
+      case LayerKind::kDropout:
+      case LayerKind::kSoftmax: {
+        const auto& in = shapes[ls.bottoms[0]];
+        d.input_count = count_of(in);
+        d.output_count = d.input_count;
+        top_shape = in;
+        break;
+      }
+      case LayerKind::kBatchNorm: {
+        const auto& in = shapes[ls.bottoms[0]];
+        SWC_CHECK_EQ(in.size(), 4u);
+        d.input_count = count_of(in);
+        d.output_count = d.input_count;
+        d.param_count = 2 * in[1];
+        top_shape = in;
+        break;
+      }
+      case LayerKind::kLRN: {
+        const auto& in = shapes[ls.bottoms[0]];
+        d.input_count = count_of(in);
+        d.output_count = d.input_count;
+        top_shape = in;
+        break;
+      }
+      case LayerKind::kEltwise: {
+        const auto& in = shapes[ls.bottoms[0]];
+        d.input_count =
+            count_of(in) * static_cast<std::int64_t>(ls.bottoms.size());
+        d.output_count = count_of(in);
+        top_shape = in;
+        break;
+      }
+      case LayerKind::kConcat: {
+        const auto& first = shapes[ls.bottoms[0]];
+        SWC_CHECK_EQ(first.size(), 4u);
+        int channels = 0;
+        for (const auto& b : ls.bottoms) channels += shapes[b][1];
+        top_shape = {first[0], channels, first[2], first[3]};
+        d.input_count = count_of(top_shape);
+        d.output_count = d.input_count;
+        break;
+      }
+      case LayerKind::kTransform: {
+        const auto& in = shapes[ls.bottoms[0]];
+        SWC_CHECK_EQ(in.size(), 4u);
+        d.input_count = count_of(in);
+        d.output_count = d.input_count;
+        d.conv.in_w = in[3];
+        top_shape = ls.stride == 0
+                        ? std::vector<int>{in[2], in[3], in[1], in[0]}
+                        : std::vector<int>{in[3], in[2], in[0], in[1]};
+        break;
+      }
+      case LayerKind::kSoftmaxLoss:
+      case LayerKind::kAccuracy: {
+        const auto& in = shapes[ls.bottoms[0]];
+        d.input_count = count_of(in);
+        d.output_count = 1;
+        top_shape = {1};
+        break;
+      }
+    }
+    shapes[ls.tops[0]] = top_shape;
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace swcaffe::core

@@ -1,0 +1,492 @@
+#include "core/proto.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/log.h"
+
+namespace swcaffe::core {
+
+namespace {
+
+// --- Tokenizer -----------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kString, kNumber, kLBrace, kRBrace, kColon, kEnd };
+  Kind kind = kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) {
+      t.kind = Token::kEnd;
+      return t;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      t.kind = Token::kLBrace;
+      return t;
+    }
+    if (c == '}') {
+      ++pos_;
+      t.kind = Token::kRBrace;
+      return t;
+    }
+    if (c == ':') {
+      ++pos_;
+      t.kind = Token::kColon;
+      return t;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos_;
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      SWC_CHECK_MSG(pos_ < text_.size(),
+                    "prototxt line " << line_ << ": unterminated string");
+      t.kind = Token::kString;
+      t.text = text_.substr(start, pos_ - start);
+      ++pos_;
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      t.kind = Token::kNumber;
+      t.text = text_.substr(start, pos_ - start);
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      t.kind = Token::kIdent;
+      t.text = text_.substr(start, pos_ - start);
+      return t;
+    }
+    SWC_CHECK_MSG(false, "prototxt line " << line_ << ": unexpected character '"
+                                          << c << "'");
+    return t;
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// --- Generic field tree -----------------------------------------------------------
+
+/// Flat multimap of (key -> values) with nested blocks flattened; repeated
+/// keys keep order. Enough structure for this dialect.
+struct Fields {
+  std::vector<std::pair<std::string, std::string>> scalars;
+  std::vector<std::pair<std::string, Fields>> blocks;
+
+  const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : scalars) {
+      if (k == key) return &v;
+    }
+    for (const auto& [k, b] : blocks) {
+      (void)k;
+      if (const std::string* v = b.find(key)) return v;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> find_all(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : scalars) {
+      if (k == key) out.push_back(v);
+    }
+    for (const auto& [k, b] : blocks) {
+      (void)k;
+      for (auto& v : b.find_all(key)) out.push_back(v);
+    }
+    return out;
+  }
+};
+
+/// Parses fields until the matching '}' (or end of input at top level).
+Fields parse_fields(Lexer& lex, bool top_level, int depth = 0) {
+  SWC_CHECK_MSG(depth < 16, "prototxt: nesting too deep");
+  Fields f;
+  for (;;) {
+    Token t = lex.next();
+    if (t.kind == Token::kEnd) {
+      SWC_CHECK_MSG(top_level, "prototxt: unexpected end of input (missing '}')");
+      return f;
+    }
+    if (t.kind == Token::kRBrace) {
+      SWC_CHECK_MSG(!top_level, "prototxt line " << t.line << ": stray '}'");
+      return f;
+    }
+    SWC_CHECK_MSG(t.kind == Token::kIdent,
+                  "prototxt line " << t.line << ": expected a field name");
+    const std::string key = t.text;
+    Token sep = lex.next();
+    if (sep.kind == Token::kLBrace) {
+      f.blocks.emplace_back(key, parse_fields(lex, false, depth + 1));
+      continue;
+    }
+    SWC_CHECK_MSG(sep.kind == Token::kColon,
+                  "prototxt line " << sep.line << ": expected ':' or '{' after '"
+                                   << key << "'");
+    Token value = lex.next();
+    if (value.kind == Token::kLBrace) {  // "key: { ... }" variant
+      f.blocks.emplace_back(key, parse_fields(lex, false, depth + 1));
+      continue;
+    }
+    SWC_CHECK_MSG(value.kind == Token::kString || value.kind == Token::kNumber ||
+                      value.kind == Token::kIdent,
+                  "prototxt line " << value.line << ": expected a value for '"
+                                   << key << "'");
+    f.scalars.emplace_back(key, value.text);
+  }
+}
+
+// --- Conversion helpers -------------------------------------------------------------
+
+int to_int(const std::string& v, const char* key) {
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    SWC_CHECK_MSG(false, "prototxt: '" << key << ": " << v
+                                       << "' is not an integer");
+  }
+  return 0;
+}
+
+float to_float(const std::string& v, const char* key) {
+  try {
+    return std::stof(v);
+  } catch (...) {
+    SWC_CHECK_MSG(false, "prototxt: '" << key << ": " << v
+                                       << "' is not a number");
+  }
+  return 0.0f;
+}
+
+bool to_bool(const std::string& v, const char* key) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  SWC_CHECK_MSG(false, "prototxt: '" << key << ": " << v
+                                     << "' is not a boolean");
+  return false;
+}
+
+LayerKind kind_from_type(const std::string& type) {
+  static const std::map<std::string, LayerKind> kMap = {
+      {"Data", LayerKind::kData},
+      {"Convolution", LayerKind::kConv},
+      {"InnerProduct", LayerKind::kInnerProduct},
+      {"LSTM", LayerKind::kLSTM},
+      {"ReLU", LayerKind::kReLU},
+      {"Sigmoid", LayerKind::kSigmoid},
+      {"TanH", LayerKind::kTanH},
+      {"Pooling", LayerKind::kPool},
+      {"BatchNorm", LayerKind::kBatchNorm},
+      {"LRN", LayerKind::kLRN},
+      {"Dropout", LayerKind::kDropout},
+      {"Softmax", LayerKind::kSoftmax},
+      {"SoftmaxWithLoss", LayerKind::kSoftmaxLoss},
+      {"Accuracy", LayerKind::kAccuracy},
+      {"Eltwise", LayerKind::kEltwise},
+      {"Concat", LayerKind::kConcat},
+      {"TensorTransform", LayerKind::kTransform},
+  };
+  auto it = kMap.find(type);
+  SWC_CHECK_MSG(it != kMap.end(), "prototxt: unknown layer type '" << type
+                                                                   << "'");
+  return it->second;
+}
+
+LayerSpec layer_from_fields(const Fields& f) {
+  LayerSpec spec;
+  const std::string* name = f.find("name");
+  SWC_CHECK_MSG(name != nullptr, "prototxt: layer missing 'name'");
+  spec.name = *name;
+  const std::string* type = f.find("type");
+  SWC_CHECK_MSG(type != nullptr,
+                "prototxt: layer '" << spec.name << "' missing 'type'");
+  spec.kind = kind_from_type(*type);
+  spec.bottoms = f.find_all("bottom");
+  spec.tops = f.find_all("top");
+
+  if (const auto* v = f.find("num_output")) spec.num_output = to_int(*v, "num_output");
+  if (const auto* v = f.find("kernel_size")) spec.kernel = to_int(*v, "kernel_size");
+  if (const auto* v = f.find("stride")) spec.stride = to_int(*v, "stride");
+  if (const auto* v = f.find("pad")) spec.pad = to_int(*v, "pad");
+  if (const auto* v = f.find("bias_term")) spec.bias = to_bool(*v, "bias_term");
+  if (const auto* v = f.find("group")) spec.group = to_int(*v, "group");
+  if (const auto* v = f.find("engine")) {
+    if (*v == "AUTO") {
+      spec.strategy = ConvStrategy::kAuto;
+    } else if (*v == "EXPLICIT") {
+      spec.strategy = ConvStrategy::kExplicit;
+    } else if (*v == "IMPLICIT") {
+      spec.strategy = ConvStrategy::kImplicit;
+    } else {
+      SWC_CHECK_MSG(false, "prototxt: unknown engine '" << *v << "'");
+    }
+  }
+  if (spec.kind == LayerKind::kPool) {
+    if (const auto* v = f.find("pool")) {
+      if (*v == "MAX") {
+        spec.pool_method = PoolMethod::kMax;
+      } else if (*v == "AVE") {
+        spec.pool_method = PoolMethod::kAve;
+      } else {
+        SWC_CHECK_MSG(false, "prototxt: unknown pool method '" << *v << "'");
+      }
+    }
+    if (const auto* v = f.find("kernel_size")) spec.pool_kernel = to_int(*v, "kernel_size");
+    if (const auto* v = f.find("stride")) spec.pool_stride = to_int(*v, "stride");
+    if (const auto* v = f.find("pad")) spec.pool_pad = to_int(*v, "pad");
+    if (const auto* v = f.find("global_pooling")) {
+      spec.global_pool = to_bool(*v, "global_pooling");
+    }
+  }
+  if (const auto* v = f.find("dropout_ratio")) {
+    spec.dropout_ratio = to_float(*v, "dropout_ratio");
+  }
+  if (const auto* v = f.find("moving_average_fraction")) {
+    spec.bn_momentum = to_float(*v, "moving_average_fraction");
+  }
+  if (const auto* v = f.find("eps")) spec.bn_eps = to_float(*v, "eps");
+  if (const auto* v = f.find("local_size")) spec.lrn_size = to_int(*v, "local_size");
+  if (const auto* v = f.find("alpha")) spec.lrn_alpha = to_float(*v, "alpha");
+  if (const auto* v = f.find("beta")) spec.lrn_beta = to_float(*v, "beta");
+  if (spec.kind == LayerKind::kData) {
+    for (const auto& d : f.find_all("dim")) {
+      spec.data_shape.push_back(to_int(d, "dim"));
+    }
+    if (const auto* v = f.find("num_classes")) {
+      spec.num_classes = to_int(*v, "num_classes");
+    }
+  }
+  if (spec.kind == LayerKind::kTransform) {
+    if (const auto* v = f.find("direction")) {
+      // "TO_RCNB" | "TO_BNRC", stored in the stride field (see layers.h).
+      spec.stride = (*v == "TO_BNRC") ? 1 : 0;
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+NetSpec parse_net_prototxt(const std::string& text) {
+  Lexer lex(text);
+  const Fields root = parse_fields(lex, /*top_level=*/true);
+  NetSpec spec;
+  if (const auto* v = root.find("name")) spec.name = *v;
+
+  // "input:" declarations with following input_dim entries: match them up
+  // positionally, as Caffe's legacy input format does.
+  std::vector<std::string> inputs;
+  std::vector<int> dims;
+  for (const auto& [k, v] : root.scalars) {
+    if (k == "input") {
+      inputs.push_back(v);
+      dims.push_back(-1);  // marker for "new input starts here"
+    } else if (k == "input_dim") {
+      SWC_CHECK_MSG(!inputs.empty(),
+                    "prototxt: input_dim before any 'input:'");
+      dims.push_back(to_int(v, "input_dim"));
+    }
+  }
+  std::vector<int> current;
+  std::size_t input_idx = 0;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] == -1) {
+      if (!current.empty()) {
+        spec.inputs.push_back({inputs[input_idx++], current});
+        current.clear();
+      }
+    } else {
+      current.push_back(dims[i]);
+    }
+  }
+  if (!current.empty()) spec.inputs.push_back({inputs[input_idx], current});
+
+  for (const auto& [key, block] : root.blocks) {
+    if (key == "layer" || key == "layers") {
+      spec.layers.push_back(layer_from_fields(block));
+    }
+  }
+  return spec;
+}
+
+NetSpec load_net_prototxt(const std::string& path) {
+  std::ifstream is(path);
+  SWC_CHECK_MSG(is.is_open(), "cannot open prototxt " << path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return parse_net_prototxt(ss.str());
+}
+
+namespace {
+
+const char* pool_name(PoolMethod m) {
+  return m == PoolMethod::kMax ? "MAX" : "AVE";
+}
+
+const char* engine_name(ConvStrategy s) {
+  switch (s) {
+    case ConvStrategy::kAuto:
+      return "AUTO";
+    case ConvStrategy::kExplicit:
+      return "EXPLICIT";
+    case ConvStrategy::kImplicit:
+      return "IMPLICIT";
+  }
+  return "AUTO";
+}
+
+}  // namespace
+
+std::string net_spec_to_prototxt(const NetSpec& spec) {
+  std::ostringstream os;
+  os << "name: \"" << spec.name << "\"\n";
+  for (const auto& [name, shape] : spec.inputs) {
+    os << "input: \"" << name << "\"";
+    for (int d : shape) os << " input_dim: " << d;
+    os << "\n";
+  }
+  for (const auto& l : spec.layers) {
+    os << "layer {\n";
+    os << "  name: \"" << l.name << "\"  type: \"" << layer_kind_name(l.kind)
+       << "\"\n";
+    for (const auto& b : l.bottoms) os << "  bottom: \"" << b << "\"\n";
+    for (const auto& t : l.tops) os << "  top: \"" << t << "\"\n";
+    switch (l.kind) {
+      case LayerKind::kConv:
+        os << "  convolution_param { num_output: " << l.num_output
+           << " kernel_size: " << l.kernel << " stride: " << l.stride
+           << " pad: " << l.pad << " group: " << l.group
+           << " bias_term: " << (l.bias ? "true" : "false")
+           << " engine: " << engine_name(l.strategy) << " }\n";
+        break;
+      case LayerKind::kInnerProduct:
+      case LayerKind::kLSTM:
+        os << "  inner_product_param { num_output: " << l.num_output
+           << " bias_term: " << (l.bias ? "true" : "false") << " }\n";
+        break;
+      case LayerKind::kPool:
+        os << "  pooling_param { pool: " << pool_name(l.pool_method)
+           << " kernel_size: " << l.pool_kernel << " stride: " << l.pool_stride
+           << " pad: " << l.pool_pad
+           << " global_pooling: " << (l.global_pool ? "true" : "false")
+           << " }\n";
+        break;
+      case LayerKind::kDropout:
+        os << "  dropout_param { dropout_ratio: " << l.dropout_ratio << " }\n";
+        break;
+      case LayerKind::kBatchNorm:
+        os << "  batch_norm_param { moving_average_fraction: " << l.bn_momentum
+           << " eps: " << l.bn_eps << " }\n";
+        break;
+      case LayerKind::kLRN:
+        os << "  lrn_param { local_size: " << l.lrn_size
+           << " alpha: " << l.lrn_alpha << " beta: " << l.lrn_beta << " }\n";
+        break;
+      case LayerKind::kData: {
+        os << "  data_param {";
+        for (int d : l.data_shape) os << " dim: " << d;
+        os << " num_classes: " << l.num_classes << " }\n";
+        break;
+      }
+      case LayerKind::kTransform:
+        os << "  transform_param { direction: "
+           << (l.stride == 1 ? "TO_BNRC" : "TO_RCNB") << " }\n";
+        break;
+      default:
+        break;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+SolverSpec parse_solver_prototxt(const std::string& text) {
+  Lexer lex(text);
+  const Fields root = parse_fields(lex, /*top_level=*/true);
+  SolverSpec spec;
+  if (const auto* v = root.find("base_lr")) spec.base_lr = to_float(*v, "base_lr");
+  if (const auto* v = root.find("momentum")) spec.momentum = to_float(*v, "momentum");
+  if (const auto* v = root.find("weight_decay")) {
+    spec.weight_decay = to_float(*v, "weight_decay");
+  }
+  if (const auto* v = root.find("gamma")) spec.gamma = to_float(*v, "gamma");
+  if (const auto* v = root.find("stepsize")) spec.step_size = to_int(*v, "stepsize");
+  if (const auto* v = root.find("power")) spec.power = to_float(*v, "power");
+  if (const auto* v = root.find("max_iter")) spec.max_iter = to_int(*v, "max_iter");
+  if (const auto* v = root.find("lr_policy")) {
+    if (*v == "fixed") {
+      spec.policy = LrPolicy::kFixed;
+    } else if (*v == "step") {
+      spec.policy = LrPolicy::kStep;
+    } else if (*v == "poly") {
+      spec.policy = LrPolicy::kPoly;
+    } else if (*v == "inv") {
+      spec.policy = LrPolicy::kInv;
+    } else {
+      SWC_CHECK_MSG(false, "prototxt: unknown lr_policy '" << *v << "'");
+    }
+  }
+  if (const auto* v = root.find("type")) {
+    if (*v == "SGD") {
+      spec.type = SolverType::kSgd;
+    } else if (*v == "Nesterov") {
+      spec.type = SolverType::kNesterov;
+    } else {
+      SWC_CHECK_MSG(false, "prototxt: unknown solver type '" << *v << "'");
+    }
+  }
+  return spec;
+}
+
+SolverSpec load_solver_prototxt(const std::string& path) {
+  std::ifstream is(path);
+  SWC_CHECK_MSG(is.is_open(), "cannot open solver prototxt " << path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return parse_solver_prototxt(ss.str());
+}
+
+}  // namespace swcaffe::core

@@ -1,0 +1,42 @@
+// Prototxt-style text format for nets and solvers.
+//
+// swCaffe "maintains the same interfaces as Caffe" (paper Sec. I); this
+// module reads a Caffe-flavoured prototxt dialect (and writes a canonical
+// form of it), so models can be declared as text instead of C++:
+//
+//   name: "mynet"
+//   input: "data"  input_dim: 32 input_dim: 3 input_dim: 24 input_dim: 24
+//   input: "label" input_dim: 32
+//   layer {
+//     name: "conv1"  type: "Convolution"  bottom: "data"  top: "conv1"
+//     convolution_param { num_output: 16 kernel_size: 3 pad: 1 engine: AUTO }
+//   }
+//   layer { name: "relu1" type: "ReLU" bottom: "conv1" top: "relu1" }
+//
+// Nested *_param blocks are accepted anywhere and flattened (the keys are
+// unambiguous across layer types in this dialect). `engine` selects the
+// swCaffe convolution strategy: AUTO | EXPLICIT | IMPLICIT.
+#pragma once
+
+#include <string>
+
+#include "core/solver.h"
+#include "core/spec.h"
+
+namespace swcaffe::core {
+
+/// Parses a net description; throws base::CheckError with line information
+/// on malformed input.
+NetSpec parse_net_prototxt(const std::string& text);
+NetSpec load_net_prototxt(const std::string& path);
+
+/// Emits the canonical prototxt for a spec (round-trips through the parser).
+std::string net_spec_to_prototxt(const NetSpec& spec);
+
+/// Solver prototxt: base_lr, momentum, weight_decay, lr_policy
+/// ("fixed"|"step"|"poly"|"inv"), gamma, stepsize, power, max_iter, type
+/// ("SGD"|"Nesterov").
+SolverSpec parse_solver_prototxt(const std::string& text);
+SolverSpec load_solver_prototxt(const std::string& path);
+
+}  // namespace swcaffe::core

@@ -1,0 +1,202 @@
+#include "core/spec.h"
+
+namespace swcaffe::core {
+
+LayerSpec conv_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top, int num_output, int kernel,
+                    int stride, int pad) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kConv;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.num_output = num_output;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+LayerSpec ip_spec(const std::string& name, const std::string& bottom,
+                  const std::string& top, int num_output) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kInnerProduct;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.num_output = num_output;
+  return s;
+}
+
+LayerSpec lstm_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top, int hidden) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kLSTM;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.num_output = hidden;
+  return s;
+}
+
+LayerSpec relu_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kReLU;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec sigmoid_spec(const std::string& name, const std::string& bottom,
+                       const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kSigmoid;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec tanh_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kTanH;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec pool_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top, PoolMethod method, int kernel,
+                    int stride, int pad, bool global_pool) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kPool;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.pool_method = method;
+  s.pool_kernel = kernel;
+  s.pool_stride = stride;
+  s.pool_pad = pad;
+  s.global_pool = global_pool;
+  return s;
+}
+
+LayerSpec bn_spec(const std::string& name, const std::string& bottom,
+                  const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kBatchNorm;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec lrn_spec(const std::string& name, const std::string& bottom,
+                   const std::string& top, int size) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kLRN;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.lrn_size = size;
+  return s;
+}
+
+LayerSpec dropout_spec(const std::string& name, const std::string& bottom,
+                       const std::string& top, float ratio) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kDropout;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.dropout_ratio = ratio;
+  return s;
+}
+
+LayerSpec softmax_loss_spec(const std::string& name, const std::string& bottom,
+                            const std::string& label, const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kSoftmaxLoss;
+  s.bottoms = {bottom, label};
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec accuracy_spec(const std::string& name, const std::string& bottom,
+                        const std::string& label, const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kAccuracy;
+  s.bottoms = {bottom, label};
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec eltwise_sum_spec(const std::string& name, const std::string& a,
+                           const std::string& b, const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kEltwise;
+  s.bottoms = {a, b};
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec concat_spec(const std::string& name,
+                      const std::vector<std::string>& bottoms,
+                      const std::string& top) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kConcat;
+  s.bottoms = bottoms;
+  s.tops = {top};
+  return s;
+}
+
+LayerSpec data_spec(const std::string& name, const std::string& data_top,
+                    const std::string& label_top, std::vector<int> shape,
+                    int num_classes) {
+  LayerSpec s;
+  s.name = name;
+  s.kind = LayerKind::kData;
+  s.tops = {data_top, label_top};
+  s.data_shape = std::move(shape);
+  s.num_classes = num_classes;
+  return s;
+}
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kData: return "Data";
+    case LayerKind::kConv: return "Convolution";
+    case LayerKind::kInnerProduct: return "InnerProduct";
+    case LayerKind::kLSTM: return "LSTM";
+    case LayerKind::kReLU: return "ReLU";
+    case LayerKind::kSigmoid: return "Sigmoid";
+    case LayerKind::kTanH: return "TanH";
+    case LayerKind::kPool: return "Pooling";
+    case LayerKind::kBatchNorm: return "BatchNorm";
+    case LayerKind::kLRN: return "LRN";
+    case LayerKind::kDropout: return "Dropout";
+    case LayerKind::kSoftmax: return "Softmax";
+    case LayerKind::kSoftmaxLoss: return "SoftmaxWithLoss";
+    case LayerKind::kAccuracy: return "Accuracy";
+    case LayerKind::kEltwise: return "Eltwise";
+    case LayerKind::kConcat: return "Concat";
+    case LayerKind::kTransform: return "TensorTransform";
+  }
+  return "?";
+}
+
+std::int64_t total_param_bytes(const std::vector<LayerDesc>& descs) {
+  std::int64_t total = 0;
+  for (const auto& d : descs) total += d.param_bytes();
+  return total;
+}
+
+}  // namespace swcaffe::core

@@ -1,0 +1,119 @@
+// Declarative network specifications (the in-C++ equivalent of Caffe's
+// prototxt): one LayerSpec per layer, bottoms/tops by blob name, plus net
+// inputs for deploy-style graphs whose data is fed by the caller.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/layer_desc.h"
+#include "tensor/filler.h"
+
+namespace swcaffe::core {
+
+/// Convolution implementation strategy (paper Sec. IV-B / VI-A).
+enum class ConvStrategy {
+  kAuto,      ///< pick per direction from the cost model (swCaffe default)
+  kExplicit,  ///< im2col + GEMM always
+  kImplicit,  ///< direct blocked kernel always (throws if unsupported)
+};
+
+enum class PoolMethod { kMax, kAve };
+
+enum class Phase { kTrain, kTest };
+
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::kReLU;
+  std::vector<std::string> bottoms;
+  std::vector<std::string> tops;
+
+  // conv / inner product
+  int num_output = 0;
+  int kernel = 0;
+  int stride = 1;
+  int pad = 0;
+  int group = 1;
+  bool bias = true;
+  ConvStrategy strategy = ConvStrategy::kAuto;
+
+  // pooling
+  PoolMethod pool_method = PoolMethod::kMax;
+  int pool_kernel = 2;
+  int pool_stride = 2;
+  int pool_pad = 0;
+  bool global_pool = false;
+
+  // dropout
+  float dropout_ratio = 0.5f;
+
+  // batch norm
+  float bn_momentum = 0.9f;
+  float bn_eps = 1e-5f;
+
+  // local response normalization
+  int lrn_size = 5;
+  float lrn_alpha = 1e-4f;
+  float lrn_beta = 0.75f;
+
+  // eltwise
+  bool eltwise_max = false;          ///< max instead of (weighted) sum
+  std::vector<float> eltwise_coeffs; ///< per-bottom sum coefficients (empty = 1s)
+
+  // accuracy
+  int top_k = 1;  ///< count a hit if the label is within the top-k scores
+
+  // synthetic data layer
+  std::vector<int> data_shape;  ///< (B, C, H, W)
+  int num_classes = 0;
+
+  tensor::FillerSpec weight_filler = tensor::FillerSpec::msra();
+  tensor::FillerSpec bias_filler = tensor::FillerSpec::constant(0.0f);
+};
+
+struct NetSpec {
+  std::string name;
+  /// Externally fed blobs: (name, shape). Filled by the caller before
+  /// forward() (training harnesses, tests).
+  std::vector<std::pair<std::string, std::vector<int>>> inputs;
+  std::vector<LayerSpec> layers;  ///< must be in topological order
+};
+
+// --- Spec builder helpers (used by the model zoo and tests) -----------------
+LayerSpec conv_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top, int num_output, int kernel,
+                    int stride = 1, int pad = 0);
+LayerSpec ip_spec(const std::string& name, const std::string& bottom,
+                  const std::string& top, int num_output);
+LayerSpec lstm_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top, int hidden);
+LayerSpec relu_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top);
+LayerSpec sigmoid_spec(const std::string& name, const std::string& bottom,
+                       const std::string& top);
+LayerSpec tanh_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top);
+LayerSpec pool_spec(const std::string& name, const std::string& bottom,
+                    const std::string& top, PoolMethod method, int kernel,
+                    int stride, int pad = 0, bool global_pool = false);
+LayerSpec bn_spec(const std::string& name, const std::string& bottom,
+                  const std::string& top);
+LayerSpec lrn_spec(const std::string& name, const std::string& bottom,
+                   const std::string& top, int size = 5);
+LayerSpec dropout_spec(const std::string& name, const std::string& bottom,
+                       const std::string& top, float ratio = 0.5f);
+LayerSpec softmax_loss_spec(const std::string& name, const std::string& bottom,
+                            const std::string& label, const std::string& top);
+LayerSpec accuracy_spec(const std::string& name, const std::string& bottom,
+                        const std::string& label, const std::string& top);
+LayerSpec eltwise_sum_spec(const std::string& name, const std::string& a,
+                           const std::string& b, const std::string& top);
+LayerSpec concat_spec(const std::string& name,
+                      const std::vector<std::string>& bottoms,
+                      const std::string& top);
+LayerSpec data_spec(const std::string& name, const std::string& data_top,
+                    const std::string& label_top, std::vector<int> shape,
+                    int num_classes);
+
+}  // namespace swcaffe::core

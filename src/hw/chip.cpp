@@ -1,0 +1,44 @@
+#include "hw/chip.h"
+
+#include "base/log.h"
+
+namespace swcaffe::hw {
+
+CoreGroup::CoreGroup(const HwParams& params)
+    : params_(params), cost_(params), rlc_(params) {
+  ldms_.reserve(params_.mesh_size());
+  for (int i = 0; i < params_.mesh_size(); ++i) {
+    ldms_.emplace_back(params_.ldm_bytes);
+  }
+}
+
+Ldm& CoreGroup::ldm(int row, int col) {
+  SWC_CHECK_GE(row, 0);
+  SWC_CHECK_LT(row, params_.mesh_rows);
+  SWC_CHECK_GE(col, 0);
+  SWC_CHECK_LT(col, params_.mesh_cols);
+  return ldms_[row * params_.mesh_cols + col];
+}
+
+void CoreGroup::reset() {
+  for (auto& l : ldms_) l.reset();
+  rlc_.reset_ledger();
+}
+
+Sw26010Chip::Sw26010Chip(const HwParams& params) : params_(params) {
+  for (int i = 0; i < params_.num_core_groups; ++i) {
+    groups_.push_back(std::make_unique<CoreGroup>(params_));
+  }
+}
+
+CoreGroup& Sw26010Chip::group(int i) {
+  SWC_CHECK_GE(i, 0);
+  SWC_CHECK_LT(i, num_core_groups());
+  return *groups_[i];
+}
+
+double Sw26010Chip::peak_flops() const {
+  return params_.cpe_cluster_flops * params_.num_core_groups;
+}
+
+}  // namespace swcaffe::hw

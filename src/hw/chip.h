@@ -1,0 +1,59 @@
+// Whole-chip composition: a SW26010 is four core groups on a NoC, each with
+// its own memory controller and 8 GB memory space. The chip object bundles
+// the per-CG resources the kernel plans and the node runner need.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/ldm.h"
+#include "hw/params.h"
+#include "hw/rlc.h"
+
+namespace swcaffe::hw {
+
+/// One core group: cost model plus a functional 8x8 mesh of LDMs and an RLC
+/// fabric. The mesh GEMM and the conv kernel plans execute against this.
+class CoreGroup {
+ public:
+  explicit CoreGroup(const HwParams& params);
+
+  const HwParams& params() const { return params_; }
+  const CostModel& cost() const { return cost_; }
+  RlcFabric& rlc() { return rlc_; }
+  Ldm& ldm(int row, int col);
+  int mesh_rows() const { return params_.mesh_rows; }
+  int mesh_cols() const { return params_.mesh_cols; }
+
+  /// Resets all LDMs and the RLC ledger (between kernel launches).
+  void reset();
+
+ private:
+  HwParams params_;
+  CostModel cost_;
+  RlcFabric rlc_;
+  std::vector<Ldm> ldms_;
+};
+
+/// The full processor: `HwParams::num_core_groups` core groups. Core groups
+/// have private memory spaces; swCaffe parallelizes over them with one
+/// thread per CG (Algorithm 1), so the chip only needs to expose the group
+/// collection.
+class Sw26010Chip {
+ public:
+  explicit Sw26010Chip(const HwParams& params = HwParams{});
+
+  int num_core_groups() const { return static_cast<int>(groups_.size()); }
+  CoreGroup& group(int i);
+  const HwParams& params() const { return params_; }
+
+  /// Peak flops of the whole chip (all CPE clusters).
+  double peak_flops() const;
+
+ private:
+  HwParams params_;
+  std::vector<std::unique_ptr<CoreGroup>> groups_;
+};
+
+}  // namespace swcaffe::hw

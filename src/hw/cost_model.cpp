@@ -1,0 +1,81 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace swcaffe::hw {
+
+void TrafficLedger::add(const TrafficLedger& other) {
+  dma_get_bytes += other.dma_get_bytes;
+  dma_put_bytes += other.dma_put_bytes;
+  rlc_bytes += other.rlc_bytes;
+  mpe_bytes += other.mpe_bytes;
+  flops += other.flops;
+  elapsed_s += other.elapsed_s;
+}
+
+double CostModel::dma_time(std::size_t bytes_per_cpe, int n_cpes) const {
+  SWC_CHECK_GT(n_cpes, 0);
+  SWC_CHECK_LE(n_cpes, params_.mesh_size());
+  if (bytes_per_cpe == 0) return 0.0;
+  // Concurrent streams share the memory controller: each stream's link rate
+  // is the per-CPE ceiling or an equal share of the aggregate peak,
+  // whichever is lower.
+  const double link_bw =
+      std::min(params_.dma_per_cpe_bw, params_.dma_peak_bw / n_cpes);
+  const double latency = params_.dma_latency_cycles * params_.cycle_seconds();
+  return latency + static_cast<double>(bytes_per_cpe) / link_bw;
+}
+
+double CostModel::dma_bandwidth(std::size_t bytes_per_cpe, int n_cpes) const {
+  const double t = dma_time(bytes_per_cpe, n_cpes);
+  if (t <= 0.0) return 0.0;
+  return static_cast<double>(bytes_per_cpe) * n_cpes / t;
+}
+
+double CostModel::dma_strided_time(std::size_t bytes_per_cpe,
+                                   std::size_t block_bytes, int n_cpes) const {
+  SWC_CHECK_GT(block_bytes, 0u);
+  if (bytes_per_cpe == 0) return 0.0;
+  const std::size_t blocks = (bytes_per_cpe + block_bytes - 1) / block_bytes;
+  const double setup = static_cast<double>(blocks) *
+                       params_.dma_stride_setup_cycles *
+                       params_.cycle_seconds();
+  return dma_time(bytes_per_cpe, n_cpes) + setup;
+}
+
+double CostModel::dma_strided_bandwidth(std::size_t bytes_per_cpe,
+                                        std::size_t block_bytes,
+                                        int n_cpes) const {
+  const double t = dma_strided_time(bytes_per_cpe, block_bytes, n_cpes);
+  if (t <= 0.0) return 0.0;
+  return static_cast<double>(bytes_per_cpe) * n_cpes / t;
+}
+
+double CostModel::compute_time(double flops, bool single_precision) const {
+  if (flops <= 0.0) return 0.0;
+  const double sustained =
+      params_.cpe_cluster_flops * params_.kernel_efficiency;
+  double t = flops / sustained;
+  if (single_precision) t *= params_.sp_convert_overhead;
+  return t;
+}
+
+double CostModel::mpe_compute_time(double flops) const {
+  if (flops <= 0.0) return 0.0;
+  return flops / params_.mpe_flops;
+}
+
+double CostModel::mpe_copy_time(std::size_t bytes) const {
+  return static_cast<double>(bytes) / params_.mpe_copy_bw;
+}
+
+double CostModel::rlc_time(std::size_t bytes, bool broadcast) const {
+  if (bytes == 0) return 0.0;
+  const double bw = broadcast ? params_.rlc_bcast_bw : params_.rlc_p2p_bw;
+  const double latency = params_.rlc_latency_cycles * params_.cycle_seconds();
+  return latency + static_cast<double>(bytes) / bw;
+}
+
+}  // namespace swcaffe::hw

@@ -1,0 +1,60 @@
+#include "hw/dma.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace swcaffe::hw {
+
+void DmaEngine::get(std::span<const double> src, std::span<double> dst,
+                    int n_cpes) {
+  SWC_CHECK_EQ(src.size(), dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+  const std::size_t bytes = src.size() * sizeof(double);
+  ledger_.dma_get_bytes += bytes;
+  ledger_.elapsed_s += cost_->dma_time(bytes, n_cpes);
+}
+
+void DmaEngine::put(std::span<const double> src, std::span<double> dst,
+                    int n_cpes) {
+  SWC_CHECK_EQ(src.size(), dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+  const std::size_t bytes = src.size() * sizeof(double);
+  ledger_.dma_put_bytes += bytes;
+  ledger_.elapsed_s += cost_->dma_time(bytes, n_cpes);
+}
+
+void DmaEngine::get_strided(std::span<const double> src,
+                            std::size_t src_stride, std::span<double> dst,
+                            std::size_t block_len, std::size_t blocks,
+                            int n_cpes) {
+  SWC_CHECK_GE(src_stride, block_len);
+  SWC_CHECK_GE(dst.size(), block_len * blocks);
+  SWC_CHECK_GE(src.size(), (blocks - 1) * src_stride + block_len);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::copy_n(src.data() + b * src_stride, block_len,
+                dst.data() + b * block_len);
+  }
+  const std::size_t bytes = block_len * blocks * sizeof(double);
+  ledger_.dma_get_bytes += bytes;
+  ledger_.elapsed_s +=
+      cost_->dma_strided_time(bytes, block_len * sizeof(double), n_cpes);
+}
+
+void DmaEngine::put_strided(std::span<const double> src, std::span<double> dst,
+                            std::size_t dst_stride, std::size_t block_len,
+                            std::size_t blocks, int n_cpes) {
+  SWC_CHECK_GE(dst_stride, block_len);
+  SWC_CHECK_GE(src.size(), block_len * blocks);
+  SWC_CHECK_GE(dst.size(), (blocks - 1) * dst_stride + block_len);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::copy_n(src.data() + b * block_len, block_len,
+                dst.data() + b * dst_stride);
+  }
+  const std::size_t bytes = block_len * blocks * sizeof(double);
+  ledger_.dma_put_bytes += bytes;
+  ledger_.elapsed_s +=
+      cost_->dma_strided_time(bytes, block_len * sizeof(double), n_cpes);
+}
+
+}  // namespace swcaffe::hw

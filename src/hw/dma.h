@@ -1,0 +1,48 @@
+// DMA engine model: moves real data between "main memory" (host spans) and
+// LDM spans while charging the calibrated transfer costs to a ledger.
+//
+// The functional path exists so kernels built on it are testable end to end;
+// analytic estimators reuse CostModel::dma_* directly without moving bytes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "hw/cost_model.h"
+
+namespace swcaffe::hw {
+
+/// DMA engine of one core group. Transfers are described per CPE; `n_cpes`
+/// says how many CPEs issue the same-shaped transfer concurrently, which
+/// determines the achieved bandwidth (Fig. 2).
+class DmaEngine {
+ public:
+  explicit DmaEngine(const CostModel& cost) : cost_(&cost) {}
+
+  /// Contiguous main-memory -> LDM get of one CPE's block.
+  void get(std::span<const double> src, std::span<double> dst, int n_cpes);
+
+  /// Contiguous LDM -> main-memory put of one CPE's block.
+  void put(std::span<const double> src, std::span<double> dst, int n_cpes);
+
+  /// Strided get: copies `blocks` runs of `block_len` doubles, reading from
+  /// `src` at `src_stride` spacing into densely packed `dst`.
+  void get_strided(std::span<const double> src, std::size_t src_stride,
+                   std::span<double> dst, std::size_t block_len,
+                   std::size_t blocks, int n_cpes);
+
+  /// Strided put: scatters densely packed `src` into `dst` runs spaced by
+  /// `dst_stride`.
+  void put_strided(std::span<const double> src, std::span<double> dst,
+                   std::size_t dst_stride, std::size_t block_len,
+                   std::size_t blocks, int n_cpes);
+
+  const TrafficLedger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_ = TrafficLedger{}; }
+
+ private:
+  const CostModel* cost_;
+  TrafficLedger ledger_;
+};
+
+}  // namespace swcaffe::hw

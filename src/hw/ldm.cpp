@@ -1,0 +1,24 @@
+#include "hw/ldm.h"
+
+#include "base/log.h"
+
+namespace swcaffe::hw {
+
+Ldm::Ldm(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      storage_(capacity_bytes / sizeof(double), 0.0) {}
+
+std::span<double> Ldm::alloc(std::size_t n) {
+  SWC_CHECK_MSG(used_ + n <= storage_.size(),
+                "LDM overflow: requested " << n * sizeof(double)
+                                           << "B with " << used_bytes()
+                                           << "B of " << capacity_bytes_
+                                           << "B already used");
+  std::span<double> out(storage_.data() + used_, n);
+  used_ += n;
+  return out;
+}
+
+void Ldm::reset() { used_ = 0; }
+
+}  // namespace swcaffe::hw

@@ -1,0 +1,34 @@
+// Local Directive Memory (scratchpad) model.
+//
+// Each CPE has 64 KB of software-managed LDM. Kernel plans allocate tiles
+// from it with a bump allocator; exceeding the capacity throws, mirroring
+// how a real SW26010 kernel simply cannot be compiled with oversized tiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace swcaffe::hw {
+
+/// One CPE's scratchpad, measured in doubles (the RLC-native element type).
+class Ldm {
+ public:
+  explicit Ldm(std::size_t capacity_bytes);
+
+  /// Allocates `n` doubles; throws base::CheckError if the LDM is full.
+  std::span<double> alloc(std::size_t n);
+
+  /// Releases all allocations (kernels reset between phases/blocks).
+  void reset();
+
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t used_bytes() const { return used_ * sizeof(double); }
+
+ private:
+  std::size_t capacity_bytes_;
+  std::size_t used_ = 0;  // in doubles
+  std::vector<double> storage_;
+};
+
+}  // namespace swcaffe::hw

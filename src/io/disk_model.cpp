@@ -1,0 +1,72 @@
+#include "io/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/log.h"
+
+namespace swcaffe::io {
+
+double read_time(const DiskParams& disk, FileLayout layout, int num_procs,
+                 std::int64_t bytes_per_proc, std::int64_t file_bytes) {
+  SWC_CHECK_GT(num_procs, 0);
+  SWC_CHECK_GT(bytes_per_proc, 0);
+  SWC_CHECK_GE(file_bytes, bytes_per_proc);
+
+  if (layout == FileLayout::kSingleSplit) {
+    // Everyone hammers the one array holding the file.
+    const double total = static_cast<double>(bytes_per_proc) * num_procs;
+    return total / disk.array_bw;
+  }
+
+  // Striped: spread the processes' contiguous reads evenly over the file and
+  // bill each stripe's bytes to its round-robin array.
+  std::vector<double> load(disk.num_arrays, 0.0);
+  for (int p = 0; p < num_procs; ++p) {
+    // Deterministic low-discrepancy placement of read offsets (golden-ratio
+    // sequence): spreads starts uniformly like the paper's random sampling
+    // would in expectation, without aliasing against the 32-array stripe
+    // cycle the way evenly spaced offsets do.
+    const double frac = std::fmod(0.6180339887498949 * (p + 1), 1.0);
+    const std::int64_t start = static_cast<std::int64_t>(
+        frac * static_cast<double>(file_bytes - bytes_per_proc));
+    std::int64_t remaining = bytes_per_proc;
+    std::int64_t off = start;
+    while (remaining > 0) {
+      const std::int64_t stripe = off / disk.stripe_bytes;
+      const int array = static_cast<int>(stripe % disk.num_arrays);
+      const std::int64_t in_stripe =
+          std::min(remaining, (stripe + 1) * disk.stripe_bytes - off);
+      load[array] += static_cast<double>(in_stripe);
+      off += in_stripe;
+      remaining -= in_stripe;
+    }
+  }
+  const double worst = *std::max_element(load.begin(), load.end());
+  return worst / disk.array_bw;
+}
+
+double aggregate_bandwidth(const DiskParams& disk, FileLayout layout,
+                           int num_procs, std::int64_t bytes_per_proc,
+                           std::int64_t file_bytes) {
+  const double t =
+      read_time(disk, layout, num_procs, bytes_per_proc, file_bytes);
+  return static_cast<double>(bytes_per_proc) * num_procs / t;
+}
+
+int max_readers_per_array(const DiskParams& disk, int num_procs,
+                          std::int64_t bytes_per_proc) {
+  // A contiguous read of b bytes touches ceil(b / stripe) + 1 stripes at
+  // most; with reads spread over the file, each array sees at most
+  // ceil(N / num_arrays) * stripes_per_read readers (paper: N/32 * 2 for
+  // 192 MB reads of 256 MB stripes).
+  const int stripes_per_read =
+      static_cast<int>((bytes_per_proc + disk.stripe_bytes - 1) /
+                       disk.stripe_bytes) +
+      1;
+  return ((num_procs + disk.num_arrays - 1) / disk.num_arrays) *
+         stripes_per_read;
+}
+
+}  // namespace swcaffe::io

@@ -1,0 +1,43 @@
+// Shared-filesystem model (paper Sec. V-B).
+//
+// TaihuLight's filesystem distributes a file over disk arrays. The default
+// "single-split" mode keeps one file on ONE array, so N concurrent readers
+// share that array's bandwidth; the paper's optimization stripes the dataset
+// over 32 arrays in 256 MB blocks, bounding the readers per array at
+// ~N/32 * 2 (a contiguous mini-batch read of ~192 MB touches at most two
+// stripes).
+#pragma once
+
+#include <cstdint>
+
+namespace swcaffe::io {
+
+enum class FileLayout {
+  kSingleSplit,  ///< whole dataset resident on one disk array (default)
+  kStriped,      ///< round-robin striped over all arrays
+};
+
+struct DiskParams {
+  int num_arrays = 32;
+  double array_bw = 2.0e9;               ///< bytes/s per disk array
+  std::int64_t stripe_bytes = 256 << 20; ///< striping block (paper: 256 MB)
+};
+
+/// Wall time for `num_procs` processes to each read `bytes_per_proc`
+/// contiguous bytes at distinct offsets of a `file_bytes` dataset.
+/// Contention: each array serves its readers at array_bw shared equally;
+/// time = max over arrays of (bytes requested / array_bw).
+double read_time(const DiskParams& disk, FileLayout layout, int num_procs,
+                 std::int64_t bytes_per_proc, std::int64_t file_bytes);
+
+/// Aggregate bandwidth achieved by the read above.
+double aggregate_bandwidth(const DiskParams& disk, FileLayout layout,
+                           int num_procs, std::int64_t bytes_per_proc,
+                           std::int64_t file_bytes);
+
+/// Upper bound on concurrent readers per array under striping (the paper's
+/// N/32 * 2 argument); exposed for the property tests.
+int max_readers_per_array(const DiskParams& disk, int num_procs,
+                          std::int64_t bytes_per_proc);
+
+}  // namespace swcaffe::io

@@ -1,0 +1,100 @@
+#include "io/prefetch.h"
+
+#include "base/log.h"
+
+namespace swcaffe::io {
+
+Prefetcher::Prefetcher(const DatasetSpec& dataset, const DiskParams& disk,
+                       FileLayout layout, int batch, int rank, int num_procs,
+                       std::size_t queue_depth)
+    : data_(dataset),
+      disk_(disk),
+      layout_(layout),
+      batch_(batch),
+      num_procs_(num_procs),
+      sampler_(dataset.num_samples, dataset.seed, rank),
+      augment_rng_(dataset.seed ^ (0xa497ull + rank)),
+      queue_depth_(queue_depth) {
+  if (dataset.crop > 0) {
+    SWC_CHECK_LE(dataset.crop, dataset.height);
+    SWC_CHECK_LE(dataset.crop, dataset.width);
+  }
+  SWC_CHECK_GT(batch_, 0);
+  SWC_CHECK_GT(queue_depth_, 0u);
+  thread_ = std::thread(&Prefetcher::worker, this);
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Batch Prefetcher::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty(); });
+  Batch b = std::move(queue_.front());
+  queue_.pop_front();
+  cv_.notify_all();
+  return b;
+}
+
+void Prefetcher::augment(const std::vector<float>& image, float* dst) {
+  const DatasetSpec& spec = data_.spec();
+  const int oh = spec.out_height(), ow = spec.out_width();
+  const int y0 = spec.crop > 0 && spec.height > oh
+                     ? static_cast<int>(augment_rng_.uniform_int(
+                           0, spec.height - oh))
+                     : 0;
+  const int x0 = spec.crop > 0 && spec.width > ow
+                     ? static_cast<int>(augment_rng_.uniform_int(
+                           0, spec.width - ow))
+                     : 0;
+  const bool flip = spec.mirror && augment_rng_.bernoulli(0.5);
+  for (int c = 0; c < spec.channels; ++c) {
+    const float* plane =
+        image.data() + static_cast<std::size_t>(c) * spec.height * spec.width;
+    float* out = dst + static_cast<std::size_t>(c) * oh * ow;
+    for (int y = 0; y < oh; ++y) {
+      const float* row =
+          plane + static_cast<std::size_t>(y0 + y) * spec.width + x0;
+      for (int x = 0; x < ow; ++x) {
+        out[static_cast<std::size_t>(y) * ow + x] =
+            flip ? row[ow - 1 - x] : row[x];
+      }
+    }
+  }
+}
+
+void Prefetcher::worker() {
+  const DatasetSpec& spec = data_.spec();
+  const std::size_t img = static_cast<std::size_t>(spec.channels) *
+                          spec.out_height() * spec.out_width();
+  std::vector<float> image;
+  while (true) {
+    Batch b;
+    b.images.resize(img * batch_);
+    b.labels.resize(batch_);
+    for (int i = 0; i < batch_; ++i) {
+      const std::int64_t idx = sampler_.next();
+      data_.fill_image(idx, image);
+      augment(image, b.images.data() + i * img);
+      b.labels[i] = static_cast<float>(data_.label_of(idx));
+    }
+    b.simulated_read_s = read_time(
+        disk_, layout_, num_procs_,
+        static_cast<std::int64_t>(batch_) * spec.sample_bytes(),
+        spec.num_samples * spec.sample_bytes());
+
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_ || queue_.size() < queue_depth_; });
+    if (stop_) return;
+    queue_.push_back(std::move(b));
+    cv_.notify_all();
+  }
+}
+
+}  // namespace swcaffe::io

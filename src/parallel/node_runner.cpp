@@ -1,0 +1,90 @@
+#include "parallel/node_runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "base/log.h"
+
+namespace swcaffe::parallel {
+
+SimpleSync::SimpleSync(int parties) : parties_(parties) {
+  SWC_CHECK_GT(parties, 0);
+}
+
+void SimpleSync::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::int64_t gen = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+NodeRunner::NodeRunner(const core::NetSpec& spec, int num_core_groups,
+                       std::uint64_t seed) {
+  SWC_CHECK_GT(num_core_groups, 0);
+  for (int i = 0; i < num_core_groups; ++i) {
+    nets_.push_back(std::make_unique<core::Net>(spec, seed));
+  }
+  for (int i = 1; i < num_core_groups; ++i) {
+    nets_[i]->copy_params_from(*nets_[0]);
+  }
+}
+
+double NodeRunner::compute_gradients(std::span<const float> data,
+                                     std::span<const float> labels) {
+  const int cgs = num_core_groups();
+  const std::size_t data_per_cg = nets_[0]->blob("data")->count();
+  const std::size_t labels_per_cg = nets_[0]->blob("label")->count();
+  SWC_CHECK_EQ(data.size(), data_per_cg * cgs);
+  SWC_CHECK_EQ(labels.size(), labels_per_cg * cgs);
+
+  std::vector<double> losses(cgs, 0.0);
+  SimpleSync sync(cgs);
+  // Paper Fig. 5: pthread_create at iteration start, join at the end; the
+  // handshake barrier marks "all gradients ready" before CG0 reduces.
+  std::vector<std::thread> threads;
+  threads.reserve(cgs);
+  for (int cg = 0; cg < cgs; ++cg) {
+    threads.emplace_back([&, cg] {
+      core::Net& net = *nets_[cg];
+      auto d = net.blob("data")->data();
+      auto l = net.blob("label")->data();
+      std::copy_n(data.begin() + cg * data_per_cg, data_per_cg, d.begin());
+      std::copy_n(labels.begin() + cg * labels_per_cg, labels_per_cg,
+                  l.begin());
+      losses[cg] = net.forward_backward();
+      sync.arrive_and_wait();
+      if (cg == 0) {
+        // CG0 sums the replicas' gradients (Algorithm 1 line 8).
+        const std::size_t n = net.param_count();
+        std::vector<float> acc(n), other(n);
+        net.pack_param_diffs(acc);
+        for (int j = 1; j < cgs; ++j) {
+          nets_[j]->pack_param_diffs(other);
+          for (std::size_t i = 0; i < n; ++i) acc[i] += other[i];
+        }
+        const float inv = 1.0f / cgs;
+        for (auto& v : acc) v *= inv;
+        net.unpack_param_diffs(acc);
+      }
+      sync.arrive_and_wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  double loss = 0.0;
+  for (double l : losses) loss += l;
+  return loss / cgs;
+}
+
+void NodeRunner::broadcast_params() {
+  for (int i = 1; i < num_core_groups(); ++i) {
+    nets_[i]->copy_params_from(*nets_[0]);
+  }
+}
+
+}  // namespace swcaffe::parallel

@@ -1,0 +1,137 @@
+#include "parallel/ssgd.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+#include "swdnn/layer_estimate.h"
+
+namespace swcaffe::parallel {
+
+const char* allreduce_algo_name(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kRhdAdjacent:
+      return "rhd-adjacent";
+    case AllreduceAlgo::kRhdRoundRobin:
+      return "rhd-round-robin";
+    case AllreduceAlgo::kRing:
+      return "ring";
+    case AllreduceAlgo::kParamServer:
+      return "param-server";
+  }
+  return "?";
+}
+
+SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
+                         const core::SolverSpec& solver,
+                         const SsgdOptions& options, std::uint64_t seed)
+    : options_(options) {
+  SWC_CHECK_GT(num_nodes, 0);
+  topo_.num_nodes = num_nodes;
+  topo_.supernode_size = options.supernode_size;
+  for (int i = 0; i < num_nodes; ++i) {
+    nets_.push_back(std::make_unique<core::Net>(spec, seed));
+  }
+  for (int i = 1; i < num_nodes; ++i) nets_[i]->copy_params_from(*nets_[0]);
+  for (int i = 0; i < num_nodes; ++i) {
+    solvers_.push_back(std::make_unique<core::SgdSolver>(*nets_[i], solver));
+  }
+}
+
+double SsgdTrainer::step(std::span<const float> data,
+                         std::span<const float> labels) {
+  const int p = num_nodes();
+  const std::size_t data_per_node = nets_[0]->blob("data")->count();
+  const std::size_t labels_per_node = nets_[0]->blob("label")->count();
+  SWC_CHECK_EQ(data.size(), data_per_node * p);
+  SWC_CHECK_EQ(labels.size(), labels_per_node * p);
+
+  double loss = 0.0;
+  const std::size_t n = nets_[0]->param_count();
+  std::vector<std::vector<float>> grads(p);
+  for (int r = 0; r < p; ++r) {
+    core::Net& net = *nets_[r];
+    auto d = net.blob("data")->data();
+    auto l = net.blob("label")->data();
+    std::copy_n(data.begin() + r * data_per_node, data_per_node, d.begin());
+    std::copy_n(labels.begin() + r * labels_per_node, labels_per_node,
+                l.begin());
+    loss += net.forward_backward();
+    // Pack ALL layers' gradients into one message (Sec. V-A: per-layer
+    // messages waste both network and memory bandwidth on small layers).
+    grads[r].resize(n);
+    net.pack_param_diffs(grads[r]);
+  }
+
+  switch (options_.algo) {
+    case AllreduceAlgo::kRhdAdjacent:
+      last_comm_ = topo::allreduce_rhd(grads, topo_, options_.net,
+                                       topo::Placement::kAdjacent);
+      break;
+    case AllreduceAlgo::kRhdRoundRobin:
+      last_comm_ = topo::allreduce_rhd(grads, topo_, options_.net,
+                                       topo::Placement::kRoundRobin);
+      break;
+    case AllreduceAlgo::kRing:
+      last_comm_ = topo::allreduce_ring(grads, topo_, options_.net,
+                                        topo::Placement::kAdjacent);
+      break;
+    case AllreduceAlgo::kParamServer:
+      last_comm_ = topo::allreduce_param_server(grads, topo_, options_.net,
+                                                options_.param_servers);
+      break;
+  }
+
+  if (options_.average) {
+    const float inv = 1.0f / p;
+    for (auto& g : grads) {
+      for (auto& v : g) v *= inv;
+    }
+  }
+  for (int r = 0; r < p; ++r) {
+    nets_[r]->unpack_param_diffs(grads[r]);
+    solvers_[r]->apply_update();
+  }
+  return loss / p;
+}
+
+std::vector<ScalePoint> scalability_curve(
+    const hw::CostModel& cost,
+    const std::vector<core::LayerDesc>& descs_per_cg, std::int64_t param_bytes,
+    const SsgdOptions& options, const std::vector<int>& node_counts) {
+  const double comp = dnn::estimate_net_sw(cost, descs_per_cg);
+  std::vector<ScalePoint> out;
+  for (int nodes : node_counts) {
+    topo::Topology topo;
+    topo.num_nodes = nodes;
+    topo.supernode_size = options.supernode_size;
+    topo::CostBreakdown comm;
+    switch (options.algo) {
+      case AllreduceAlgo::kRhdAdjacent:
+        comm = topo::cost_rhd(param_bytes, topo, options.net,
+                              topo::Placement::kAdjacent);
+        break;
+      case AllreduceAlgo::kRhdRoundRobin:
+        comm = topo::cost_rhd(param_bytes, topo, options.net,
+                              topo::Placement::kRoundRobin);
+        break;
+      case AllreduceAlgo::kRing:
+        comm = topo::cost_ring(param_bytes, topo, options.net,
+                               topo::Placement::kAdjacent);
+        break;
+      case AllreduceAlgo::kParamServer:
+        comm = topo::cost_param_server(param_bytes, topo, options.net,
+                                       options.param_servers);
+        break;
+    }
+    ScalePoint pt;
+    pt.nodes = nodes;
+    pt.comp_s = comp;
+    pt.comm_s = comm.seconds;
+    pt.speedup = nodes * comp / (comp + comm.seconds);
+    pt.comm_fraction = comm.seconds / (comp + comm.seconds);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace swcaffe::parallel

@@ -1,0 +1,80 @@
+// Parallel synchronous SGD across simulated nodes (paper Sec. V-A).
+//
+// Functional trainer: N model replicas, each computes gradients on its
+// sub-mini-batch, gradients of ALL layers are packed into one flat message
+// (the paper's gradient-packing optimization) and combined with the chosen
+// all-reduce; every node then applies the identical SGD update. The
+// communication cost of each iteration is accounted with the topo cost
+// model.
+//
+// Analytic scalability model: reproduces Figs. 10/11 at up to 1024 nodes
+// without materializing 1024 replicas.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/models.h"
+#include "core/net.h"
+#include "core/solver.h"
+#include "hw/cost_model.h"
+#include "topo/allreduce.h"
+
+namespace swcaffe::parallel {
+
+enum class AllreduceAlgo { kRhdAdjacent, kRhdRoundRobin, kRing, kParamServer };
+
+const char* allreduce_algo_name(AllreduceAlgo algo);
+
+struct SsgdOptions {
+  AllreduceAlgo algo = AllreduceAlgo::kRhdRoundRobin;
+  topo::NetParams net = topo::sunway_network();
+  int supernode_size = 256;
+  int param_servers = 1;
+  /// Average (true, the paper's SSGD) or plain-sum gradients.
+  bool average = true;
+};
+
+class SsgdTrainer {
+ public:
+  /// `spec` takes the PER-NODE sub-batch and declares "data"/"label" inputs.
+  SsgdTrainer(const core::NetSpec& spec, int num_nodes,
+              const core::SolverSpec& solver, const SsgdOptions& options,
+              std::uint64_t seed = 1);
+
+  /// One SSGD iteration over the global batch (= nodes * sub-batch).
+  /// Returns the mean loss across nodes.
+  double step(std::span<const float> data, std::span<const float> labels);
+
+  core::Net& node(int i) { return *nets_[i]; }
+  int num_nodes() const { return static_cast<int>(nets_.size()); }
+  const topo::CostBreakdown& last_comm() const { return last_comm_; }
+  int iter() const { return solvers_[0]->iter(); }
+
+ private:
+  SsgdOptions options_;
+  topo::Topology topo_;
+  std::vector<std::unique_ptr<core::Net>> nets_;
+  std::vector<std::unique_ptr<core::SgdSolver>> solvers_;
+  topo::CostBreakdown last_comm_;
+};
+
+/// One point of the Fig. 10/11 curves.
+struct ScalePoint {
+  int nodes = 1;
+  double comp_s = 0.0;       ///< per-iteration compute (node, 4 CGs)
+  double comm_s = 0.0;       ///< per-iteration all-reduce
+  double speedup = 1.0;      ///< throughput(N) / throughput(1)
+  double comm_fraction = 0;  ///< comm / (comp + comm)
+};
+
+/// Analytic scalability: `descs_per_cg` describes the net at sub_batch/4
+/// (one core group's share, Algorithm 1); `param_bytes` is the packed
+/// gradient message.
+std::vector<ScalePoint> scalability_curve(
+    const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs_per_cg,
+    std::int64_t param_bytes, const SsgdOptions& options,
+    const std::vector<int>& node_counts);
+
+}  // namespace swcaffe::parallel

@@ -1,0 +1,66 @@
+// Single-node training harness: wires the I/O prefetcher, the multi-core-
+// group runner (Algorithm 1) and the solver into Caffe's familiar train
+// loop (display/test/snapshot intervals), and accounts the simulated
+// SW26010 time of every iteration (compute from the cost model, I/O from
+// the disk model, overlapped the way the prefetch thread overlaps them).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "hw/cost_model.h"
+#include "io/prefetch.h"
+#include "parallel/node_runner.h"
+
+namespace swcaffe::parallel {
+
+struct TrainOptions {
+  int max_iter = 100;
+  int display_every = 10;    ///< 0 disables logging
+  int test_every = 0;        ///< 0 disables the test phase
+  int test_batches = 4;
+  int snapshot_every = 0;    ///< 0 disables snapshots
+  std::string snapshot_prefix = "swcaffe";
+  int num_core_groups = 4;
+  io::FileLayout file_layout = io::FileLayout::kStriped;
+};
+
+struct TrainStats {
+  std::vector<double> losses;        ///< per displayed iteration
+  std::vector<double> test_accuracy; ///< per test run
+  double final_loss = 0.0;
+  double simulated_seconds = 0.0;    ///< SW26010 wall time of the whole run
+  double simulated_io_seconds = 0.0; ///< portion that was NOT hidden
+  int iterations = 0;
+};
+
+class Trainer {
+ public:
+  /// `spec` is the per-core-group spec (sub-batch = node batch / CGs) with
+  /// "data"/"label" inputs; the dataset must produce matching image sizes.
+  Trainer(const core::NetSpec& spec, const core::SolverSpec& solver,
+          const io::DatasetSpec& dataset, const io::DiskParams& disk,
+          const TrainOptions& options);
+
+  /// Runs the loop; returns per-run statistics.
+  TrainStats run();
+
+  core::Net& net() { return runner_->master(); }
+  core::SgdSolver& solver() { return *solver_; }
+
+ private:
+  double evaluate(int batches);
+
+  TrainOptions options_;
+  std::unique_ptr<NodeRunner> runner_;
+  std::unique_ptr<core::SgdSolver> solver_;
+  std::unique_ptr<io::Prefetcher> prefetcher_;
+  hw::CostModel cost_;
+  io::SyntheticImageNet eval_data_;
+  double sim_compute_per_iter_ = 0.0;
+};
+
+}  // namespace swcaffe::parallel

@@ -1,0 +1,158 @@
+#include "perfmodel/device_model.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace swcaffe::perfmodel {
+
+DeviceModel k40m() {
+  DeviceModel d;
+  d.name = "nvidia-k40m";
+  d.peak_sp_flops = 4.29e12;  // Table I
+  d.mem_bw = 288e9;           // Table I
+  // Calibrated so Table III's K40m column is reproduced in shape: overall
+  // sustained efficiency of Caffe+cuDNN-v5.1 on this generation was ~15-25%
+  // of peak, and the un-overlapped host input pipeline dominates AlexNet
+  // ("over 40% of time", Sec. VI-B).
+  d.conv_eff = 0.22;
+  d.gemm_eff = 0.60;
+  d.bw_eff = 0.75;
+  d.input_pipeline_bw = 115e6;
+  return d;
+}
+
+DeviceModel xeon_e5_2680v3() {
+  DeviceModel d;
+  d.name = "xeon-e5-2680v3";
+  d.peak_sp_flops = 1.28e12;  // paper footnote 2
+  d.mem_bw = 68e9;            // paper footnote 2
+  d.conv_eff = 0.065;         // Caffe + OpenBLAS im2col path
+  d.gemm_eff = 0.20;
+  d.bw_eff = 0.50;
+  d.input_pipeline_bw = 0.0;  // data already in host memory
+  return d;
+}
+
+DeviceModel knl_7250() {
+  DeviceModel d;
+  d.name = "intel-knl";
+  d.peak_sp_flops = 6.92e12;  // Table I
+  d.mem_bw = 475e9;           // Table I (MCDRAM)
+  d.conv_eff = 0.18;          // Intel-Caffe + MKL-DNN era numbers
+  d.gemm_eff = 0.55;
+  d.bw_eff = 0.70;
+  d.input_pipeline_bw = 0.0;  // self-hosted: no PCIe staging
+  return d;
+}
+
+DeviceModel sw26010_specsheet() {
+  DeviceModel d;
+  d.name = "sw26010";
+  d.peak_sp_flops = 3.02e12;  // Table I (no dedicated SP path)
+  d.mem_bw = 128e9;           // Table I (4 CGs x 32 GB/s nominal)
+  return d;
+}
+
+namespace {
+
+double stream_time_dev(const DeviceModel& dev, double bytes) {
+  return bytes / (dev.mem_bw * dev.bw_eff);
+}
+
+double elementwise_dev(const DeviceModel& dev, std::int64_t count,
+                       double passes) {
+  return stream_time_dev(dev, 4.0 * count * passes);
+}
+
+}  // namespace
+
+dnn::LayerTime estimate_layer_dev(const DeviceModel& dev,
+                                  const core::LayerDesc& d, bool first_conv) {
+  dnn::LayerTime t;
+  switch (d.kind) {
+    case core::LayerKind::kConv: {
+      const double dir =
+          std::max(d.conv.flops_fwd() / (dev.peak_sp_flops * dev.conv_eff),
+                   stream_time_dev(dev, 4.0 * (d.input_count + d.output_count +
+                                               d.param_count)));
+      t.fwd_s = dir + dev.launch_overhead;
+      t.bwd_s = (first_conv ? 1.0 : 2.0) * dir + dev.launch_overhead;
+      break;
+    }
+    case core::LayerKind::kInnerProduct:
+    case core::LayerKind::kLSTM: {
+      const double dir =
+          d.steps *
+          std::max(d.fc.flops_fwd() / (dev.peak_sp_flops * dev.gemm_eff),
+                   stream_time_dev(dev, 4.0 * (d.input_count + d.output_count +
+                                               d.param_count) /
+                                            std::max(d.steps, 1)));
+      t.fwd_s = dir + d.steps * dev.launch_overhead;
+      t.bwd_s = 2.0 * dir + d.steps * dev.launch_overhead;
+      break;
+    }
+    case core::LayerKind::kPool:
+      t.fwd_s = elementwise_dev(dev, d.input_count + d.output_count, 1.0);
+      t.bwd_s = elementwise_dev(dev, d.input_count + 2 * d.output_count, 1.0);
+      break;
+    case core::LayerKind::kReLU:
+      t.fwd_s = elementwise_dev(dev, d.input_count, 2.0);
+      t.bwd_s = elementwise_dev(dev, d.input_count, 3.0);
+      break;
+    case core::LayerKind::kSigmoid:
+    case core::LayerKind::kTanH:
+      t.fwd_s = elementwise_dev(dev, d.input_count, 2.0);
+      t.bwd_s = elementwise_dev(dev, d.input_count, 3.0);
+      break;
+    case core::LayerKind::kBatchNorm:
+      t.fwd_s = elementwise_dev(dev, d.input_count, 4.0);
+      t.bwd_s = elementwise_dev(dev, d.input_count, 5.0);
+      break;
+    case core::LayerKind::kLRN:
+      t.fwd_s = elementwise_dev(dev, d.input_count, 6.0);
+      t.bwd_s = elementwise_dev(dev, d.input_count, 8.0);
+      break;
+    case core::LayerKind::kDropout:
+      t.fwd_s = elementwise_dev(dev, d.input_count, 3.0);
+      t.bwd_s = elementwise_dev(dev, d.input_count, 3.0);
+      break;
+    case core::LayerKind::kSoftmax:
+    case core::LayerKind::kSoftmaxLoss:
+      t.fwd_s = elementwise_dev(dev, d.input_count, 4.0);
+      t.bwd_s = elementwise_dev(dev, d.input_count, 2.0);
+      break;
+    case core::LayerKind::kEltwise:
+      t.fwd_s = elementwise_dev(dev, d.input_count, 1.5);
+      t.bwd_s = elementwise_dev(dev, d.input_count, 1.0);
+      break;
+    case core::LayerKind::kConcat:
+    case core::LayerKind::kTransform:
+      t.fwd_s = elementwise_dev(dev, d.output_count, 2.0);
+      t.bwd_s = elementwise_dev(dev, d.output_count, 2.0);
+      break;
+    case core::LayerKind::kData:
+    case core::LayerKind::kAccuracy:
+      break;
+  }
+  return t;
+}
+
+double device_throughput_img_s(const DeviceModel& dev,
+                               const std::vector<core::LayerDesc>& descs,
+                               int batch, std::int64_t input_bytes) {
+  double t = 0.0;
+  bool saw_conv = false;
+  for (const auto& d : descs) {
+    const bool first_conv = d.kind == core::LayerKind::kConv && !saw_conv;
+    if (d.kind == core::LayerKind::kConv) saw_conv = true;
+    t += estimate_layer_dev(dev, d, first_conv).total();
+  }
+  if (dev.input_pipeline_bw > 0.0) {
+    t += static_cast<double>(input_bytes) / dev.input_pipeline_bw;
+  }
+  SWC_CHECK_GT(t, 0.0);
+  return batch / t;
+}
+
+}  // namespace swcaffe::perfmodel

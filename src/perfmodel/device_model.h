@@ -1,0 +1,51 @@
+// Roofline models of the two baseline devices of the paper's evaluation
+// (Table I / Table III): an NVIDIA K40m running Caffe+cuDNN-v5.1 and a
+// 12-core Xeon E5-2680v3 running Caffe+OpenBLAS. The paper only uses these
+// as measured throughput baselines; the roofline + calibrated per-layer-type
+// efficiencies reproduce the relative shape (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/layer_desc.h"
+#include "swdnn/layer_estimate.h"
+
+namespace swcaffe::perfmodel {
+
+struct DeviceModel {
+  std::string name;
+  double peak_sp_flops = 0.0;   ///< single-precision peak
+  double mem_bw = 0.0;          ///< device memory bandwidth
+  double conv_eff = 0.5;        ///< fraction of peak for conv kernels
+  double gemm_eff = 0.6;        ///< fraction of peak for GEMM (FC) kernels
+  double bw_eff = 0.75;         ///< fraction of mem_bw for streaming layers
+  /// Fixed per-kernel-launch overhead (fwd and bwd each).
+  double launch_overhead = 5e-6;
+  /// Effective host->device input-pipeline bandwidth (bytes/s); the paper
+  /// reports it dominates AlexNet on the GPU ("over 40% of time",
+  /// Sec. VI-B). Zero disables (CPU baseline: data is already in host RAM).
+  double input_pipeline_bw = 0.0;
+};
+
+/// Calibrated presets (Table I specs + Table III calibration).
+DeviceModel k40m();
+DeviceModel xeon_e5_2680v3();
+/// Table I's third column (the paper never benchmarks KNL; spec-sheet plus
+/// published Intel-Caffe efficiencies, for what-if comparisons only).
+DeviceModel knl_7250();
+/// The SW26010 spec row of Table I, for the spec-sheet printout.
+DeviceModel sw26010_specsheet();
+
+/// Forward/backward time of one layer on the device.
+dnn::LayerTime estimate_layer_dev(const DeviceModel& dev,
+                                  const core::LayerDesc& desc,
+                                  bool first_conv = false);
+
+/// End-to-end throughput: layer times plus the non-overlapped input
+/// transfer of one mini-batch (`input_bytes` = bytes of the data blob).
+double device_throughput_img_s(const DeviceModel& dev,
+                               const std::vector<core::LayerDesc>& descs,
+                               int batch, std::int64_t input_bytes);
+
+}  // namespace swcaffe::perfmodel

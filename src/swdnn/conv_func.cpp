@@ -1,0 +1,217 @@
+#include "swdnn/conv_func.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/log.h"
+#include "swdnn/im2col.h"
+#include "swgemm/reference.h"
+
+namespace swcaffe::dnn {
+
+namespace {
+
+std::size_t col_count(const core::ConvGeom& g) {
+  return static_cast<std::size_t>(g.in_c) * g.kernel * g.kernel * g.out_h() *
+         g.out_w();
+}
+
+/// Scratch column buffer reused across calls when the caller passes none.
+float* scratch_col(const core::ConvGeom& g, float* user_buf,
+                   std::vector<float>& local) {
+  if (user_buf != nullptr) return user_buf;
+  local.resize(col_count(g));
+  return local.data();
+}
+
+/// Grouped convolutions recurse: each (image, group) pair is a batch-1
+/// single-group convolution over contiguous channel slices.
+struct GroupView {
+  core::ConvGeom sub;           // per-group geometry, batch = 1
+  std::size_t in_stride;        // one group's input floats
+  std::size_t out_stride;       // one group's output floats
+  std::size_t w_stride;         // one group's weight floats
+  std::size_t in_img, out_img;  // full-image strides
+};
+
+GroupView group_view(const core::ConvGeom& g) {
+  SWC_CHECK_GT(g.group, 0);
+  SWC_CHECK_EQ(g.in_c % g.group, 0);
+  SWC_CHECK_EQ(g.out_c % g.group, 0);
+  GroupView v;
+  v.sub = g.per_group();
+  v.sub.batch = 1;
+  v.in_stride = static_cast<std::size_t>(v.sub.in_c) * g.in_h * g.in_w;
+  v.out_stride = static_cast<std::size_t>(v.sub.out_c) * g.out_h() * g.out_w();
+  v.w_stride = static_cast<std::size_t>(v.sub.out_c) * v.sub.in_c * g.kernel *
+               g.kernel;
+  v.in_img = v.in_stride * g.group;
+  v.out_img = v.out_stride * g.group;
+  return v;
+}
+
+}  // namespace
+
+void conv_forward_explicit(const core::ConvGeom& g, const float* bottom,
+                           const float* weight, const float* bias, float* top,
+                           float* col_buf) {
+  if (g.group > 1) {
+    const GroupView v = group_view(g);
+    for (int b = 0; b < g.batch; ++b) {
+      for (int gp = 0; gp < g.group; ++gp) {
+        conv_forward_explicit(
+            v.sub, bottom + b * v.in_img + gp * v.in_stride,
+            weight + gp * v.w_stride,
+            bias != nullptr ? bias + gp * v.sub.out_c : nullptr,
+            top + b * v.out_img + gp * v.out_stride, col_buf);
+      }
+    }
+    return;
+  }
+  std::vector<float> local;
+  float* col = scratch_col(g, col_buf, local);
+  const int oh = g.out_h(), ow = g.out_w();
+  const std::size_t in_img = static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w;
+  const std::size_t out_img = static_cast<std::size_t>(g.out_c) * oh * ow;
+  const int kdim = g.in_c * g.kernel * g.kernel;
+  for (int b = 0; b < g.batch; ++b) {
+    im2col(bottom + b * in_img, g, col);
+    // (No x kdim) * (kdim x oh*ow) -> (No x oh*ow)
+    gemm::sgemm(false, false, g.out_c, oh * ow, kdim, 1.0f, weight, col, 0.0f,
+                top + b * out_img);
+    if (bias != nullptr) {
+      for (int c = 0; c < g.out_c; ++c) {
+        float* plane = top + b * out_img + static_cast<std::size_t>(c) * oh * ow;
+        for (int i = 0; i < oh * ow; ++i) plane[i] += bias[c];
+      }
+    }
+  }
+}
+
+void conv_forward_implicit(const core::ConvGeom& g, const float* bottom,
+                           const float* weight, const float* bias, float* top) {
+  if (g.group > 1) {
+    const GroupView v = group_view(g);
+    for (int b = 0; b < g.batch; ++b) {
+      for (int gp = 0; gp < g.group; ++gp) {
+        conv_forward_implicit(
+            v.sub, bottom + b * v.in_img + gp * v.in_stride,
+            weight + gp * v.w_stride,
+            bias != nullptr ? bias + gp * v.sub.out_c : nullptr,
+            top + b * v.out_img + gp * v.out_stride);
+      }
+    }
+    return;
+  }
+  const int oh = g.out_h(), ow = g.out_w();
+  const std::size_t in_img = static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w;
+  const std::size_t out_img = static_cast<std::size_t>(g.out_c) * oh * ow;
+  std::fill(top, top + static_cast<std::size_t>(g.batch) * out_img, 0.0f);
+  for (int b = 0; b < g.batch; ++b) {
+    const float* in = bottom + b * in_img;
+    float* out = top + b * out_img;
+    for (int no = 0; no < g.out_c; ++no) {
+      float* oplane = out + static_cast<std::size_t>(no) * oh * ow;
+      for (int ni = 0; ni < g.in_c; ++ni) {
+        const float* iplane = in + static_cast<std::size_t>(ni) * g.in_h * g.in_w;
+        const float* w = weight + ((static_cast<std::size_t>(no) * g.in_c + ni) *
+                                   g.kernel * g.kernel);
+        for (int kh = 0; kh < g.kernel; ++kh) {
+          for (int kw = 0; kw < g.kernel; ++kw) {
+            const float wv = w[kh * g.kernel + kw];
+            if (wv == 0.0f) continue;
+            // Coordinate-mapped padding (Sec. IV-B2): clip the output range
+            // so no explicitly padded input is ever touched.
+            for (int y = 0; y < oh; ++y) {
+              const int sy = y * g.stride + kh - g.pad;
+              if (sy < 0 || sy >= g.in_h) continue;
+              const float* irow = iplane + static_cast<std::size_t>(sy) * g.in_w;
+              float* orow = oplane + static_cast<std::size_t>(y) * ow;
+              for (int x = 0; x < ow; ++x) {
+                const int sx = x * g.stride + kw - g.pad;
+                if (sx < 0 || sx >= g.in_w) continue;
+                orow[x] += wv * irow[sx];
+              }
+            }
+          }
+        }
+      }
+      if (bias != nullptr) {
+        for (int i = 0; i < oh * ow; ++i) oplane[i] += bias[no];
+      }
+    }
+  }
+}
+
+void conv_backward_weight(const core::ConvGeom& g, const float* bottom,
+                          const float* top_diff, float* weight_diff,
+                          float* bias_diff, float* col_buf) {
+  if (g.group > 1) {
+    const GroupView v = group_view(g);
+    for (int b = 0; b < g.batch; ++b) {
+      for (int gp = 0; gp < g.group; ++gp) {
+        conv_backward_weight(
+            v.sub, bottom + b * v.in_img + gp * v.in_stride,
+            top_diff + b * v.out_img + gp * v.out_stride,
+            weight_diff + gp * v.w_stride,
+            bias_diff != nullptr ? bias_diff + gp * v.sub.out_c : nullptr,
+            col_buf);
+      }
+    }
+    return;
+  }
+  std::vector<float> local;
+  float* col = scratch_col(g, col_buf, local);
+  const int oh = g.out_h(), ow = g.out_w();
+  const std::size_t in_img = static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w;
+  const std::size_t out_img = static_cast<std::size_t>(g.out_c) * oh * ow;
+  const int kdim = g.in_c * g.kernel * g.kernel;
+  for (int b = 0; b < g.batch; ++b) {
+    im2col(bottom + b * in_img, g, col);
+    // dW (No x kdim) += top_diff (No x oh*ow) * col^T (oh*ow x kdim)
+    gemm::sgemm(false, true, g.out_c, kdim, oh * ow, 1.0f,
+                top_diff + b * out_img, col, 1.0f, weight_diff);
+    if (bias_diff != nullptr) {
+      for (int c = 0; c < g.out_c; ++c) {
+        const float* plane =
+            top_diff + b * out_img + static_cast<std::size_t>(c) * oh * ow;
+        float acc = 0.0f;
+        for (int i = 0; i < oh * ow; ++i) acc += plane[i];
+        bias_diff[c] += acc;
+      }
+    }
+  }
+}
+
+void conv_backward_input(const core::ConvGeom& g, const float* weight,
+                         const float* top_diff, float* bottom_diff,
+                         float* col_buf) {
+  if (g.group > 1) {
+    const GroupView v = group_view(g);
+    for (int b = 0; b < g.batch; ++b) {
+      for (int gp = 0; gp < g.group; ++gp) {
+        conv_backward_input(v.sub, weight + gp * v.w_stride,
+                            top_diff + b * v.out_img + gp * v.out_stride,
+                            bottom_diff + b * v.in_img + gp * v.in_stride,
+                            col_buf);
+      }
+    }
+    return;
+  }
+  std::vector<float> local;
+  float* col = scratch_col(g, col_buf, local);
+  const int oh = g.out_h(), ow = g.out_w();
+  const std::size_t in_img = static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w;
+  const std::size_t out_img = static_cast<std::size_t>(g.out_c) * oh * ow;
+  const int kdim = g.in_c * g.kernel * g.kernel;
+  std::fill(bottom_diff,
+            bottom_diff + static_cast<std::size_t>(g.batch) * in_img, 0.0f);
+  for (int b = 0; b < g.batch; ++b) {
+    // col (kdim x oh*ow) = W^T (kdim x No) * top_diff (No x oh*ow)
+    gemm::sgemm(true, false, kdim, oh * ow, g.out_c, 1.0f, weight,
+                top_diff + b * out_img, 0.0f, col);
+    col2im(col, g, bottom_diff + b * in_img);
+  }
+}
+
+}  // namespace swcaffe::dnn

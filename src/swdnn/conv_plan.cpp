@@ -1,0 +1,182 @@
+#include "swdnn/conv_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+#include "swgemm/estimate.h"
+
+namespace swcaffe::dnn {
+
+namespace {
+
+// Calibration constants fitted once against Table II (see EXPERIMENTS.md for
+// the paper-vs-model comparison). They encode measured kernel behaviour the
+// first-principles model cannot derive:
+//  * im2col/col2im writes are an irregular scatter; the measured effective
+//    bandwidth cap is far below streaming DMA.
+//  * per-image kernel launch/setup overhead of the explicit plan.
+//  * GEMMs with narrow N cannot fill the 256-bit pipelines.
+//  * the implicit kernel's efficiency saturates with channel width
+//    (Sec. IV-B2: "performance would largely degrade" under 64 channels).
+constexpr double kIm2colScatterBw = 3.8e9;
+// col2im is a scatter-ACCUMULATE: every image location is read, added to and
+// written back, roughly halving the effective rate again (Table II's in-diff
+// column: explicit backward costs ~2x its forward).
+constexpr double kCol2imScatterBw = 2.0e9;
+constexpr double kExplicitPerImageOverheadS = 0.5e-3;
+constexpr double kGemmNarrowN = 512.0;
+// GEMMs with a short reduction axis cannot keep the FMA pipelines fed from
+// LDM (k-direction register blocking starves); quadratic derating calibrated
+// to conv1_1's measured 5.3 Gflops (Table II).
+constexpr double kGemmNarrowK = 256.0;
+constexpr double kImplicitEffMax = 0.42;
+constexpr double kImplicitEffHalfChannel = 70.0;
+// Implicit kernel applicability (the dash pattern of Table II): the forward
+// kernel needs at least a register-block of input channels; both backward
+// kernels additionally need wide channel dims on both sides.
+constexpr int kImplicitFwdMinInC = 8;
+constexpr int kImplicitBwdMinCh = 128;
+
+/// Blocked mesh GEMM time with the narrow-N / narrow-K compute deratings.
+double gemm_time(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
+                 std::int64_t k) {
+  gemm::GemmEstimate est = gemm::estimate_gemm(cost, m, n, k);
+  const double util_n = std::min(1.0, static_cast<double>(n) / kGemmNarrowN);
+  const double util_k = std::min(1.0, static_cast<double>(k) / kGemmNarrowK);
+  const double compute =
+      est.compute_seconds / std::max(util_n * util_k * util_k, 1e-3);
+  return std::max(compute, est.dma_seconds) +
+         (est.seconds - std::max(est.compute_seconds, est.dma_seconds));
+}
+
+/// Bytes of the column matrix for one image.
+double col_bytes(const core::ConvGeom& g) {
+  return 4.0 * g.in_c * g.kernel * g.kernel * g.out_h() * g.out_w();
+}
+
+double image_bytes(const core::ConvGeom& g) {
+  return 4.0 * g.in_c * g.in_h * g.in_w;
+}
+
+/// Effective bandwidth of the Fig. 4 transformation plan: strided DMA over
+/// out_w-long runs, capped by the measured scatter ceiling.
+double transform_bw(const hw::CostModel& cost, const core::ConvGeom& g) {
+  const std::size_t run = static_cast<std::size_t>(std::max(g.out_w(), 1)) * 4;
+  const double strided = cost.dma_strided_bandwidth(
+      32 * 1024, run, cost.params().mesh_size());
+  return std::min(strided, kIm2colScatterBw);
+}
+
+double implicit_efficiency(const core::ConvGeom& g) {
+  const double ch =
+      0.5 * (std::min(g.in_c, 512) + std::min(g.out_c, 512));
+  return kImplicitEffMax * ch / (ch + kImplicitEffHalfChannel);
+}
+
+/// Implicit plan time for one direction given its flop count. The kernel is
+/// compute-bound at the channel-dependent efficiency; its DMA (input slab
+/// re-read once per kernel row, output once) only matters for tiny layers.
+double implicit_time(const hw::CostModel& cost, const core::ConvGeom& g,
+                     double flops) {
+  const double eff = implicit_efficiency(g);
+  const double compute =
+      flops / (cost.params().cpe_cluster_flops * eff);
+  const double out_bytes =
+      4.0 * g.out_c * static_cast<double>(g.out_h()) * g.out_w();
+  const double dma_bytes =
+      (image_bytes(g) * g.kernel + out_bytes) * g.batch +
+      4.0 * g.weight_count();
+  const double bw = cost.dma_bandwidth(32 * 1024, cost.params().mesh_size());
+  return std::max(compute, dma_bytes / bw);
+}
+
+}  // namespace
+
+bool implicit_forward_supported(const core::ConvGeom& g) {
+  return g.in_c >= kImplicitFwdMinInC;
+}
+
+bool implicit_backward_supported(const core::ConvGeom& g) {
+  return std::min(g.in_c, g.out_c) >= kImplicitBwdMinCh;
+}
+
+double im2col_time(const hw::CostModel& cost, const core::ConvGeom& g) {
+  // Per image: read every input row once, write the K*K-replicated column
+  // matrix (Fig. 4, left).
+  const double bytes = image_bytes(g) + col_bytes(g);
+  return g.batch * bytes / transform_bw(cost, g);
+}
+
+double col2im_time(const hw::CostModel& cost, const core::ConvGeom& g) {
+  // Reverse movement: read the column matrix, accumulate into the image
+  // (read-modify-write, hence the lower scatter ceiling).
+  const double bytes = col_bytes(g) + image_bytes(g);
+  const double bw = std::min(transform_bw(cost, g), kCol2imScatterBw);
+  return g.batch * bytes / bw;
+}
+
+ConvEstimate estimate_conv(const hw::CostModel& cost,
+                           const core::ConvGeom& g) {
+  SWC_CHECK_GT(g.batch, 0);
+  SWC_CHECK_GT(g.out_h(), 0);
+  SWC_CHECK_GT(g.out_w(), 0);
+  if (g.group > 1) {
+    // Groups execute sequentially, each over its channel slice; the narrow
+    // per-group channels also drive the implicit kernel's applicability.
+    ConvEstimate est = estimate_conv(cost, g.per_group());
+    auto scale = [&](ConvDirectionEstimate& d) {
+      d.explicit_s *= g.group;
+      if (d.implicit_ok()) d.implicit_s *= g.group;
+    };
+    scale(est.forward);
+    scale(est.backward_weight);
+    scale(est.backward_input);
+    est.gflops_fwd = g.flops_fwd() / est.forward.best() / 1e9;
+    est.gflops_bwd_weight =
+        g.flops_bwd_weight() / est.backward_weight.best() / 1e9;
+    est.gflops_bwd_input =
+        g.flops_bwd_input() / est.backward_input.best() / 1e9;
+    return est;
+  }
+  ConvEstimate est;
+  const std::int64_t spatial =
+      static_cast<std::int64_t>(g.out_h()) * g.out_w();
+  const std::int64_t kdim =
+      static_cast<std::int64_t>(g.in_c) * g.kernel * g.kernel;
+  const double overhead = g.batch * kExplicitPerImageOverheadS;
+
+  // --- Explicit plan (Sec. IV-B1) -------------------------------------------
+  // forward: im2col + C(No x OhOw) = W(No x kdim) * col(kdim x OhOw)
+  est.forward.explicit_s =
+      im2col_time(cost, g) +
+      g.batch * gemm_time(cost, g.out_c, spatial, kdim) + overhead;
+  // weight grad: im2col + dW(No x kdim) = dTop(No x OhOw) * col^T
+  est.backward_weight.explicit_s =
+      im2col_time(cost, g) +
+      g.batch * gemm_time(cost, g.out_c, kdim, spatial) + overhead;
+  // input grad: col(kdim x OhOw) = W^T * dTop, then col2im
+  est.backward_input.explicit_s =
+      g.batch * gemm_time(cost, kdim, spatial, g.out_c) +
+      col2im_time(cost, g) + overhead;
+
+  // --- Implicit plan (Sec. IV-B2) -------------------------------------------
+  if (implicit_forward_supported(g)) {
+    est.forward.implicit_s = implicit_time(cost, g, g.flops_fwd());
+  }
+  if (implicit_backward_supported(g)) {
+    est.backward_weight.implicit_s =
+        implicit_time(cost, g, g.flops_bwd_weight());
+    est.backward_input.implicit_s =
+        implicit_time(cost, g, g.flops_bwd_input());
+  }
+
+  est.gflops_fwd = g.flops_fwd() / est.forward.best() / 1e9;
+  est.gflops_bwd_weight =
+      g.flops_bwd_weight() / est.backward_weight.best() / 1e9;
+  est.gflops_bwd_input =
+      g.flops_bwd_input() / est.backward_input.best() / 1e9;
+  return est;
+}
+
+}  // namespace swcaffe::dnn

@@ -1,0 +1,66 @@
+// SW26010 timing plans for convolutional layers (paper Sec. IV-B, Table II).
+//
+// Two strategies:
+//  * explicit: im2col (DMA plan of Fig. 4) + blocked mesh GEMM + col2im in
+//    the backward passes. Always applicable; pays the transformation
+//    traffic, which dominates for large images.
+//  * implicit: direct blocked convolution in the (R,C,N,B) layout — no
+//    im2col traffic, long contiguous DMA runs along the channel*batch axis,
+//    but the register/SIMD blocking needs wide channel dimensions:
+//    performance "largely degrades" below 64 channels and the backward
+//    kernels require both channel dims >= 128 (the dash pattern of
+//    Table II).
+// estimate_conv() returns both strategies plus the auto-tuned best, which is
+// what the conv layer and the whole-net estimators consume.
+#pragma once
+
+#include "core/layer_desc.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::dnn {
+
+/// One direction's timing under both strategies. A negative value means the
+/// strategy cannot run this configuration (rendered as "-" in Table II).
+struct ConvDirectionEstimate {
+  double explicit_s = -1.0;
+  double implicit_s = -1.0;
+
+  bool implicit_ok() const { return implicit_s >= 0.0; }
+  /// Best available time (explicit is always available).
+  double best() const {
+    return implicit_ok() ? std::min(explicit_s, implicit_s) : explicit_s;
+  }
+  bool implicit_wins() const { return implicit_ok() && implicit_s < explicit_s; }
+};
+
+struct ConvEstimate {
+  ConvDirectionEstimate forward;
+  ConvDirectionEstimate backward_weight;
+  ConvDirectionEstimate backward_input;
+
+  /// Achieved Gflops of the best forward plan (Table II's Gflops column).
+  double gflops_fwd = 0.0;
+  double gflops_bwd_weight = 0.0;
+  double gflops_bwd_input = 0.0;
+
+  /// Best total backward time; `first_layer` drops the input-gradient pass
+  /// (Table II's "NA" for conv1_1).
+  double best_bwd(bool first_layer = false) const {
+    return backward_weight.best() +
+           (first_layer ? 0.0 : backward_input.best());
+  }
+};
+
+/// Whether the implicit kernel supports the given geometry per direction.
+bool implicit_forward_supported(const core::ConvGeom& g);
+bool implicit_backward_supported(const core::ConvGeom& g);
+
+/// Full per-strategy estimate for one conv layer on one core group.
+ConvEstimate estimate_conv(const hw::CostModel& cost, const core::ConvGeom& g);
+
+/// im2col / col2im DMA time for the whole batch (Fig. 4 plan; exposed
+/// separately for tests and the transformation-overhead ablation).
+double im2col_time(const hw::CostModel& cost, const core::ConvGeom& g);
+double col2im_time(const hw::CostModel& cost, const core::ConvGeom& g);
+
+}  // namespace swcaffe::dnn

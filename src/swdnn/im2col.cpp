@@ -1,0 +1,60 @@
+#include "swdnn/im2col.h"
+
+#include <cstring>
+
+#include "base/log.h"
+
+namespace swcaffe::dnn {
+
+void im2col(const float* img, const core::ConvGeom& g, float* col) {
+  const int oh = g.out_h(), ow = g.out_w();
+  SWC_CHECK_GT(oh, 0);
+  SWC_CHECK_GT(ow, 0);
+  std::size_t idx = 0;
+  for (int c = 0; c < g.in_c; ++c) {
+    const float* plane = img + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw) {
+        for (int y = 0; y < oh; ++y) {
+          const int src_y = y * g.stride + kh - g.pad;
+          if (src_y < 0 || src_y >= g.in_h) {
+            for (int x = 0; x < ow; ++x) col[idx++] = 0.0f;
+            continue;
+          }
+          const float* row = plane + static_cast<std::size_t>(src_y) * g.in_w;
+          for (int x = 0; x < ow; ++x) {
+            const int src_x = x * g.stride + kw - g.pad;
+            col[idx++] =
+                (src_x < 0 || src_x >= g.in_w) ? 0.0f : row[src_x];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const core::ConvGeom& g, float* img) {
+  const int oh = g.out_h(), ow = g.out_w();
+  std::size_t idx = 0;
+  for (int c = 0; c < g.in_c; ++c) {
+    float* plane = img + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw) {
+        for (int y = 0; y < oh; ++y) {
+          const int src_y = y * g.stride + kh - g.pad;
+          if (src_y < 0 || src_y >= g.in_h) {
+            idx += ow;
+            continue;
+          }
+          float* row = plane + static_cast<std::size_t>(src_y) * g.in_w;
+          for (int x = 0; x < ow; ++x, ++idx) {
+            const int src_x = x * g.stride + kw - g.pad;
+            if (src_x >= 0 && src_x < g.in_w) row[src_x] += col[idx];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace swcaffe::dnn

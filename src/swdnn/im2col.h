@@ -1,0 +1,19 @@
+// im2col / col2im: the explicit GEMM transformation of convolution (paper
+// Sec. IV-B1, Fig. 4). Functional host implementation used by the explicit
+// convolution path; the corresponding SW26010 DMA plan is costed in
+// conv_plan.h.
+#pragma once
+
+#include "core/layer_desc.h"
+
+namespace swcaffe::dnn {
+
+/// Expands one image (in_c, in_h, in_w) into the column matrix
+/// (in_c*K*K, out_h*out_w), row-major, applying zero padding implicitly.
+void im2col(const float* img, const core::ConvGeom& g, float* col);
+
+/// Accumulates the column matrix back into the (zero-initialized by caller)
+/// image gradient; the exact reverse data movement of im2col.
+void col2im(const float* col, const core::ConvGeom& g, float* img);
+
+}  // namespace swcaffe::dnn

@@ -1,0 +1,116 @@
+#include "swdnn/im2col_sim.h"
+
+#include <vector>
+
+#include "base/log.h"
+#include "hw/dma.h"
+
+namespace swcaffe::dnn {
+
+hw::TrafficLedger im2col_sim(hw::CoreGroup& cg, const core::ConvGeom& g,
+                             std::span<const float> img,
+                             std::span<float> col) {
+  const int oh = g.out_h(), ow = g.out_w();
+  SWC_CHECK_EQ(img.size(),
+               static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w);
+  SWC_CHECK_EQ(col.size(), static_cast<std::size_t>(g.in_c) * g.kernel *
+                               g.kernel * oh * ow);
+  const int ncpe = cg.params().mesh_size();
+
+  cg.reset();
+  hw::DmaEngine dma(cg.cost());
+  std::vector<double> row_buf(g.in_w);
+  std::vector<double> line(ow);
+  std::vector<double> line_out(ow);
+
+  // One logical work item per (channel, OUTPUT row y, kernel row kh); the
+  // plan distributes items round-robin over the 64 CPEs (the DMA engine is
+  // told all CPEs stream concurrently). Reading is per INPUT row: a row is
+  // fetched when its first consumer needs it; rows land in LDM and are
+  // re-used by the same CPE for every kw.
+  for (int c = 0; c < g.in_c; ++c) {
+    const float* plane = img.data() + static_cast<std::size_t>(c) * g.in_h *
+                                          g.in_w;
+    std::vector<bool> row_read(g.in_h, false);
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int y = 0; y < oh; ++y) {
+        const int sy = y * g.stride + kh - g.pad;
+        const bool in_image = sy >= 0 && sy < g.in_h;
+        if (in_image && !row_read[sy]) {
+          // DMA-get the input row once (Fig. 4 left: one row per CPE).
+          for (int x = 0; x < g.in_w; ++x) row_buf[x] = plane[sy * g.in_w + x];
+          hw::Ldm& ldm = cg.ldm((sy + c) % cg.mesh_rows(),
+                                (sy / cg.mesh_rows()) % cg.mesh_cols());
+          ldm.reset();
+          auto buf = ldm.alloc(g.in_w);
+          std::vector<double> stage(row_buf);
+          dma.get(stage, buf, ncpe);
+          row_read[sy] = true;
+        }
+        // Write the K shifted/padded lines for this (y, kh).
+        for (int kw = 0; kw < g.kernel; ++kw) {
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x * g.stride + kw - g.pad;
+            line[x] = (in_image && sx >= 0 && sx < g.in_w)
+                          ? plane[sy * g.in_w + sx]
+                          : 0.0;
+          }
+          dma.put(line, std::span<double>(line_out), ncpe);
+          const std::size_t col_row =
+              (static_cast<std::size_t>(c) * g.kernel + kh) * g.kernel + kw;
+          float* dst = col.data() + (col_row * oh + y) * ow;
+          for (int x = 0; x < ow; ++x) dst[x] = static_cast<float>(line_out[x]);
+        }
+      }
+    }
+  }
+  return dma.ledger();
+}
+
+hw::TrafficLedger col2im_sim(hw::CoreGroup& cg, const core::ConvGeom& g,
+                             std::span<const float> col,
+                             std::span<float> img) {
+  const int oh = g.out_h(), ow = g.out_w();
+  SWC_CHECK_EQ(img.size(),
+               static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w);
+  SWC_CHECK_EQ(col.size(), static_cast<std::size_t>(g.in_c) * g.kernel *
+                               g.kernel * oh * ow);
+  const int ncpe = cg.params().mesh_size();
+
+  cg.reset();
+  hw::DmaEngine dma(cg.cost());
+  std::vector<double> line(ow), line_in(ow);
+  std::vector<double> row_stage(g.in_w), row_back(g.in_w);
+
+  for (int c = 0; c < g.in_c; ++c) {
+    float* plane = img.data() + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int y = 0; y < oh; ++y) {
+        const int sy = y * g.stride + kh - g.pad;
+        if (sy < 0 || sy >= g.in_h) continue;  // pad lines are dropped
+        // Read-modify-write: the target image row is fetched, the K shifted
+        // column lines accumulate into it, and the row is stored back.
+        for (int x = 0; x < g.in_w; ++x) row_stage[x] = plane[sy * g.in_w + x];
+        dma.get(row_stage, std::span<double>(row_back), ncpe);
+        for (int kw = 0; kw < g.kernel; ++kw) {
+          const std::size_t col_row =
+              (static_cast<std::size_t>(c) * g.kernel + kh) * g.kernel + kw;
+          const float* src = col.data() + (col_row * oh + y) * ow;
+          for (int x = 0; x < ow; ++x) line[x] = src[x];
+          dma.get(line, std::span<double>(line_in), ncpe);
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x * g.stride + kw - g.pad;
+            if (sx >= 0 && sx < g.in_w) row_back[sx] += line_in[x];
+          }
+        }
+        dma.put(row_back, std::span<double>(row_stage), ncpe);
+        for (int x = 0; x < g.in_w; ++x) {
+          plane[sy * g.in_w + x] = static_cast<float>(row_stage[x]);
+        }
+      }
+    }
+  }
+  return dma.ledger();
+}
+
+}  // namespace swcaffe::dnn

@@ -1,0 +1,31 @@
+// Functional simulation of the Fig. 4 im2col DMA plan on the core-group
+// model: each CPE DMA-gets one input image row into its LDM, applies the
+// zero padding, and DMA-puts the K*K replicated lines into the column
+// matrix. Validated against the host im2col and used to check the ledger
+// assumptions behind conv_plan's explicit-path estimate (every input row
+// read once, every column element written once).
+#pragma once
+
+#include <span>
+
+#include "core/layer_desc.h"
+#include "hw/chip.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::dnn {
+
+/// Expands one image (in_c, in_h, in_w) into the (in_c*K*K, out_h*out_w)
+/// column matrix through the DMA model. Returns the traffic ledger.
+hw::TrafficLedger im2col_sim(hw::CoreGroup& cg, const core::ConvGeom& g,
+                             std::span<const float> img,
+                             std::span<float> col);
+
+/// The reverse movement (Fig. 4 right): reads the column matrix line by
+/// line and accumulates into the (caller-zeroed) image gradient — a
+/// read-modify-write scatter, which is why the cost model prices col2im
+/// below im2col's streaming rate.
+hw::TrafficLedger col2im_sim(hw::CoreGroup& cg, const core::ConvGeom& g,
+                             std::span<const float> col,
+                             std::span<float> img);
+
+}  // namespace swcaffe::dnn

@@ -1,0 +1,178 @@
+#include "swdnn/implicit_conv_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/log.h"
+#include "hw/dma.h"
+
+namespace swcaffe::dnn {
+
+hw::TrafficLedger implicit_conv_forward_sim(hw::CoreGroup& cg,
+                                            const core::ConvGeom& g,
+                                            std::span<const float> bottom,
+                                            std::span<const float> weight,
+                                            const float* bias,
+                                            std::span<float> top) {
+  const hw::HwParams& hp = cg.params();
+  const int mesh = hp.mesh_rows;
+  SWC_CHECK_EQ(hp.mesh_rows, hp.mesh_cols);
+  SWC_CHECK_MSG(g.in_c % mesh == 0 && g.out_c % mesh == 0,
+                "implicit kernel needs channel counts divisible by the mesh: "
+                "Ni=" << g.in_c << " No=" << g.out_c);
+  const int oh = g.out_h(), ow = g.out_w();
+  SWC_CHECK_EQ(bottom.size(), static_cast<std::size_t>(g.input_count()));
+  SWC_CHECK_EQ(weight.size(), static_cast<std::size_t>(g.weight_count()));
+  SWC_CHECK_EQ(top.size(), static_cast<std::size_t>(g.output_count()));
+
+  const int ni_grp = g.in_c / mesh;   // input channels per mesh row
+  const int no_grp = g.out_c / mesh;  // output channels per mesh column
+  const int ncpe = hp.mesh_size();
+
+  cg.reset();
+  hw::DmaEngine dma(cg.cost());
+  hw::RlcFabric& rlc = cg.rlc();
+
+  // --- Load each CPE's resident filter block once -----------------------------
+  // CPE(i,j) holds W[no in group j][ni in group i][K][K].
+  const std::size_t wblk =
+      static_cast<std::size_t>(no_grp) * ni_grp * g.kernel * g.kernel;
+  std::vector<std::vector<double>> wtile(
+      static_cast<std::size_t>(ncpe));
+  {
+    std::vector<double> stage(static_cast<std::size_t>(ni_grp) * g.kernel *
+                              g.kernel);
+    for (int i = 0; i < mesh; ++i) {
+      for (int j = 0; j < mesh; ++j) {
+        hw::Ldm& ldm = cg.ldm(i, j);
+        auto tile = ldm.alloc(wblk);
+        // One strided DMA per output channel of the block: a (ni_grp*K*K)
+        // contiguous run inside the (No, Ni, K, K) filter tensor.
+        for (int oc = 0; oc < no_grp; ++oc) {
+          const int no = j * no_grp + oc;
+          const std::size_t src_off =
+              (static_cast<std::size_t>(no) * g.in_c + i * ni_grp) *
+              g.kernel * g.kernel;
+          for (std::size_t e = 0; e < stage.size(); ++e) {
+            stage[e] = weight[src_off + e];  // SP -> DP conversion
+          }
+          dma.get(stage, tile.subspan(oc * stage.size(), stage.size()), ncpe);
+        }
+        wtile[i * mesh + j].assign(tile.begin(), tile.end());
+      }
+    }
+  }
+
+  const std::size_t in_plane = static_cast<std::size_t>(g.in_h) * g.in_w;
+  const std::size_t out_plane = static_cast<std::size_t>(oh) * ow;
+  std::vector<double> in_rows(static_cast<std::size_t>(ni_grp) * g.kernel *
+                              g.in_w);
+  std::vector<double> out_stage(ow);
+
+  for (int b = 0; b < g.batch; ++b) {
+    const float* img = bottom.data() + static_cast<std::size_t>(b) * g.in_c *
+                                           in_plane;
+    float* out = top.data() + static_cast<std::size_t>(b) * g.out_c * out_plane;
+    for (int y = 0; y < oh; ++y) {
+      // --- Input stage: row leader CPE(i, 0) loads the K needed rows of its
+      // channel group and broadcasts along mesh row i.
+      for (int i = 0; i < mesh; ++i) {
+        std::fill(in_rows.begin(), in_rows.end(), 0.0);
+        for (int ic = 0; ic < ni_grp; ++ic) {
+          const int ni = i * ni_grp + ic;
+          for (int kh = 0; kh < g.kernel; ++kh) {
+            const int sy = y * g.stride + kh - g.pad;
+            if (sy < 0 || sy >= g.in_h) continue;  // coordinate-mapped pad
+            const float* row = img + ni * in_plane +
+                               static_cast<std::size_t>(sy) * g.in_w;
+            double* dst =
+                in_rows.data() + (static_cast<std::size_t>(ic) * g.kernel +
+                                  kh) *
+                                     g.in_w;
+            std::vector<double> stage(g.in_w);
+            for (int x = 0; x < g.in_w; ++x) stage[x] = row[x];
+            // The leader's LDM receives one contiguous row per DMA.
+            hw::Ldm& ldm = cg.ldm(i, 0);
+            ldm.reset();  // transient row buffer, reused every output row
+            auto buf = ldm.alloc(g.in_w);
+            dma.get(stage, buf, mesh /* one leader per row */);
+            std::copy(buf.begin(), buf.end(), dst);
+          }
+        }
+        rlc.row_broadcast(i, 0, in_rows);
+        // Functional delivery: drain the 7 peer queues (the leader keeps its
+        // own copy); all consumers see identical data.
+        for (int j = 1; j < mesh; ++j) {
+          const std::vector<double> got = rlc.receive_row(i, j);
+          SWC_CHECK_EQ(got.size(), in_rows.size());
+        }
+      }
+      // --- Compute stage: CPE(i,j) produces partial output rows for its
+      // output-channel group from input-channel group i, then columns reduce
+      // to row 0.
+      for (int j = 0; j < mesh; ++j) {
+        for (int oc = 0; oc < no_grp; ++oc) {
+          const int no = j * no_grp + oc;
+          std::vector<double> acc(ow, 0.0);
+          for (int i = 0; i < mesh; ++i) {
+            // Recompute row i's broadcast contents (identical to what the
+            // fabric delivered above).
+            std::vector<double> partial(ow, 0.0);
+            const std::vector<double>& w = wtile[i * mesh + j];
+            for (int ic = 0; ic < ni_grp; ++ic) {
+              const int ni = i * ni_grp + ic;
+              for (int kh = 0; kh < g.kernel; ++kh) {
+                const int sy = y * g.stride + kh - g.pad;
+                if (sy < 0 || sy >= g.in_h) continue;
+                const float* row = img + ni * in_plane +
+                                   static_cast<std::size_t>(sy) * g.in_w;
+                for (int kw = 0; kw < g.kernel; ++kw) {
+                  const double wv =
+                      w[((static_cast<std::size_t>(oc) * ni_grp + ic) *
+                             g.kernel +
+                         kh) *
+                            g.kernel +
+                        kw];
+                  for (int x = 0; x < ow; ++x) {
+                    const int sx = x * g.stride + kw - g.pad;
+                    if (sx < 0 || sx >= g.in_w) continue;
+                    partial[x] += wv * row[sx];
+                  }
+                }
+              }
+            }
+            if (i == 0) {
+              acc = partial;
+            } else {
+              // Column reduction: CPE(i,j) sends its partial to CPE(0,j).
+              rlc.send(i, j, 0, j, partial);
+              const std::vector<double> got = rlc.receive_col(0, j);
+              for (int x = 0; x < ow; ++x) acc[x] += got[x];
+            }
+          }
+          if (bias != nullptr) {
+            for (int x = 0; x < ow; ++x) acc[x] += bias[no];
+          }
+          // DP -> SP convert and DMA-put one contiguous output row.
+          std::vector<double> put_stage(acc.begin(), acc.end());
+          out_stage.assign(ow, 0.0);
+          dma.put(put_stage, out_stage, mesh);
+          float* dst = out + no * out_plane + static_cast<std::size_t>(y) * ow;
+          for (int x = 0; x < ow; ++x) dst[x] = static_cast<float>(out_stage[x]);
+        }
+      }
+    }
+  }
+  SWC_CHECK_EQ(rlc.pending(), 0u);
+
+  hw::TrafficLedger ledger = dma.ledger();
+  ledger.add(rlc.ledger());
+  ledger.flops = g.flops_fwd();
+  // Compute overlaps the RLC pipeline; DMA is the exposed remainder.
+  ledger.elapsed_s = dma.ledger().elapsed_s +
+                     std::max(cg.cost().compute_time(ledger.flops),
+                              rlc.ledger().elapsed_s);
+  return ledger;
+}
+
+}  // namespace swcaffe::dnn

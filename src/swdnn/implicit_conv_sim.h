@@ -1,0 +1,40 @@
+// Functional simulation of the swDNN implicit (direct) convolution kernel
+// on the 8x8 CPE mesh model (paper Sec. IV-B2 / Fang et al. IPDPS'17).
+//
+// Work decomposition:
+//   * mesh ROW i owns input-channel group i  (Ni / 8 channels),
+//   * mesh COLUMN j owns output-channel group j (No / 8 channels),
+//   * CPE(i,j) keeps the W[out group j][in group i] filter block resident in
+//     its LDM (loaded from memory exactly once),
+//   * per output row: the leader CPE of each mesh row DMAs the K needed
+//     input rows of its channel group and BROADCASTS them along the row
+//     (register-level communication), every CPE computes partial sums for
+//     its (in-group, out-group) block, and partials are REDUCED down each
+//     column to the row-0 CPE, which converts and DMA-puts the output row.
+//
+// This moves real data through the Ldm / RlcFabric / DmaEngine models, so
+// it is testable against the host convolution and its TrafficLedger is
+// testable against the analytic implicit-conv plan (input read K times,
+// output and weights once — the plan conv_plan.cpp's estimate assumes).
+#pragma once
+
+#include <span>
+
+#include "core/layer_desc.h"
+#include "hw/chip.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::dnn {
+
+/// Runs the forward convolution on the core-group model. Requires in_c and
+/// out_c divisible by the mesh dimension (8) — the same register-blocking
+/// constraint that makes the real kernel reject narrow channels. `bias`
+/// may be null.
+hw::TrafficLedger implicit_conv_forward_sim(hw::CoreGroup& cg,
+                                            const core::ConvGeom& g,
+                                            std::span<const float> bottom,
+                                            std::span<const float> weight,
+                                            const float* bias,
+                                            std::span<float> top);
+
+}  // namespace swcaffe::dnn

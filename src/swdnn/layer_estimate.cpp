@@ -1,0 +1,137 @@
+#include "swdnn/layer_estimate.h"
+
+#include "base/log.h"
+#include "swdnn/conv_plan.h"
+#include "swdnn/mem_plans.h"
+#include "swgemm/estimate.h"
+
+namespace swcaffe::dnn {
+
+namespace {
+
+double gemm_s(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
+              std::int64_t k) {
+  return gemm::estimate_gemm(cost, m, n, k).seconds;
+}
+
+// Fixed cost of launching one layer pass on the CPE cluster: athread_spawn/
+// athread_join plus the MPE-side synchronization shown in Fig. 5 happen for
+// EVERY layer in every direction. Calibrated against Table III: it is what
+// makes deep small-layer networks (ResNet-50: ~176 layers, GoogleNet: ~140)
+// "exhibit stronger memory-bounded properties" than their flop counts alone
+// suggest, while being negligible for AlexNet/VGG's two dozen fat layers.
+constexpr double kLaunchOverheadS = 3.0e-3;
+
+}  // namespace
+
+LayerTime estimate_layer_sw(const hw::CostModel& cost,
+                            const core::LayerDesc& d, bool first_conv) {
+  LayerTime t;
+  switch (d.kind) {
+    case core::LayerKind::kConv: {
+      const ConvEstimate est = estimate_conv(cost, d.conv);
+      t.fwd_s = est.forward.best();
+      t.bwd_s = est.best_bwd(first_conv);
+      break;
+    }
+    case core::LayerKind::kInnerProduct: {
+      // fwd: out(m x n) = in(m x k) W^T; bwd: dW(n x k) and dIn(m x k).
+      t.fwd_s = gemm_s(cost, d.fc.m, d.fc.n, d.fc.k);
+      t.bwd_s = gemm_s(cost, d.fc.n, d.fc.k, d.fc.m) +
+                gemm_s(cost, d.fc.m, d.fc.k, d.fc.n);
+      break;
+    }
+    case core::LayerKind::kLSTM: {
+      // The recurrence serializes: one fused gate GEMM per time step in each
+      // direction, plus BPTT's weight-gradient GEMM (small elementwise gate
+      // math folds into bandwidth noise).
+      const double step_fwd = gemm_s(cost, d.fc.m, d.fc.n, d.fc.k);
+      const double step_bwd = gemm_s(cost, d.fc.n, d.fc.k, d.fc.m) +
+                              gemm_s(cost, d.fc.m, d.fc.k, d.fc.n);
+      t.fwd_s = d.steps * step_fwd;
+      t.bwd_s = d.steps * step_bwd;
+      break;
+    }
+    case core::LayerKind::kPool:
+      t.fwd_s = pool_forward_time(cost, d.pool);
+      t.bwd_s = pool_backward_time(cost, d.pool);
+      break;
+    case core::LayerKind::kReLU:
+      t.fwd_s = elementwise_time(cost, d.input_count, 2.0);
+      t.bwd_s = elementwise_time(cost, d.input_count, 3.0);
+      break;
+    case core::LayerKind::kSigmoid:
+    case core::LayerKind::kTanH:
+      // Transcendentals cost an extra evaluation pass on the CPE pipelines.
+      t.fwd_s = elementwise_time(cost, d.input_count, 3.0);
+      t.bwd_s = elementwise_time(cost, d.input_count, 3.0);
+      break;
+    case core::LayerKind::kBatchNorm:
+      // fwd: mean pass, variance pass, normalize read+write.
+      t.fwd_s = elementwise_time(cost, d.input_count, 4.0);
+      t.bwd_s = elementwise_time(cost, d.input_count, 5.0);
+      break;
+    case core::LayerKind::kLRN:
+      // cross-channel sums make LRN the heaviest elementwise family.
+      t.fwd_s = elementwise_time(cost, d.input_count, 6.0);
+      t.bwd_s = elementwise_time(cost, d.input_count, 8.0);
+      break;
+    case core::LayerKind::kDropout:
+      t.fwd_s = elementwise_time(cost, d.input_count, 3.0);
+      t.bwd_s = elementwise_time(cost, d.input_count, 3.0);
+      break;
+    case core::LayerKind::kSoftmax:
+    case core::LayerKind::kSoftmaxLoss:
+      t.fwd_s = elementwise_time(cost, d.input_count, 4.0);
+      t.bwd_s = elementwise_time(cost, d.input_count, 2.0);
+      break;
+    case core::LayerKind::kEltwise:
+      t.fwd_s = elementwise_time(cost, d.input_count, 3.0);
+      t.bwd_s = elementwise_time(cost, d.input_count, 2.0);
+      break;
+    case core::LayerKind::kConcat:
+      t.fwd_s = elementwise_time(cost, d.output_count, 2.0);
+      t.bwd_s = elementwise_time(cost, d.output_count, 2.0);
+      break;
+    case core::LayerKind::kTransform: {
+      // Inner contiguous run of the (B,N,R,C)->(R,C,N,B) gather is the C
+      // (width) axis of the source.
+      const int run = d.conv.in_w > 0 ? d.conv.in_w : 64;
+      t.fwd_s = transform_time(cost, d.input_count, run);
+      t.bwd_s = transform_time(cost, d.input_count, run);
+      break;
+    }
+    case core::LayerKind::kData:
+    case core::LayerKind::kAccuracy:
+      return t;  // I/O is modelled by swcaffe::io; accuracy is negligible.
+  }
+  t.fwd_s += kLaunchOverheadS;
+  // Backward launches two kernels for parameterized layers (weight grad and
+  // input grad), one otherwise.
+  const bool two_kernels = d.kind == core::LayerKind::kConv ||
+                           d.kind == core::LayerKind::kInnerProduct;
+  t.bwd_s += (two_kernels && !first_conv ? 2.0 : 1.0) * kLaunchOverheadS;
+  return t;
+}
+
+double estimate_net_sw(const hw::CostModel& cost,
+                       const std::vector<core::LayerDesc>& descs) {
+  double total = 0.0;
+  bool saw_conv = false;
+  for (const auto& d : descs) {
+    const bool first_conv = d.kind == core::LayerKind::kConv && !saw_conv;
+    if (d.kind == core::LayerKind::kConv) saw_conv = true;
+    total += estimate_layer_sw(cost, d, first_conv).total();
+  }
+  return total;
+}
+
+double node_throughput_img_s(const hw::CostModel& cost,
+                             const std::vector<core::LayerDesc>& descs_quarter,
+                             int full_batch) {
+  const double t_cg = estimate_net_sw(cost, descs_quarter);
+  SWC_CHECK_GT(t_cg, 0.0);
+  return full_batch / t_cg;
+}
+
+}  // namespace swcaffe::dnn

@@ -1,0 +1,36 @@
+// LayerDesc -> SW26010 time dispatch: the per-layer simulated times of one
+// core group, used for Figs. 8/9, Table II/III and the scalability model.
+#pragma once
+
+#include <vector>
+
+#include "core/layer_desc.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::dnn {
+
+struct LayerTime {
+  double fwd_s = 0.0;
+  double bwd_s = 0.0;
+  double total() const { return fwd_s + bwd_s; }
+};
+
+/// Simulated forward/backward time of one layer on ONE core group at the
+/// batch size baked into the descriptor. `first_conv` drops the
+/// input-gradient pass of the first convolution (no propagation to data).
+LayerTime estimate_layer_sw(const hw::CostModel& cost,
+                            const core::LayerDesc& desc,
+                            bool first_conv = false);
+
+/// Whole-net iteration time on one core group (sum of layer times).
+double estimate_net_sw(const hw::CostModel& cost,
+                       const std::vector<core::LayerDesc>& descs);
+
+/// Single-node throughput in img/s: the paper's Algorithm 1 splits the
+/// mini-batch over the chip's 4 core groups, so node time equals one core
+/// group processing batch/4 (descriptors must be built at batch/4).
+double node_throughput_img_s(const hw::CostModel& cost,
+                             const std::vector<core::LayerDesc>& descs_quarter,
+                             int full_batch);
+
+}  // namespace swcaffe::dnn

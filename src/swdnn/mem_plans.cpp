@@ -1,0 +1,61 @@
+#include "swdnn/mem_plans.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace swcaffe::dnn {
+
+double stream_time(const hw::CostModel& cost, double bytes,
+                   std::size_t run_bytes) {
+  if (bytes <= 0.0) return 0.0;
+  const int ncpe = cost.params().mesh_size();
+  const double bw = cost.dma_strided_bandwidth(
+      32 * 1024, std::max<std::size_t>(run_bytes, 4), ncpe);
+  return bytes / bw;
+}
+
+double pool_forward_time(const hw::CostModel& cost, const core::PoolGeom& g) {
+  const double in_bytes =
+      4.0 * g.batch * g.channels * static_cast<double>(g.in_h) * g.in_w;
+  const double out_bytes =
+      4.0 * g.batch * g.channels * static_cast<double>(g.out_h()) * g.out_w();
+  // Row plan: each CPE streams K input rows (contiguous run = one row). If K
+  // rows exceed the LDM, fall back to strided column blocks (Sec. IV-D).
+  const std::size_t row_bytes = static_cast<std::size_t>(g.in_w) * 4;
+  const std::size_t k_rows_bytes = row_bytes * std::max(g.kernel, 1);
+  std::size_t run = row_bytes;
+  if (k_rows_bytes > cost.params().ldm_bytes / 2) {
+    // column-block fallback: contiguous run shrinks to the column block
+    run = std::max<std::size_t>(
+        4, (cost.params().ldm_bytes / 2) / std::max(g.kernel, 1));
+  }
+  return stream_time(cost, in_bytes + out_bytes, run);
+}
+
+double pool_backward_time(const hw::CostModel& cost, const core::PoolGeom& g) {
+  const double in_bytes =
+      4.0 * g.batch * g.channels * static_cast<double>(g.in_h) * g.in_w;
+  const double out_bytes =
+      4.0 * g.batch * g.channels * static_cast<double>(g.out_h()) * g.out_w();
+  // top diff read + max-mask read + bottom diff scatter write.
+  return stream_time(cost, 2.0 * out_bytes + in_bytes,
+                     static_cast<std::size_t>(g.in_w) * 4);
+}
+
+double elementwise_time(const hw::CostModel& cost, std::int64_t count,
+                        double passes) {
+  // Long contiguous runs: elementwise kernels block the flat tensor.
+  return stream_time(cost, 4.0 * count * passes, 8 * 1024);
+}
+
+double transform_time(const hw::CostModel& cost, std::int64_t count,
+                      int inner_run) {
+  // Gather side moves short strided blocks; scatter side writes dense after
+  // the in-register shuffle, so the gather dominates. Two total passes.
+  const std::size_t run = static_cast<std::size_t>(std::max(inner_run, 1)) * 4;
+  return stream_time(cost, 4.0 * count, run) +
+         stream_time(cost, 4.0 * count, 8 * 1024);
+}
+
+}  // namespace swcaffe::dnn

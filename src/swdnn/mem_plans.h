@@ -1,0 +1,37 @@
+// DMA plans for the bandwidth-bound layers (paper Sec. IV-C/IV-D).
+//
+// On SW26010 these layers are pure data movement: the plan is "choose DMA
+// run lengths that keep the memory controller saturated". Pooling reads K
+// image rows per CPE when they fit LDM and falls back to strided column
+// blocks otherwise (Sec. IV-D); elementwise layers stream their operands;
+// the tensor-transformation layer pays strided access plus SIMD shuffles
+// (Sec. IV-C).
+#pragma once
+
+#include "core/layer_desc.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::dnn {
+
+/// Streaming time for `bytes` of traffic whose contiguous runs are
+/// `run_bytes` long, on the full CPE mesh of one core group.
+double stream_time(const hw::CostModel& cost, double bytes,
+                   std::size_t run_bytes);
+
+/// Pooling forward/backward (max or average have the same traffic; max adds
+/// a mask the backward pass re-reads).
+double pool_forward_time(const hw::CostModel& cost, const core::PoolGeom& g);
+double pool_backward_time(const hw::CostModel& cost, const core::PoolGeom& g);
+
+/// Elementwise families: `passes` counts how many times the tensor is
+/// streamed (ReLU fwd = read+write = 2, BN fwd = 4, ...).
+double elementwise_time(const hw::CostModel& cost, std::int64_t count,
+                        double passes);
+
+/// Tensor transformation layer: (B,N,R,C) <-> (R,C,N,B) transpose via
+/// strided DMA gather + register shuffles. `inner_run` is the contiguous
+/// run length in elements on the gather side.
+double transform_time(const hw::CostModel& cost, std::int64_t count,
+                      int inner_run);
+
+}  // namespace swcaffe::dnn

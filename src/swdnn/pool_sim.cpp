@@ -1,0 +1,73 @@
+#include "swdnn/pool_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "base/log.h"
+#include "hw/dma.h"
+
+namespace swcaffe::dnn {
+
+hw::TrafficLedger max_pool_sim(hw::CoreGroup& cg, const core::PoolGeom& g,
+                               std::span<const float> bottom,
+                               std::span<float> top) {
+  const int oh = g.out_h(), ow = g.out_w();
+  SWC_CHECK_EQ(bottom.size(), static_cast<std::size_t>(g.batch) * g.channels *
+                                  g.in_h * g.in_w);
+  SWC_CHECK_EQ(top.size(), static_cast<std::size_t>(g.batch) * g.channels *
+                               oh * ow);
+  const int ncpe = cg.params().mesh_size();
+  cg.reset();
+  hw::DmaEngine dma(cg.cost());
+
+  // Sec. IV-D: "most of times, each CPE is in charge of pooling operation
+  // for multiple K rows of input image" — the work unit here is one output
+  // row of one channel plane: DMA-get its K source rows, pool in LDM, put
+  // the output row. Rows shared by overlapping windows (stride < kernel)
+  // stay resident and are fetched once per plane.
+  std::vector<double> row(g.in_w), out_row(ow), staged(ow);
+  const std::size_t in_plane = static_cast<std::size_t>(g.in_h) * g.in_w;
+  const std::size_t out_plane = static_cast<std::size_t>(oh) * ow;
+  std::vector<std::vector<double>> resident(g.in_h);
+
+  for (int b = 0; b < g.batch; ++b) {
+    for (int c = 0; c < g.channels; ++c) {
+      const float* plane =
+          bottom.data() + (static_cast<std::size_t>(b) * g.channels + c) *
+                              in_plane;
+      for (auto& r : resident) r.clear();
+      for (int py = 0; py < oh; ++py) {
+        const int y0 = std::max(py * g.stride - g.pad, 0);
+        const int y1 =
+            std::min(py * g.stride - g.pad + g.kernel, g.in_h);
+        for (int sy = y0; sy < y1; ++sy) {
+          if (!resident[sy].empty()) continue;
+          for (int x = 0; x < g.in_w; ++x) row[x] = plane[sy * g.in_w + x];
+          resident[sy].resize(g.in_w);
+          dma.get(row, resident[sy], ncpe);
+        }
+        for (int px = 0; px < ow; ++px) {
+          const int x0 = std::max(px * g.stride - g.pad, 0);
+          const int x1 =
+              std::min(px * g.stride - g.pad + g.kernel, g.in_w);
+          double best = -std::numeric_limits<double>::infinity();
+          for (int sy = y0; sy < y1; ++sy) {
+            for (int sx = x0; sx < x1; ++sx) {
+              best = std::max(best, resident[sy][sx]);
+            }
+          }
+          out_row[px] = best;
+        }
+        dma.put(out_row, std::span<double>(staged), ncpe);
+        float* dst = top.data() +
+                     (static_cast<std::size_t>(b) * g.channels + c) * out_plane +
+                     static_cast<std::size_t>(py) * ow;
+        for (int x = 0; x < ow; ++x) dst[x] = static_cast<float>(staged[x]);
+      }
+    }
+  }
+  return dma.ledger();
+}
+
+}  // namespace swcaffe::dnn

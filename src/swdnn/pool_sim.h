@@ -1,0 +1,23 @@
+// Functional simulation of the pooling DMA plan (paper Sec. IV-D): pooling
+// is "featured with massive memory copy operations", so each CPE streams K
+// input rows through its LDM (or strided column blocks when K rows exceed
+// the LDM) and writes one pooled output row. Validated against the host
+// pooling layer; the ledger checks the read-input-once / write-output-once
+// traffic the cost model assumes.
+#pragma once
+
+#include <span>
+
+#include "core/layer_desc.h"
+#include "hw/chip.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::dnn {
+
+/// Max pooling over one (channels, in_h, in_w) image -> pooled output.
+/// `geom.batch` images are processed back to back.
+hw::TrafficLedger max_pool_sim(hw::CoreGroup& cg, const core::PoolGeom& geom,
+                               std::span<const float> bottom,
+                               std::span<float> top);
+
+}  // namespace swcaffe::dnn

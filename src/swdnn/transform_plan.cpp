@@ -1,0 +1,118 @@
+#include "swdnn/transform_plan.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+#include "swdnn/conv_plan.h"
+#include "swdnn/layer_estimate.h"
+#include "swdnn/mem_plans.h"
+
+namespace swcaffe::dnn {
+
+bool layout_agnostic(core::LayerKind kind) {
+  switch (kind) {
+    case core::LayerKind::kReLU:
+    case core::LayerKind::kBatchNorm:
+    case core::LayerKind::kDropout:
+    case core::LayerKind::kEltwise:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Transform cost (fwd + bwd) at a layout boundary carrying `count` floats
+/// with `inner_run`-element contiguous gather runs.
+double boundary_cost(const hw::CostModel& cost, std::int64_t count,
+                     int inner_run) {
+  return 2.0 * transform_time(cost, count, std::max(inner_run, 1));
+}
+
+}  // namespace
+
+TransformPlan plan_layout_transforms(
+    const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs) {
+  TransformPlan plan;
+  plan.rcnb.assign(descs.size(), false);
+
+  // Phase 1: per-conv strategy from the cost model; mark implicit convs and
+  // the layout-agnostic layers between them as RCNB-eligible.
+  std::vector<bool> wants_rcnb(descs.size(), false);
+  bool saw_conv = false;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    const auto& d = descs[i];
+    if (d.kind == core::LayerKind::kConv) {
+      const bool first = !saw_conv;
+      saw_conv = true;
+      (void)first;
+      const ConvEstimate est = estimate_conv(cost, d.conv);
+      wants_rcnb[i] = est.forward.implicit_wins();
+    }
+  }
+  // Phase 2: grow runs through layout-agnostic layers — a run of implicit
+  // convs separated only by elementwise layers shares one transform pair.
+  plan.rcnb = wants_rcnb;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    if (!layout_agnostic(descs[i].kind)) continue;
+    const bool prev_rcnb = i > 0 && plan.rcnb[i - 1];
+    // Look ahead to the next non-agnostic layer.
+    std::size_t j = i + 1;
+    while (j < descs.size() && layout_agnostic(descs[j].kind)) ++j;
+    const bool next_rcnb = j < descs.size() && wants_rcnb[j];
+    if (prev_rcnb && next_rcnb) plan.rcnb[i] = true;
+  }
+
+  // Phase 3: count boundaries and price the plans.
+  double layer_total = 0.0, all_explicit = 0.0;
+  saw_conv = false;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    const auto& d = descs[i];
+    const bool first = d.kind == core::LayerKind::kConv && !saw_conv;
+    if (d.kind == core::LayerKind::kConv) saw_conv = true;
+    layer_total += estimate_layer_sw(cost, d, first).total();
+    if (d.kind == core::LayerKind::kConv) {
+      const ConvEstimate est = estimate_conv(cost, d.conv);
+      all_explicit += est.forward.explicit_s + est.backward_weight.explicit_s +
+                      (first ? 0.0 : est.backward_input.explicit_s);
+      if (wants_rcnb[i]) {
+        plan.per_layer_transforms += 2;
+        plan.per_layer_transform_s +=
+            boundary_cost(cost, d.input_count, d.conv.in_w) +
+            boundary_cost(cost, d.output_count, d.conv.out_w());
+      }
+    } else {
+      all_explicit += estimate_layer_sw(cost, d, false).total();
+    }
+  }
+  bool in_rcnb = false;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    if (plan.rcnb[i] && !in_rcnb) {
+      ++plan.gathered_transforms;
+      plan.gathered_transform_s +=
+          boundary_cost(cost, descs[i].input_count,
+                        descs[i].kind == core::LayerKind::kConv
+                            ? descs[i].conv.in_w
+                            : 64);
+      in_rcnb = true;
+    } else if (!plan.rcnb[i] && in_rcnb) {
+      ++plan.gathered_transforms;
+      plan.gathered_transform_s +=
+          boundary_cost(cost, descs[i].input_count, 64);
+      in_rcnb = false;
+    }
+  }
+  if (in_rcnb) {
+    ++plan.gathered_transforms;
+    plan.gathered_transform_s +=
+        boundary_cost(cost, descs.back().output_count, 64);
+  }
+
+  plan.gathered_total_s = layer_total + plan.gathered_transform_s;
+  plan.per_layer_total_s = layer_total + plan.per_layer_transform_s;
+  plan.all_explicit_total_s = all_explicit;
+  return plan;
+}
+
+}  // namespace swcaffe::dnn

@@ -1,0 +1,45 @@
+// Layout-transform planning (paper Sec. IV-C).
+//
+// The implicit convolution kernel wants the (R,C,N,B) layout while
+// everything else uses Caffe's (B,N,R,C); swCaffe inserts tensor
+// transformation layers at layout boundaries and "the convolutional layers
+// that can be accelerated with implicit transformation are gathered
+// together" so one transform pair serves a whole run. This pass decides,
+// for a net description, which convolutions run implicit and where the
+// transform layers go, and prices the gathered plan against the naive
+// per-layer alternative.
+#pragma once
+
+#include <vector>
+
+#include "core/layer_desc.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::dnn {
+
+/// Layers that read/write elementwise and therefore work in either layout,
+/// so they do not break an implicit run.
+bool layout_agnostic(core::LayerKind kind);
+
+struct TransformPlan {
+  /// Per input-desc flag: does this layer execute in the RCNB layout?
+  std::vector<bool> rcnb;
+  /// Number of transform layers the gathered plan inserts.
+  int gathered_transforms = 0;
+  /// Number the naive plan would insert (2 per implicit conv).
+  int per_layer_transforms = 0;
+  /// Simulated seconds of transform work (fwd+bwd) under each plan.
+  double gathered_transform_s = 0.0;
+  double per_layer_transform_s = 0.0;
+  /// Whole-net iteration seconds: layers + transforms.
+  double gathered_total_s = 0.0;
+  double per_layer_total_s = 0.0;
+  /// Hypothetical all-explicit net (no transforms at all), for reference.
+  double all_explicit_total_s = 0.0;
+};
+
+/// Builds the plan for one core group's net description.
+TransformPlan plan_layout_transforms(const hw::CostModel& cost,
+                                     const std::vector<core::LayerDesc>& descs);
+
+}  // namespace swcaffe::dnn

@@ -1,0 +1,92 @@
+#include "swgemm/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+
+namespace swcaffe::gemm {
+
+namespace {
+
+constexpr std::int64_t kPanel = 256;       // LDM-fitting square panel edge
+constexpr std::size_t kElemBytes = 4;      // SP data in main memory
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+GemmEstimate estimate_impl(const hw::CostModel& cost, std::int64_t m,
+                           std::int64_t n, std::int64_t k, bool reuse_c,
+                           double dma_multiplier) {
+  SWC_CHECK_GT(m, 0);
+  SWC_CHECK_GT(n, 0);
+  SWC_CHECK_GT(k, 0);
+  const hw::HwParams& hp = cost.params();
+  const int mesh = hp.mesh_rows;
+
+  GemmEstimate est;
+  est.block_m = static_cast<int>(std::min(m, kPanel));
+  est.block_n = static_cast<int>(std::min(n, kPanel));
+  est.block_k = static_cast<int>(std::min(k, kPanel));
+  const std::int64_t mb = ceil_div(m, est.block_m);
+  const std::int64_t nb = ceil_div(n, est.block_n);
+
+  // --- DMA traffic of the blocked plan --------------------------------------
+  const double a_bytes = static_cast<double>(m) * k * nb * kElemBytes;
+  const double b_bytes = static_cast<double>(k) * n * mb * kElemBytes;
+  const double c_bytes =
+      static_cast<double>(m) * n * (reuse_c ? 1.0 : 2.0) * kElemBytes;
+  est.dma_bytes = static_cast<std::size_t>(
+      (a_bytes + b_bytes + c_bytes) * dma_multiplier);
+
+  // Per-CPE contiguous run length: each CPE's tile row is 1/mesh of the
+  // panel's k (for A) or n (for B/C) extent. Short runs collapse strided
+  // bandwidth (Principle 3).
+  auto run_bytes = [&](std::int64_t extent) {
+    return static_cast<std::size_t>(
+        std::max<std::int64_t>(1, extent / mesh) * kElemBytes);
+  };
+  const std::size_t probe = 32 * 1024;  // representative per-CPE burst
+  const double bw_a = cost.dma_strided_bandwidth(probe, run_bytes(est.block_k),
+                                                 hp.mesh_size());
+  const double bw_bc = cost.dma_strided_bandwidth(
+      probe, run_bytes(est.block_n), hp.mesh_size());
+  est.dma_seconds = dma_multiplier *
+                    (a_bytes / bw_a + (b_bytes + c_bytes) / bw_bc);
+
+  // --- Compute ---------------------------------------------------------------
+  est.flops = 2.0 * static_cast<double>(m) * n * k;
+  // Mesh rows/cols idle when a dimension is narrower than the mesh.
+  const double util = std::min<double>(1.0, static_cast<double>(m) / mesh) *
+                      std::min<double>(1.0, static_cast<double>(n) / mesh);
+  est.compute_seconds =
+      cost.compute_time(est.flops, /*single_precision=*/true) / std::max(util, 1e-3);
+
+  // Double-buffered kernel: DMA overlaps compute; the longer stream wins,
+  // plus a per-panel launch latency that matters for tiny problems.
+  const double launches = static_cast<double>(mb) * nb * ceil_div(k, est.block_k);
+  const double launch_s =
+      launches * 2.0 * hp.dma_latency_cycles * hp.cycle_seconds();
+  est.seconds = std::max(est.compute_seconds, est.dma_seconds) + launch_s;
+  est.achieved_gflops = est.flops / est.seconds / 1e9;
+  return est;
+}
+
+}  // namespace
+
+GemmEstimate estimate_gemm(const hw::CostModel& cost, std::int64_t m,
+                           std::int64_t n, std::int64_t k, bool reuse_c) {
+  return estimate_impl(cost, m, n, k, reuse_c, /*dma_multiplier=*/1.0);
+}
+
+GemmEstimate estimate_gemm_no_rlc(const hw::CostModel& cost, std::int64_t m,
+                                  std::int64_t n, std::int64_t k) {
+  // Without RLC reuse each CPE streams the full panel rows/columns it needs:
+  // the A and B traffic scale by the mesh dimension (8). Modelled as a flat
+  // multiplier on the DMA stream (C is still touched once).
+  return estimate_impl(cost, m, n, k, /*reuse_c=*/true,
+                       /*dma_multiplier=*/cost.params().mesh_rows);
+}
+
+}  // namespace swcaffe::gemm

@@ -1,0 +1,41 @@
+// Analytic performance model for blocked GEMM on one SW26010 core group.
+//
+// Used by the layer-time estimators at paper scale (batch-128 VGG-16 etc.)
+// where functionally executing the mesh kernel would be pointless: the plan
+// is identical, only the byte/flop counts matter. The model mirrors the
+// blocked driver exactly: panel sizes chosen to fit LDM, A panels re-read
+// once per column block, B panels once per row block, C touched once, DMA
+// bandwidth derated by the per-CPE contiguous run length (Principle 3 — this
+// is what makes small-channel convolutions slow, Table II / Sec. VI-B).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cost_model.h"
+
+namespace swcaffe::gemm {
+
+struct GemmEstimate {
+  double seconds = 0;          ///< simulated kernel time
+  double flops = 0;            ///< 2*m*n*k
+  double achieved_gflops = 0;  ///< flops / seconds / 1e9
+  double compute_seconds = 0;
+  double dma_seconds = 0;
+  std::size_t dma_bytes = 0;
+  int block_m = 0, block_n = 0, block_k = 0;
+};
+
+/// Estimates C(m x n) += A(m x k) * B(k x n) with single-precision data in
+/// memory (the DNN default). `reuse_c_in_ldm` skips the C read (fresh
+/// output, beta = 0).
+GemmEstimate estimate_gemm(const hw::CostModel& cost, std::int64_t m,
+                           std::int64_t n, std::int64_t k,
+                           bool reuse_c_in_ldm = true);
+
+/// Baseline for the ablation bench: same blocking but NO register-level
+/// communication, so every CPE must stream the full A row-panel and B
+/// column-panel it needs (8x the mesh kernel's DMA traffic, Principle 4).
+GemmEstimate estimate_gemm_no_rlc(const hw::CostModel& cost, std::int64_t m,
+                                  std::int64_t n, std::int64_t k);
+
+}  // namespace swcaffe::gemm

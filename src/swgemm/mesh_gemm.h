@@ -1,0 +1,47 @@
+// Functional mesh GEMM: the paper's 8-step register-communication algorithm
+// (Sec. IV-A, Fig. 3) executed on the hw::CoreGroup micro model.
+//
+// C(m x n) += A(m x k) * B(k x n), all row-major doubles. Matrices are
+// partitioned into an 8x8 grid of equal blocks; CPE(i,j) owns block (i,j) of
+// each matrix in its LDM. At time step t, CPE(i,t) broadcasts its A block
+// along row i and CPE(t,j) broadcasts its B block along column j, so each
+// CPE performs C(i,j) += A(i,t) * B(t,j); after 8 steps the product is
+// complete having fetched A, B and C from main memory exactly once — the
+// optimal flop-to-byte plan the paper claims (tested as an invariant).
+#pragma once
+
+#include <span>
+
+#include "hw/chip.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::gemm {
+
+struct MeshGemmStats {
+  hw::TrafficLedger ledger;   ///< DMA + RLC + compute totals
+  double compute_seconds = 0; ///< portion of elapsed spent in FMA phases
+  double rlc_seconds = 0;     ///< portion spent in register communication
+  double dma_seconds = 0;     ///< portion spent in main-memory DMA
+};
+
+/// Runs the mesh GEMM on the core group model. Requires m, n, k divisible by
+/// the mesh dimension (8) and all three per-CPE tiles to fit the 64 KB LDM;
+/// violations throw base::CheckError.
+MeshGemmStats mesh_gemm(hw::CoreGroup& cg, std::span<const double> a,
+                        std::span<const double> b, std::span<double> c, int m,
+                        int n, int k);
+
+/// Largest square block edge L such that three (L/8)^2 double tiles fit one
+/// LDM (the blocked driver's panel size).
+int max_mesh_block(const hw::HwParams& params);
+
+/// Blocked driver for arbitrary problem sizes: partitions C into LDM-sized
+/// panels (zero-padding ragged edges to mesh multiples) and runs the mesh
+/// kernel per panel, accumulating over the k dimension — the functional
+/// counterpart of the analytic estimate_gemm() plan. Aggregates the panels'
+/// stats.
+MeshGemmStats blocked_mesh_gemm(hw::CoreGroup& cg, std::span<const double> a,
+                                std::span<const double> b,
+                                std::span<double> c, int m, int n, int k);
+
+}  // namespace swcaffe::gemm

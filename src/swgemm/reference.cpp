@@ -1,0 +1,114 @@
+#include "swgemm/reference.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/log.h"
+
+namespace swcaffe::gemm {
+
+namespace {
+
+/// NN kernel with i-l-j loop order (streams B rows, C rows stay hot).
+void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
+             float* c) {
+  for (int i = 0; i < m; ++i) {
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    for (int l = 0; l < k; ++l) {
+      const float av = alpha * ai[l];
+      if (av == 0.0f) continue;
+      const float* bl = b + static_cast<std::size_t>(l) * n;
+      for (int j = 0; j < n; ++j) ci[j] += av * bl[j];
+    }
+  }
+}
+
+/// NT kernel: rows of A dotted with rows of B.
+void gemm_nt(int m, int n, int k, float alpha, const float* a, const float* b,
+             float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* bj = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+/// TN kernel: columns of A (rows of A^T) times rows of B.
+void gemm_tn(int m, int n, int k, float alpha, const float* a, const float* b,
+             float* c) {
+  for (int l = 0; l < k; ++l) {
+    const float* al = a + static_cast<std::size_t>(l) * m;
+    const float* bl = b + static_cast<std::size_t>(l) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = alpha * al[i];
+      if (av == 0.0f) continue;
+      float* ci = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) ci[j] += av * bl[j];
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  SWC_CHECK_GE(m, 0);
+  SWC_CHECK_GE(n, 0);
+  SWC_CHECK_GE(k, 0);
+  const std::size_t cn = static_cast<std::size_t>(m) * n;
+  if (beta == 0.0f) {
+    std::fill(c, c + cn, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < cn; ++i) c[i] *= beta;
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  if (!trans_a && !trans_b) {
+    gemm_nn(m, n, k, alpha, a, b, c);
+  } else if (!trans_a && trans_b) {
+    gemm_nt(m, n, k, alpha, a, b, c);
+  } else if (trans_a && !trans_b) {
+    gemm_tn(m, n, k, alpha, a, b, c);
+  } else {
+    // TT is rare; materialize op(B) once and reuse the NT kernel on
+    // (A^T B^T) = A^T * (B^T). B is n x k stored as k rows? op(B)=B^T with B
+    // given as n x k row-major; materialize bt as k-major n x k -> (k x n).
+    std::vector<float> bt(static_cast<std::size_t>(k) * n);
+    for (int j = 0; j < n; ++j) {
+      for (int l = 0; l < k; ++l) {
+        bt[static_cast<std::size_t>(l) * n + j] =
+            b[static_cast<std::size_t>(j) * k + l];
+      }
+    }
+    gemm_tn(m, n, k, alpha, a, bt.data(), c);
+  }
+}
+
+void sgemv(bool trans_a, int m, int n, float alpha, const float* a,
+           const float* x, float beta, float* y) {
+  const int out = trans_a ? n : m;
+  for (int i = 0; i < out; ++i) y[i] *= beta;
+  if (!trans_a) {
+    for (int i = 0; i < m; ++i) {
+      const float* ai = a + static_cast<std::size_t>(i) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += ai[j] * x[j];
+      y[i] += alpha * acc;
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      const float* ai = a + static_cast<std::size_t>(i) * n;
+      const float xv = alpha * x[i];
+      if (xv == 0.0f) continue;
+      for (int j = 0; j < n; ++j) y[j] += xv * ai[j];
+    }
+  }
+}
+
+}  // namespace swcaffe::gemm

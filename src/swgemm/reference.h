@@ -1,0 +1,22 @@
+// Host reference GEMM.
+//
+// This is the framework's functional matrix-multiply workhorse (layers call
+// it for real computation) and the oracle the simulated mesh GEMM is tested
+// against. Row-major, single precision, with transpose flags in the BLAS
+// convention.
+#pragma once
+
+namespace swcaffe::gemm {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+///
+/// Shapes after op(): op(A) is m x k, op(B) is k x n, C is m x n, all
+/// row-major and densely packed (lda = op-columns).
+void sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+           const float* a, const float* b, float beta, float* c);
+
+/// y = alpha * op(A) * x + beta * y; op(A) is m x n.
+void sgemv(bool trans_a, int m, int n, float alpha, const float* a,
+           const float* x, float beta, float* y);
+
+}  // namespace swcaffe::gemm

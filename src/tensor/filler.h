@@ -1,0 +1,34 @@
+// Weight initializers matching the Caffe filler family the swCaffe model zoo
+// needs (constant, uniform, gaussian, Xavier, MSRA).
+#pragma once
+
+#include <string>
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace swcaffe::tensor {
+
+enum class FillerType { kConstant, kUniform, kGaussian, kXavier, kMsra };
+
+struct FillerSpec {
+  FillerType type = FillerType::kXavier;
+  float value = 0.0f;   ///< constant
+  float min = -1.0f;    ///< uniform
+  float max = 1.0f;     ///< uniform
+  float mean = 0.0f;    ///< gaussian
+  float stddev = 0.01f; ///< gaussian
+
+  static FillerSpec constant(float v);
+  static FillerSpec gaussian(float mean, float stddev);
+  static FillerSpec uniform(float lo, float hi);
+  static FillerSpec xavier();
+  static FillerSpec msra();
+};
+
+/// Fills `t.data()` in place. For Xavier/MSRA the fan-in/out are derived from
+/// the tensor shape the way Caffe does: fan_in = count / dim(0),
+/// fan_out = count / dim(1) when the tensor has >= 2 axes.
+void fill(Tensor& t, const FillerSpec& spec, base::Rng& rng);
+
+}  // namespace swcaffe::tensor

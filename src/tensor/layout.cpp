@@ -1,0 +1,72 @@
+#include "tensor/layout.h"
+
+#include "base/log.h"
+
+namespace swcaffe::tensor {
+
+namespace {
+
+/// Generic 4-D permutation: dst[perm(idx)] = src[idx].
+void transpose4(const Tensor& src, Tensor& dst, const int perm[4]) {
+  SWC_CHECK_EQ(src.num_axes(), 4);
+  const auto& s = src.shape();
+  std::vector<int> dshape(4);
+  for (int i = 0; i < 4; ++i) dshape[i] = s[perm[i]];
+  dst.reshape(dshape);
+  const float* in = src.data_ptr();
+  float* out = dst.mutable_data_ptr();
+  const int d0 = s[0], d1 = s[1], d2 = s[2], d3 = s[3];
+  // Destination strides indexed by source axis.
+  std::size_t dst_stride_of_src_axis[4];
+  {
+    std::size_t stride = 1;
+    std::size_t dst_strides[4];
+    for (int i = 3; i >= 0; --i) {
+      dst_strides[i] = stride;
+      stride *= dshape[i];
+    }
+    for (int i = 0; i < 4; ++i) dst_stride_of_src_axis[perm[i]] = dst_strides[i];
+  }
+  std::size_t idx = 0;
+  for (int a = 0; a < d0; ++a) {
+    for (int b = 0; b < d1; ++b) {
+      for (int c = 0; c < d2; ++c) {
+        for (int d = 0; d < d3; ++d, ++idx) {
+          const std::size_t o = a * dst_stride_of_src_axis[0] +
+                                b * dst_stride_of_src_axis[1] +
+                                c * dst_stride_of_src_axis[2] +
+                                d * dst_stride_of_src_axis[3];
+          out[o] = in[idx];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void bnrc_to_rcnb(const Tensor& src, Tensor& dst) {
+  // (B,N,R,C) -> (R,C,N,B): dst axis order picks src axes (2,3,1,0).
+  const int perm[4] = {2, 3, 1, 0};
+  transpose4(src, dst, perm);
+}
+
+void rcnb_to_bnrc(const Tensor& src, Tensor& dst) {
+  // (R,C,N,B) -> (B,N,R,C): dst axis order picks src axes (3,2,0,1).
+  const int perm[4] = {3, 2, 0, 1};
+  transpose4(src, dst, perm);
+}
+
+void filter_to_kkoi(const Tensor& src, Tensor& dst) {
+  // (No,Ni,K,K) -> (K,K,No,Ni)
+  const int perm[4] = {2, 3, 0, 1};
+  transpose4(src, dst, perm);
+}
+
+void filter_from_kkoi(const Tensor& src, Tensor& dst) {
+  // (K,K,No,Ni) -> (No,Ni,K,K)
+  const int perm[4] = {2, 3, 0, 1};
+  transpose4(src, dst, perm);
+}
+
+}  // namespace swcaffe::tensor

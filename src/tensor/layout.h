@@ -1,0 +1,25 @@
+// Layout transposes between the explicit-GEMM (B,N,R,C) layout and the
+// implicit-GEMM (R,C,N,B) layout (paper Sec. IV-C, the "tensor
+// transformation layer"). The functional transpose here backs the
+// TensorTransform layer; its SW26010 cost (strided DMA + SIMD shuffles) is
+// estimated in swdnn.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace swcaffe::tensor {
+
+/// Transposes src (B,N,R,C) into dst (R,C,N,B). dst is reshaped.
+void bnrc_to_rcnb(const Tensor& src, Tensor& dst);
+
+/// Transposes src (R,C,N,B) into dst (B,N,R,C). dst is reshaped; the
+/// logical (B,N,R,C) dims are recovered from src's (R,C,N,B) shape.
+void rcnb_to_bnrc(const Tensor& src, Tensor& dst);
+
+/// Filter transpose: (No,Ni,K,K) <-> (K,K,No,Ni) (paper Sec. IV-C).
+void filter_to_kkoi(const Tensor& src, Tensor& dst);
+void filter_from_kkoi(const Tensor& src, Tensor& dst);
+
+}  // namespace swcaffe::tensor

@@ -1,0 +1,66 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "base/log.h"
+
+namespace swcaffe::tensor {
+
+namespace {
+constexpr std::uint32_t kTensorMagic = 0x53574346;  // "SWCF"
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  const std::uint32_t magic = kTensorMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const std::uint32_t axes = static_cast<std::uint32_t>(t.num_axes());
+  os.write(reinterpret_cast<const char*>(&axes), sizeof(axes));
+  for (int i = 0; i < t.num_axes(); ++i) {
+    const std::int64_t d = t.dim(i);
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(reinterpret_cast<const char*>(t.data_ptr()),
+           static_cast<std::streamsize>(t.count() * sizeof(float)));
+  SWC_CHECK_MSG(os.good(), "tensor write failed");
+}
+
+void read_tensor(std::istream& is, Tensor& t) {
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SWC_CHECK_MSG(is.good() && magic == kTensorMagic,
+                "bad tensor stream (magic mismatch)");
+  std::uint32_t axes = 0;
+  is.read(reinterpret_cast<char*>(&axes), sizeof(axes));
+  SWC_CHECK_LE(axes, 8u);
+  std::vector<int> shape(axes);
+  for (auto& d : shape) {
+    std::int64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    d = static_cast<int>(v);
+  }
+  t.reshape(shape);
+  is.read(reinterpret_cast<char*>(t.mutable_data_ptr()),
+          static_cast<std::streamsize>(t.count() * sizeof(float)));
+  SWC_CHECK_MSG(is.good(), "tensor read failed");
+}
+
+void write_tensors(const std::string& path,
+                   const std::vector<const Tensor*>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  SWC_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  const std::uint64_t n = tensors.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Tensor* t : tensors) write_tensor(os, *t);
+}
+
+void read_tensors(const std::string& path, std::vector<Tensor*>& tensors) {
+  std::ifstream is(path, std::ios::binary);
+  SWC_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  SWC_CHECK_EQ(n, tensors.size());
+  for (Tensor* t : tensors) read_tensor(is, *t);
+}
+
+}  // namespace swcaffe::tensor

@@ -1,0 +1,101 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "base/log.h"
+
+namespace swcaffe::tensor {
+
+const char* layout_name(Layout layout) {
+  switch (layout) {
+    case Layout::kBNRC:
+      return "BNRC";
+    case Layout::kRCNB:
+      return "RCNB";
+  }
+  return "?";
+}
+
+void Tensor::reshape(std::vector<int> shape) {
+  std::size_t count = 1;
+  for (int d : shape) {
+    SWC_CHECK_GE(d, 0);
+    count *= static_cast<std::size_t>(d);
+  }
+  shape_ = std::move(shape);
+  count_ = count;
+  data_.assign(count_, 0.0f);
+  diff_.clear();
+}
+
+int Tensor::dim(int i) const {
+  SWC_CHECK_GE(i, 0);
+  SWC_CHECK_LT(i, num_axes());
+  return shape_[i];
+}
+
+std::size_t Tensor::offset(int n, int c, int h, int w) const {
+  SWC_CHECK_EQ(num_axes(), 4);
+  return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+             shape_[3] +
+         w;
+}
+
+std::span<float> Tensor::diff() {
+  if (diff_.size() != count_) diff_.assign(count_, 0.0f);
+  return {diff_.data(), diff_.size()};
+}
+
+std::span<const float> Tensor::diff() const {
+  if (diff_.size() != count_) diff_.assign(count_, 0.0f);
+  return {diff_.data(), diff_.size()};
+}
+
+void Tensor::zero_diff() {
+  diff_.assign(count_, 0.0f);
+}
+
+void Tensor::zero_data() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+void Tensor::axpy_from_diff(float alpha) {
+  auto d = diff();
+  for (std::size_t i = 0; i < count_; ++i) data_[i] += alpha * d[i];
+}
+
+double Tensor::sumsq_data() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+double Tensor::sumsq_diff() const {
+  if (diff_.size() != count_) return 0.0;
+  double s = 0.0;
+  for (float v : diff_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+void Tensor::copy_from(const Tensor& src, bool copy_diff) {
+  SWC_CHECK_EQ(src.count(), count());
+  std::copy(src.data().begin(), src.data().end(), data_.begin());
+  if (copy_diff) {
+    auto d = diff();
+    auto sd = src.diff();
+    std::copy(sd.begin(), sd.end(), d.begin());
+  }
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (int i = 0; i < num_axes(); ++i) {
+    os << shape_[i] << (i + 1 < num_axes() ? "," : "");
+  }
+  os << ")=" << count_;
+  return os.str();
+}
+
+}  // namespace swcaffe::tensor

@@ -1,0 +1,78 @@
+// N-dimensional blob in the Caffe sense: a value buffer ("data") plus a
+// gradient buffer ("diff") sharing one shape. swCaffe keeps Caffe's
+// (B, N, R, C) = (batch, channel, row, column) default layout; the implicit
+// convolution plan uses the transposed (R, C, N, B) layout (paper Sec. IV-C),
+// see tensor/layout.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swcaffe::tensor {
+
+/// Data layout tags for 4-D tensors (paper Sec. IV-C).
+enum class Layout {
+  kBNRC,  ///< Caffe default: (batch, channel, row, col), aka NCHW
+  kRCNB,  ///< implicit-GEMM layout: (row, col, channel, batch)
+};
+
+const char* layout_name(Layout layout);
+
+/// Dense float tensor with paired data/diff buffers.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape) { reshape(std::move(shape)); }
+
+  /// Resizes; preserves nothing. Diff is lazily allocated on first access.
+  void reshape(std::vector<int> shape);
+  void reshape_like(const Tensor& other) { reshape(other.shape()); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  int num_axes() const { return static_cast<int>(shape_.size()); }
+  std::size_t count() const { return count_; }
+
+  /// Caffe-style accessors for 4-D tensors (num, channels, height, width).
+  int num() const { return dim(0); }
+  int channels() const { return dim(1); }
+  int height() const { return dim(2); }
+  int width() const { return dim(3); }
+
+  /// Flat offset of (n, c, h, w) in the BNRC layout.
+  std::size_t offset(int n, int c, int h, int w) const;
+
+  std::span<float> data() { return {data_.data(), data_.size()}; }
+  std::span<const float> data() const { return {data_.data(), data_.size()}; }
+  std::span<float> diff();
+  std::span<const float> diff() const;
+
+  float* mutable_data_ptr() { return data_.data(); }
+  const float* data_ptr() const { return data_.data(); }
+
+  /// Fills diff with zeros (allocating it if needed).
+  void zero_diff();
+  void zero_data();
+
+  /// data += alpha * diff (the SGD inner update primitive).
+  void axpy_from_diff(float alpha);
+
+  /// L2 norms, used by tests and solver diagnostics.
+  double sumsq_data() const;
+  double sumsq_diff() const;
+
+  /// Copies data (and optionally diff) from another tensor of equal count.
+  void copy_from(const Tensor& src, bool copy_diff = false);
+
+  std::string shape_string() const;
+
+ private:
+  std::vector<int> shape_;
+  std::size_t count_ = 0;
+  std::vector<float> data_;
+  mutable std::vector<float> diff_;  // lazily sized to count_
+};
+
+}  // namespace swcaffe::tensor

@@ -1,0 +1,62 @@
+// All-reduce algorithms over the simulated cluster (paper Sec. V-A).
+//
+// Functional variants move real float buffers between in-process ranks and
+// return the same cost breakdown the analytic variants compute, so the cost
+// model is validated against the data movement it claims to describe
+// (Fig. 7 invariants in tests/topo).
+//
+// Algorithms:
+//  * recursive halving + recursive doubling (MPICH binomial; the paper's
+//    baseline and, with round-robin placement, its improved version)
+//  * ring (Patarasuk & Yuan; rejected by the paper for its p*alpha latency)
+//  * parameter server push/pull (rejected for the single-port bottleneck)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network_model.h"
+#include "topo/topology.h"
+
+namespace swcaffe::topo {
+
+/// Per-node cost decomposition in the paper's alpha/beta/gamma terms.
+struct CostBreakdown {
+  double seconds = 0.0;
+  int alpha_terms = 0;        ///< number of sequential message startups
+  double beta1_bytes = 0.0;   ///< per-node bytes moved intra-supernode
+  double beta2_bytes = 0.0;   ///< per-node bytes moved cross-supernode
+  double gamma_bytes = 0.0;   ///< per-node bytes locally reduced
+};
+
+/// Recursive-halving reduce-scatter + recursive-doubling allgather.
+/// Functional: `data[r]` is rank r's vector; on return every rank holds the
+/// elementwise sum. Non-power-of-2 node counts use MPICH's fold/unfold
+/// scheme (extra ranks merge into a neighbour before the core algorithm and
+/// receive the result after it).
+CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
+                            const Topology& topo, const NetParams& net,
+                            Placement placement);
+
+/// Analytic cost of the same algorithm for arbitrary message size (used at
+/// 1024-node scale where functional buffers would not fit).
+CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
+                       const NetParams& net, Placement placement);
+
+/// Ring all-reduce (reduce-scatter ring + allgather ring).
+CostBreakdown allreduce_ring(std::vector<std::vector<float>>& data,
+                             const Topology& topo, const NetParams& net,
+                             Placement placement);
+CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
+                        const NetParams& net, Placement placement);
+
+/// Parameter-server synchronization: workers push gradients to `servers`
+/// shards, servers reduce and broadcast back. Functional result equals the
+/// all-reduce sum on every rank.
+CostBreakdown allreduce_param_server(std::vector<std::vector<float>>& data,
+                                     const Topology& topo,
+                                     const NetParams& net, int servers);
+CostBreakdown cost_param_server(std::int64_t bytes, const Topology& topo,
+                                const NetParams& net, int servers);
+
+}  // namespace swcaffe::topo

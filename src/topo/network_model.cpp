@@ -1,0 +1,75 @@
+#include "topo/network_model.h"
+
+#include <algorithm>
+#include <map>
+
+namespace swcaffe::topo {
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kAdjacent:
+      return "adjacent";
+    case Placement::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+NetParams sunway_network() { return NetParams{}; }
+
+NetParams infiniband_fdr() {
+  NetParams net;
+  net.name = "infiniband-fdr";
+  net.alpha = 1.0e-6;
+  net.alpha_rendezvous = 2.0e-6;
+  net.eager_limit = 8 * 1024;
+  net.link_bw = 6.8e9;  // FDR 56 Gb/s minus protocol overhead
+  net.bw_half_size = 16.0 * 1024;
+  net.oversub = 1.0;  // the comparison fabric in Fig. 6 is non-blocking
+  net.latency_per_byte = 1.15e-9;
+  net.collective_efficiency = 0.15;  // tuned MPI stacks do markedly better
+  return net;
+}
+
+double p2p_bandwidth(const NetParams& net, std::int64_t bytes,
+                     bool bidirectional, bool oversubscribed) {
+  const double n = static_cast<double>(std::max<std::int64_t>(bytes, 1));
+  double bw = net.link_bw * n / (n + net.bw_half_size);
+  if (bidirectional) bw *= 1.65;  // aggregate of both directions (< 2x: DMA
+                                  // engines and NIC share the injection port)
+  if (oversubscribed) bw /= net.oversub;
+  return bw;
+}
+
+double p2p_latency(const NetParams& net, std::int64_t bytes) {
+  double t = net.alpha;
+  if (bytes > net.eager_limit) t += net.alpha_rendezvous;
+  return t + net.latency_per_byte * static_cast<double>(bytes);
+}
+
+double step_time(const NetParams& net, const Topology& topo,
+                 Placement placement,
+                 const std::vector<std::pair<int, int>>& flows,
+                 std::int64_t bytes) {
+  if (flows.empty() || bytes == 0) return net.alpha;
+  // Count flows leaving each supernode; the uplink carries the equivalent of
+  // q/oversub full-rate links.
+  std::map<int, int> egress;
+  for (const auto& [src, dst] : flows) {
+    if (topo.crosses(src, dst, placement)) {
+      egress[topo.supernode_of(src, placement)]++;
+    }
+  }
+  const double uplink_capacity =
+      topo.supernode_size * net.link_bw / net.oversub;
+  double worst_bw = net.link_bw;
+  for (const auto& [sn, count] : egress) {
+    (void)sn;
+    worst_bw = std::min(worst_bw, uplink_capacity / count);
+  }
+  double alpha = net.alpha;
+  if (bytes > net.eager_limit) alpha += net.alpha_rendezvous;
+  return alpha + static_cast<double>(bytes) / worst_bw;
+}
+
+}  // namespace swcaffe::topo

@@ -1,0 +1,49 @@
+// TaihuLight network topology model (paper Sec. II-B): supernodes of q
+// nodes with full intra-supernode bandwidth, joined by a central switching
+// network provisioned at 1/4 of full bisection ("over-subscribed").
+//
+// The paper's all-reduce contribution (Sec. V-A) is a *rank placement*: the
+// default MPI mapping gives nodes of one supernode adjacent ranks, the
+// improved mapping deals ranks to supernodes round-robin so the large
+// recursive-halving/doubling exchanges stay inside a supernode.
+#pragma once
+
+#include "base/log.h"
+
+namespace swcaffe::topo {
+
+enum class Placement {
+  kAdjacent,   ///< ranks 0..q-1 in supernode 0, q..2q-1 in supernode 1, ...
+  kRoundRobin, ///< rank r in supernode r % num_supernodes (paper Fig. 7)
+};
+
+const char* placement_name(Placement p);
+
+struct Topology {
+  int num_nodes = 1;
+  int supernode_size = 256;  ///< q (256 on TaihuLight)
+
+  int num_supernodes() const {
+    return (num_nodes + supernode_size - 1) / supernode_size;
+  }
+
+  /// Physical supernode hosting logical rank `r` under `placement`.
+  int supernode_of(int r, Placement placement) const {
+    SWC_CHECK_GE(r, 0);
+    SWC_CHECK_LT(r, num_nodes);
+    if (num_nodes <= supernode_size) return 0;
+    switch (placement) {
+      case Placement::kAdjacent:
+        return r / supernode_size;
+      case Placement::kRoundRobin:
+        return r % num_supernodes();
+    }
+    return 0;
+  }
+
+  bool crosses(int a, int b, Placement placement) const {
+    return supernode_of(a, placement) != supernode_of(b, placement);
+  }
+};
+
+}  // namespace swcaffe::topo

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/log.h"
+#include "base/rng.h"
+#include "base/table.h"
+#include "base/units.h"
+
+namespace swcaffe {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(SWC_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(SWC_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(SWC_CHECK_LT(1, 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(SWC_CHECK(false), base::CheckError);
+  EXPECT_THROW(SWC_CHECK_EQ(1, 2), base::CheckError);
+  EXPECT_THROW(SWC_CHECK_GT(1, 2), base::CheckError);
+}
+
+TEST(CheckTest, MessageContainsOperandsAndLocation) {
+  try {
+    SWC_CHECK_EQ(3, 7);
+    FAIL() << "expected throw";
+  } catch (const base::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs=3"), std::string::npos);
+    EXPECT_NE(what.find("rhs=7"), std::string::npos);
+    EXPECT_NE(what.find("base_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  base::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  base::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  base::Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float v = rng.gaussian(1.0f, 2.0f);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  base::Rng rng(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(TableTest, AlignsColumnsAndCountsRows) {
+  base::TablePrinter t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"xxxx", "y", "zz"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("xxxx"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  base::TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), base::CheckError);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(base::format_bytes(512), "512B");
+  EXPECT_EQ(base::format_bytes(2048), "2.0KiB");
+  EXPECT_EQ(base::format_bytes(3.5 * 1024 * 1024), "3.5MiB");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(base::format_seconds(2.5), "2.500s");
+  EXPECT_EQ(base::format_seconds(1.5e-3), "1.500ms");
+  EXPECT_EQ(base::format_seconds(2e-6), "2.000us");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(base::format_bandwidth(12e9), "12.00GB/s");
+  EXPECT_EQ(base::format_bandwidth(5e6), "5.00MB/s");
+}
+
+TEST(UnitsTest, FmtSi) {
+  EXPECT_EQ(base::fmt_si(742.4e9), "742.4G");
+  EXPECT_EQ(base::fmt_si(1.5e3, 2), "1.50K");
+}
+
+}  // namespace
+}  // namespace swcaffe

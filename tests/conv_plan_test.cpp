@@ -1,0 +1,147 @@
+// Table II shape assertions: which plan is available and which plan wins for
+// the VGG-16 convolution configurations the paper measures (batch 128, one
+// core group).
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.h"
+#include "swdnn/conv_plan.h"
+
+namespace swcaffe::dnn {
+namespace {
+
+core::ConvGeom vgg_conv(int in_c, int out_c, int img) {
+  core::ConvGeom g;
+  g.batch = 128;
+  g.in_c = in_c;
+  g.out_c = out_c;
+  g.in_h = g.in_w = img;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  return g;
+}
+
+TEST(ConvPlanTest, ImplicitForwardRejectsThreeChannelInput) {
+  // Table II row conv1_1: implicit forward is "-" because Ni=3 cannot fill
+  // the 256-bit register blocking.
+  EXPECT_FALSE(implicit_forward_supported(vgg_conv(3, 64, 224)));
+  EXPECT_TRUE(implicit_forward_supported(vgg_conv(64, 64, 224)));
+}
+
+TEST(ConvPlanTest, ImplicitBackwardNeedsWideChannelsOnBothSides) {
+  // Table II dash pattern: conv1_2 (64,64) and conv2_1 (64,128) have no
+  // implicit backward; conv2_2 (128,128) and deeper do.
+  EXPECT_FALSE(implicit_backward_supported(vgg_conv(64, 64, 224)));
+  EXPECT_FALSE(implicit_backward_supported(vgg_conv(64, 128, 112)));
+  EXPECT_TRUE(implicit_backward_supported(vgg_conv(128, 128, 112)));
+  EXPECT_TRUE(implicit_backward_supported(vgg_conv(128, 256, 56)));
+  EXPECT_TRUE(implicit_backward_supported(vgg_conv(512, 512, 14)));
+}
+
+TEST(ConvPlanTest, UnsupportedDirectionsReportNegativeTime) {
+  hw::CostModel cost;
+  const ConvEstimate est = estimate_conv(cost, vgg_conv(3, 64, 224));
+  EXPECT_FALSE(est.forward.implicit_ok());
+  EXPECT_FALSE(est.backward_weight.implicit_ok());
+  EXPECT_GT(est.forward.explicit_s, 0.0);
+  EXPECT_GT(est.backward_weight.explicit_s, 0.0);
+}
+
+TEST(ConvPlanTest, ImplicitWinsEarlyLayers) {
+  hw::CostModel cost;
+  // conv1_2 and conv2_1: Table II shows implicit clearly faster forward.
+  EXPECT_TRUE(estimate_conv(cost, vgg_conv(64, 64, 224)).forward.implicit_wins());
+  EXPECT_TRUE(
+      estimate_conv(cost, vgg_conv(64, 128, 112)).forward.implicit_wins());
+}
+
+TEST(ConvPlanTest, ExplicitWinsMidNetworkLayers) {
+  hw::CostModel cost;
+  // conv3_1 and conv4_1: Table II shows explicit faster forward.
+  EXPECT_FALSE(
+      estimate_conv(cost, vgg_conv(128, 256, 56)).forward.implicit_wins());
+  EXPECT_FALSE(
+      estimate_conv(cost, vgg_conv(256, 512, 28)).forward.implicit_wins());
+}
+
+TEST(ConvPlanTest, ImplicitWinsSmallImageDeepLayers) {
+  hw::CostModel cost;
+  // conv5_x (14x14, 512 channels): Table II shows implicit faster forward.
+  EXPECT_TRUE(
+      estimate_conv(cost, vgg_conv(512, 512, 14)).forward.implicit_wins());
+}
+
+TEST(ConvPlanTest, ImplicitInputGradAvoidsCol2imCost) {
+  hw::CostModel cost;
+  // Table II: wherever implicit backward exists, the in-diff pass beats
+  // explicit by a wide margin (col2im dominates the explicit path).
+  for (auto g : {vgg_conv(128, 128, 112), vgg_conv(256, 256, 56),
+                 vgg_conv(512, 512, 28)}) {
+    const ConvEstimate est = estimate_conv(cost, g);
+    ASSERT_TRUE(est.backward_input.implicit_ok());
+    EXPECT_LT(est.backward_input.implicit_s, est.backward_input.explicit_s);
+  }
+}
+
+TEST(ConvPlanTest, AchievedGflopsRisesWithChannelWidth) {
+  hw::CostModel cost;
+  // Table II Gflops column climbs from ~5 (conv1_1) to ~300-400 mid-net.
+  const double g11 = estimate_conv(cost, vgg_conv(3, 64, 224)).gflops_fwd;
+  const double g22 = estimate_conv(cost, vgg_conv(128, 128, 112)).gflops_fwd;
+  const double g42 = estimate_conv(cost, vgg_conv(512, 512, 28)).gflops_fwd;
+  EXPECT_LT(g11, g22);
+  EXPECT_LT(g22, g42);
+  EXPECT_GT(g42, 200.0);
+  EXPECT_LT(g42, 742.4);  // cannot beat the machine
+}
+
+TEST(ConvPlanTest, FirstLayerBackwardSkipsInputGradient) {
+  hw::CostModel cost;
+  const ConvEstimate est = estimate_conv(cost, vgg_conv(3, 64, 224));
+  EXPECT_DOUBLE_EQ(est.best_bwd(/*first_layer=*/true),
+                   est.backward_weight.best());
+  EXPECT_GT(est.best_bwd(false), est.best_bwd(true));
+}
+
+TEST(ConvPlanTest, TimesScaleLinearlyWithBatch) {
+  hw::CostModel cost;
+  auto g1 = vgg_conv(256, 256, 56);
+  auto g2 = g1;
+  g2.batch = 256;
+  const double t1 = estimate_conv(cost, g1).forward.best();
+  const double t2 = estimate_conv(cost, g2).forward.best();
+  EXPECT_NEAR(t2 / t1, 2.0, 0.1);
+}
+
+TEST(ConvPlanTest, Im2colTimeScalesWithReplication) {
+  hw::CostModel cost;
+  auto k3 = vgg_conv(64, 64, 56);
+  auto k5 = k3;
+  k5.kernel = 5;
+  k5.pad = 2;
+  // K*K replication: the 5x5 column matrix is ~25/9 the size of the 3x3 one.
+  EXPECT_NEAR(im2col_time(cost, k5) / im2col_time(cost, k3), 25.0 / 9.0, 0.5);
+}
+
+TEST(ConvPlanTest, MixedWinnersExistAcrossVgg) {
+  hw::CostModel cost;
+  // Global sanity for Table II: neither plan dominates everywhere.
+  int implicit_wins = 0, explicit_wins = 0;
+  const int cfg[12][3] = {{64, 64, 224}, {64, 128, 112}, {128, 128, 112},
+                          {128, 256, 56}, {256, 256, 56}, {256, 256, 56},
+                          {256, 512, 28}, {512, 512, 28}, {512, 512, 28},
+                          {512, 512, 14}, {512, 512, 14}, {512, 512, 14}};
+  for (const auto& c : cfg) {
+    const auto est = estimate_conv(cost, vgg_conv(c[0], c[1], c[2]));
+    if (est.forward.implicit_wins()) {
+      ++implicit_wins;
+    } else {
+      ++explicit_wins;
+    }
+  }
+  EXPECT_GE(implicit_wins, 3);
+  EXPECT_GE(explicit_wins, 3);
+}
+
+}  // namespace
+}  // namespace swcaffe::dnn

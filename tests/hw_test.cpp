@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "base/log.h"
+#include "hw/chip.h"
+#include "hw/cost_model.h"
+#include "hw/dma.h"
+#include "hw/ldm.h"
+#include "hw/rlc.h"
+
+namespace swcaffe::hw {
+namespace {
+
+TEST(CostModelTest, DmaBandwidthIncreasesWithTransferSize) {
+  CostModel cost;
+  double prev = 0.0;
+  for (std::size_t bytes : {128u, 512u, 2048u, 8192u, 32768u}) {
+    const double bw = cost.dma_bandwidth(bytes, 64);
+    EXPECT_GT(bw, prev) << "size " << bytes;
+    prev = bw;
+  }
+}
+
+TEST(CostModelTest, DmaSaturatesAtAggregatePeak) {
+  CostModel cost;
+  // Fig. 2: 64-CPE continuous access saturates around 28 GB/s.
+  const double bw = cost.dma_bandwidth(48 * 1024, 64);
+  EXPECT_LE(bw, cost.params().dma_peak_bw);
+  EXPECT_GT(bw, 0.9 * cost.params().dma_peak_bw);
+}
+
+TEST(CostModelTest, MoreCpesMoreAggregateBandwidth) {
+  CostModel cost;
+  const std::size_t bytes = 16 * 1024;
+  double prev = 0.0;
+  for (int cpes : {1, 8, 16, 32, 64}) {
+    const double bw = cost.dma_bandwidth(bytes, cpes);
+    EXPECT_GT(bw, prev) << cpes << " CPEs";
+    prev = bw;
+  }
+}
+
+TEST(CostModelTest, SmallTransfersAreLatencyBound) {
+  CostModel cost;
+  // A 128 B transfer cannot amortize the ~278-cycle startup (Principle 3):
+  // a lone CPE gets a small fraction of its link rate, and even 64 CPEs stay
+  // well below saturation.
+  EXPECT_LT(cost.dma_bandwidth(128, 1), 0.2 * cost.params().dma_per_cpe_bw);
+  EXPECT_LT(cost.dma_bandwidth(128, 64), 0.7 * cost.params().dma_peak_bw);
+}
+
+TEST(CostModelTest, StridedBandwidthGrowsWithBlockSize) {
+  CostModel cost;
+  const std::size_t total = 32 * 1024;
+  double prev = 0.0;
+  for (std::size_t block : {8u, 32u, 128u, 256u, 1024u, 4096u}) {
+    const double bw = cost.dma_strided_bandwidth(total, block, 64);
+    EXPECT_GE(bw, prev) << "block " << block;
+    prev = bw;
+  }
+  // Paper: >= 256 B blocks reach satisfactory bandwidth.
+  EXPECT_GT(cost.dma_strided_bandwidth(total, 256, 64),
+            0.5 * cost.params().dma_peak_bw);
+}
+
+TEST(CostModelTest, StridedNeverBeatsContinuous) {
+  CostModel cost;
+  for (std::size_t block : {8u, 64u, 512u, 4096u}) {
+    EXPECT_LE(cost.dma_strided_bandwidth(32 * 1024, block, 64),
+              cost.dma_bandwidth(32 * 1024, 64) + 1e-6);
+  }
+}
+
+TEST(CostModelTest, MpeCopyMuchSlowerThanCpeDma) {
+  CostModel cost;
+  // Principle 2: 9.9 GB/s via MPE vs ~28 GB/s via the CPE cluster.
+  const std::size_t bytes = 1 << 20;
+  EXPECT_GT(cost.mpe_copy_time(bytes), 2.0 * cost.dma_time(bytes / 64, 64));
+}
+
+TEST(CostModelTest, ComputeTimeMatchesPeak) {
+  CostModel cost;
+  const double t = cost.compute_time(742.4e9, /*single_precision=*/false);
+  EXPECT_NEAR(t, 1.0 / cost.params().kernel_efficiency, 1e-6);
+}
+
+TEST(CostModelTest, SinglePrecisionPaysConvertOverhead) {
+  CostModel cost;
+  EXPECT_GT(cost.compute_time(1e9, true), cost.compute_time(1e9, false));
+}
+
+TEST(CostModelTest, RlcBroadcastFasterThanP2p) {
+  CostModel cost;
+  EXPECT_LT(cost.rlc_time(1 << 20, true), cost.rlc_time(1 << 20, false));
+}
+
+TEST(LedgerTest, AddAccumulatesAllFields) {
+  TrafficLedger a, b;
+  a.dma_get_bytes = 10;
+  a.flops = 5;
+  a.elapsed_s = 1.0;
+  b.dma_get_bytes = 3;
+  b.dma_put_bytes = 7;
+  b.rlc_bytes = 2;
+  b.flops = 1;
+  b.elapsed_s = 0.5;
+  a.add(b);
+  EXPECT_EQ(a.dma_get_bytes, 13u);
+  EXPECT_EQ(a.dma_put_bytes, 7u);
+  EXPECT_EQ(a.rlc_bytes, 2u);
+  EXPECT_EQ(a.dma_bytes(), 20u);
+  EXPECT_DOUBLE_EQ(a.flops, 6.0);
+  EXPECT_DOUBLE_EQ(a.elapsed_s, 1.5);
+}
+
+TEST(LdmTest, AllocWithinCapacity) {
+  Ldm ldm(64 * 1024);
+  auto s1 = ldm.alloc(1024);
+  auto s2 = ldm.alloc(1024);
+  EXPECT_EQ(s1.size(), 1024u);
+  EXPECT_NE(s1.data(), s2.data());
+  EXPECT_EQ(ldm.used_bytes(), 2048u * sizeof(double));
+}
+
+TEST(LdmTest, OverflowThrows) {
+  Ldm ldm(64 * 1024);
+  ldm.alloc(64 * 1024 / sizeof(double));
+  EXPECT_THROW(ldm.alloc(1), base::CheckError);
+}
+
+TEST(LdmTest, ResetReclaimsSpace) {
+  Ldm ldm(64 * 1024);
+  ldm.alloc(4000);
+  ldm.reset();
+  EXPECT_EQ(ldm.used_bytes(), 0u);
+  EXPECT_NO_THROW(ldm.alloc(8000));
+}
+
+TEST(RlcTest, RowBroadcastReachesAllPeersInFifoOrder) {
+  HwParams hp;
+  RlcFabric rlc(hp);
+  const std::vector<double> m1{1.0, 2.0}, m2{3.0};
+  rlc.row_broadcast(2, 5, m1);
+  rlc.row_broadcast(2, 5, m2);
+  for (int c = 0; c < hp.mesh_cols; ++c) {
+    if (c == 5) continue;
+    EXPECT_EQ(rlc.receive_row(2, c), m1);
+    EXPECT_EQ(rlc.receive_row(2, c), m2);
+  }
+  EXPECT_EQ(rlc.pending(), 0u);
+}
+
+TEST(RlcTest, ColBroadcastUsesColumnQueues) {
+  HwParams hp;
+  RlcFabric rlc(hp);
+  rlc.col_broadcast(3, 1, std::vector<double>{9.0});
+  EXPECT_EQ(rlc.receive_col(0, 1).at(0), 9.0);
+  // The row queue of the same CPE stays empty.
+  EXPECT_THROW(rlc.receive_row(0, 1), base::CheckError);
+}
+
+TEST(RlcTest, P2pRequiresSharedRowOrColumn) {
+  HwParams hp;
+  RlcFabric rlc(hp);
+  EXPECT_NO_THROW(rlc.send(1, 1, 1, 7, std::vector<double>{1.0}));
+  EXPECT_NO_THROW(rlc.send(1, 1, 6, 1, std::vector<double>{1.0}));
+  // Diagonal communication is physically impossible on SW26010.
+  EXPECT_THROW(rlc.send(1, 1, 2, 2, std::vector<double>{1.0}),
+               base::CheckError);
+}
+
+TEST(RlcTest, ReceiveOnEmptyQueueThrows) {
+  RlcFabric rlc{HwParams{}};
+  EXPECT_THROW(rlc.receive_row(0, 0), base::CheckError);
+}
+
+TEST(RlcTest, LedgerCountsPerReceiverBytes) {
+  HwParams hp;
+  RlcFabric rlc(hp);
+  rlc.row_broadcast(0, 0, std::vector<double>(4, 1.0));  // 32 B to 7 peers
+  EXPECT_EQ(rlc.ledger().rlc_bytes, 7u * 32u);
+}
+
+TEST(RlcTest, InterleavedRowAndColumnStreamsStayOrdered) {
+  // Stress: every CPE broadcasts on its row and its column in an
+  // interleaved order; all 64*2 streams must arrive FIFO per queue.
+  HwParams hp;
+  RlcFabric rlc(hp);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < hp.mesh_rows; ++i) {
+      rlc.row_broadcast(i, i % hp.mesh_cols,
+                        std::vector<double>{static_cast<double>(round),
+                                            static_cast<double>(i)});
+      rlc.col_broadcast(i % hp.mesh_rows, i,
+                        std::vector<double>{100.0 + round,
+                                            static_cast<double>(i)});
+    }
+  }
+  // Check one representative consumer per row/column.
+  for (int i = 0; i < hp.mesh_rows; ++i) {
+    const int consumer_col = (i % hp.mesh_cols + 1) % hp.mesh_cols;
+    for (int round = 0; round < 3; ++round) {
+      const auto m = rlc.receive_row(i, consumer_col);
+      EXPECT_EQ(m[0], round);
+      EXPECT_EQ(m[1], i);
+    }
+    const int consumer_row = (i % hp.mesh_rows + 1) % hp.mesh_rows;
+    for (int round = 0; round < 3; ++round) {
+      const auto m = rlc.receive_col(consumer_row, i);
+      EXPECT_EQ(m[0], 100.0 + round);
+      EXPECT_EQ(m[1], i);
+    }
+  }
+  EXPECT_GT(rlc.pending(), 0u);  // other consumers never drained (allowed)
+}
+
+TEST(RlcTest, OutOfMeshCoordinatesThrow) {
+  RlcFabric rlc{HwParams{}};
+  EXPECT_THROW(rlc.row_broadcast(8, 0, std::vector<double>{1.0}),
+               base::CheckError);
+  EXPECT_THROW(rlc.receive_col(0, -1), base::CheckError);
+  EXPECT_THROW(rlc.send(0, 0, 0, 8, std::vector<double>{1.0}),
+               base::CheckError);
+}
+
+TEST(DmaTest, GetMovesDataAndCharges) {
+  CostModel cost;
+  DmaEngine dma(cost);
+  std::vector<double> src{1, 2, 3, 4}, dst(4, 0.0);
+  dma.get(src, dst, 1);
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(dma.ledger().dma_get_bytes, 4 * sizeof(double));
+  EXPECT_GT(dma.ledger().elapsed_s, 0.0);
+}
+
+TEST(DmaTest, StridedGatherAndScatterRoundTrip) {
+  CostModel cost;
+  DmaEngine dma(cost);
+  // 3 blocks of 2 doubles, stride 4 in main memory.
+  std::vector<double> mem(12);
+  for (std::size_t i = 0; i < mem.size(); ++i) mem[i] = static_cast<double>(i);
+  std::vector<double> ldm(6, 0.0);
+  dma.get_strided(mem, 4, ldm, 2, 3, 1);
+  EXPECT_EQ(ldm, (std::vector<double>{0, 1, 4, 5, 8, 9}));
+  std::vector<double> back(12, -1.0);
+  dma.put_strided(ldm, back, 4, 2, 3, 1);
+  EXPECT_EQ(back[0], 0.0);
+  EXPECT_EQ(back[5], 5.0);
+  EXPECT_EQ(back[2], -1.0);  // gaps untouched
+}
+
+TEST(ChipTest, FourCoreGroupsWithPrivateResources) {
+  Sw26010Chip chip;
+  EXPECT_EQ(chip.num_core_groups(), 4);
+  EXPECT_NEAR(chip.peak_flops(), 4 * 742.4e9, 1e6);
+  chip.group(0).ldm(0, 0).alloc(100);
+  EXPECT_EQ(chip.group(1).ldm(0, 0).used_bytes(), 0u);
+}
+
+TEST(ChipTest, ResetClearsLdms) {
+  Sw26010Chip chip;
+  auto& cg = chip.group(2);
+  cg.ldm(7, 7).alloc(10);
+  cg.reset();
+  EXPECT_EQ(cg.ldm(7, 7).used_bytes(), 0u);
+}
+
+/// Parameterized sweep mirroring Fig. 2's measurement grid: bandwidth must
+/// be monotone in CPE count for every size, and every (size, cpes) point
+/// stays below the aggregate peak.
+class DmaSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(DmaSweepTest, BandwidthWithinPhysicalEnvelope) {
+  const auto [bytes, cpes] = GetParam();
+  CostModel cost;
+  const double bw = cost.dma_bandwidth(bytes, cpes);
+  EXPECT_GT(bw, 0.0);
+  EXPECT_LE(bw, cost.params().dma_peak_bw * (1.0 + 1e-9));
+  EXPECT_LE(bw, cost.params().dma_per_cpe_bw * cpes * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig2Grid, DmaSweepTest,
+    ::testing::Combine(::testing::Values<std::size_t>(128, 256, 512, 1024,
+                                                      2048, 4096, 8192, 16384,
+                                                      24576, 32768, 49152),
+                       ::testing::Values(1, 8, 16, 32, 64)));
+
+}  // namespace
+}  // namespace swcaffe::hw

@@ -1,0 +1,323 @@
+// Functional implicit-convolution kernel on the CPE-mesh model: correctness
+// against the host convolution and traffic invariants against the analytic
+// plan the cost model assumes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "base/log.h"
+#include "base/rng.h"
+#include "hw/chip.h"
+#include "swdnn/conv_func.h"
+#include "swdnn/im2col.h"
+#include "swdnn/im2col_sim.h"
+#include "swdnn/implicit_conv_sim.h"
+#include "swdnn/pool_sim.h"
+
+namespace swcaffe::dnn {
+namespace {
+
+core::ConvGeom make_geom(int batch, int in_c, int out_c, int img, int kernel,
+                         int stride, int pad) {
+  core::ConvGeom g;
+  g.batch = batch;
+  g.in_c = in_c;
+  g.out_c = out_c;
+  g.in_h = g.in_w = img;
+  g.kernel = kernel;
+  g.stride = stride;
+  g.pad = pad;
+  return g;
+}
+
+std::vector<float> random_vec(std::size_t n, base::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0f, 1.0f);
+  return v;
+}
+
+class ImplicitConvSimTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(ImplicitConvSimTest, MatchesHostConvolution) {
+  const auto [in_c, out_c, img, kernel, stride] = GetParam();
+  const int pad = kernel / 2;
+  const auto g = make_geom(2, in_c, out_c, img, kernel, stride, pad);
+  base::Rng rng(61);
+  const auto bottom = random_vec(g.input_count(), rng);
+  const auto weight = random_vec(g.weight_count(), rng);
+  const auto bias = random_vec(g.out_c, rng);
+  std::vector<float> expected(g.output_count());
+  conv_forward_implicit(g, bottom.data(), weight.data(), bias.data(),
+                        expected.data());
+
+  hw::CoreGroup cg{hw::HwParams{}};
+  std::vector<float> top(g.output_count(), -1.0f);
+  const hw::TrafficLedger ledger =
+      implicit_conv_forward_sim(cg, g, bottom, weight, bias.data(), top);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    ASSERT_NEAR(top[i], expected[i], 2e-4f) << i;
+  }
+  EXPECT_GT(ledger.elapsed_s, 0.0);
+  EXPECT_GT(ledger.rlc_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ImplicitConvSimTest,
+    ::testing::Values(std::make_tuple(8, 8, 6, 3, 1),
+                      std::make_tuple(8, 16, 9, 3, 2),
+                      std::make_tuple(16, 8, 5, 1, 1),
+                      std::make_tuple(8, 8, 7, 5, 1),
+                      std::make_tuple(24, 16, 4, 3, 1)));
+
+TEST(ImplicitConvSimTest, RejectsNonMeshChannels) {
+  hw::CoreGroup cg{hw::HwParams{}};
+  const auto g = make_geom(1, 3, 8, 6, 3, 1, 1);
+  std::vector<float> bottom(g.input_count()), weight(g.weight_count()),
+      top(g.output_count());
+  EXPECT_THROW(
+      implicit_conv_forward_sim(cg, g, bottom, weight, nullptr, top),
+      base::CheckError);
+}
+
+TEST(ImplicitConvSimTest, TrafficMatchesAnalyticPlanAssumptions) {
+  // The analytic plan (conv_plan.cpp implicit_time) assumes: weights read
+  // once, output written once, input read K times (once per kernel row).
+  // The functional kernel's ledger must obey those counts.
+  const auto g = make_geom(1, 8, 8, 8, 3, 1, 1);
+  base::Rng rng(67);
+  const auto bottom = random_vec(g.input_count(), rng);
+  const auto weight = random_vec(g.weight_count(), rng);
+  std::vector<float> top(g.output_count());
+  hw::CoreGroup cg{hw::HwParams{}};
+  const hw::TrafficLedger ledger =
+      implicit_conv_forward_sim(cg, g, bottom, weight, nullptr, top);
+
+  const std::size_t weight_bytes = g.weight_count() * sizeof(double);
+  const std::size_t out_bytes = g.output_count() * sizeof(double);
+  const std::size_t in_bytes = g.input_count() * sizeof(double);
+  EXPECT_EQ(ledger.dma_put_bytes, out_bytes);
+  // Input rows: each output row pulls K input rows (minus the padded ones at
+  // the borders), so get traffic is weights + roughly K * input.
+  EXPECT_GE(ledger.dma_get_bytes, weight_bytes + in_bytes);
+  EXPECT_LE(ledger.dma_get_bytes,
+            weight_bytes + static_cast<std::size_t>(g.kernel) * in_bytes);
+}
+
+TEST(ImplicitConvSimTest, NoBiasPath) {
+  const auto g = make_geom(1, 8, 8, 5, 3, 1, 1);
+  base::Rng rng(71);
+  const auto bottom = random_vec(g.input_count(), rng);
+  const auto weight = random_vec(g.weight_count(), rng);
+  std::vector<float> expected(g.output_count()), top(g.output_count());
+  conv_forward_implicit(g, bottom.data(), weight.data(), nullptr,
+                        expected.data());
+  hw::CoreGroup cg{hw::HwParams{}};
+  implicit_conv_forward_sim(cg, g, bottom, weight, nullptr, top);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    ASSERT_NEAR(top[i], expected[i], 2e-4f);
+  }
+}
+
+// --- Fig. 4 im2col DMA plan -----------------------------------------------------
+
+class Im2colSimTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Im2colSimTest, MatchesHostIm2col) {
+  const auto [in_c, img, kernel, stride] = GetParam();
+  const int pad = kernel / 2;
+  auto g = make_geom(1, in_c, 4, img, kernel, stride, pad);
+  base::Rng rng(73);
+  const auto image = random_vec(g.input_count(), rng);
+  const std::size_t col_n = static_cast<std::size_t>(g.in_c) * g.kernel *
+                            g.kernel * g.out_h() * g.out_w();
+  std::vector<float> expected(col_n), col(col_n, -7.0f);
+  im2col(image.data(), g, expected.data());
+  hw::CoreGroup cg{hw::HwParams{}};
+  im2col_sim(cg, g, image, col);
+  for (std::size_t i = 0; i < col_n; ++i) {
+    ASSERT_EQ(col[i], expected[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Im2colSimTest,
+                         ::testing::Values(std::make_tuple(2, 6, 3, 1),
+                                           std::make_tuple(3, 9, 3, 2),
+                                           std::make_tuple(1, 8, 5, 1),
+                                           std::make_tuple(2, 7, 1, 1),
+                                           std::make_tuple(1, 10, 3, 3)));
+
+TEST(Im2colSimTest, TrafficMatchesFig4Plan) {
+  // Fig. 4: each input row crosses the bus ONCE (read), each column-matrix
+  // element ONCE (write) — the assumption behind conv_plan's im2col_time.
+  auto g = make_geom(1, 2, 4, 8, 3, 1, 1);
+  base::Rng rng(79);
+  const auto image = random_vec(g.input_count(), rng);
+  const std::size_t col_n = static_cast<std::size_t>(g.in_c) * 9 *
+                            g.out_h() * g.out_w();
+  std::vector<float> col(col_n);
+  hw::CoreGroup cg{hw::HwParams{}};
+  const hw::TrafficLedger ledger = im2col_sim(cg, g, image, col);
+  EXPECT_EQ(ledger.dma_get_bytes,
+            static_cast<std::size_t>(g.input_count()) * sizeof(double));
+  EXPECT_EQ(ledger.dma_put_bytes, col_n * sizeof(double));
+}
+
+class Col2imSimTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Col2imSimTest, MatchesHostCol2im) {
+  const auto [in_c, img_sz, kernel, stride] = GetParam();
+  const int pad = kernel / 2;
+  auto g = make_geom(1, in_c, 4, img_sz, kernel, stride, pad);
+  base::Rng rng(89);
+  const std::size_t col_n = static_cast<std::size_t>(g.in_c) * g.kernel *
+                            g.kernel * g.out_h() * g.out_w();
+  const auto col = random_vec(col_n, rng);
+  std::vector<float> expected(g.input_count(), 0.0f),
+      image(g.input_count(), 0.0f);
+  col2im(col.data(), g, expected.data());
+  hw::CoreGroup cg{hw::HwParams{}};
+  col2im_sim(cg, g, col, image);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    ASSERT_NEAR(image[i], expected[i], 2e-4f) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Col2imSimTest,
+                         ::testing::Values(std::make_tuple(2, 6, 3, 1),
+                                           std::make_tuple(3, 9, 3, 2),
+                                           std::make_tuple(1, 8, 5, 1),
+                                           std::make_tuple(2, 7, 1, 1)));
+
+TEST(Col2imSimTest, ReadModifyWriteCostsMoreThanIm2col) {
+  // The reverse plan's DMA volume exceeds the forward plan's (image rows are
+  // both read and rewritten) — the asymmetry behind the cost model's lower
+  // col2im bandwidth cap.
+  auto g = make_geom(1, 2, 4, 10, 3, 1, 1);
+  base::Rng rng(97);
+  const auto image = random_vec(g.input_count(), rng);
+  const std::size_t col_n = static_cast<std::size_t>(g.in_c) * 9 *
+                            g.out_h() * g.out_w();
+  const auto col = random_vec(col_n, rng);
+  std::vector<float> col_out(col_n), img_out(g.input_count(), 0.0f);
+  hw::CoreGroup cg1{hw::HwParams{}}, cg2{hw::HwParams{}};
+  const auto fwd = im2col_sim(cg1, g, image, col_out);
+  const auto bwd = col2im_sim(cg2, g, col, img_out);
+  EXPECT_GT(bwd.dma_bytes(), fwd.dma_bytes());
+  EXPECT_GT(bwd.dma_put_bytes, 0u);
+}
+
+TEST(Im2colSimTest, StridedPlansSkipUnusedRows) {
+  // With stride 3 and K=1 only every third input row feeds the output; the
+  // plan must not read the others.
+  auto g = make_geom(1, 1, 1, 9, 1, 3, 0);
+  base::Rng rng(83);
+  const auto image = random_vec(g.input_count(), rng);
+  std::vector<float> col(static_cast<std::size_t>(g.out_h()) * g.out_w());
+  hw::CoreGroup cg{hw::HwParams{}};
+  const hw::TrafficLedger ledger = im2col_sim(cg, g, image, col);
+  EXPECT_EQ(ledger.dma_get_bytes,
+            static_cast<std::size_t>(g.out_h()) * g.in_w * sizeof(double));
+}
+
+// --- Sec. IV-D pooling DMA plan ----------------------------------------------------
+
+/// Naive host max pool used as the oracle.
+void host_max_pool(const core::PoolGeom& g, const float* in, float* out) {
+  const int oh = g.out_h(), ow = g.out_w();
+  for (int b = 0; b < g.batch; ++b) {
+    for (int c = 0; c < g.channels; ++c) {
+      const float* plane =
+          in + (static_cast<std::size_t>(b) * g.channels + c) * g.in_h * g.in_w;
+      float* oplane =
+          out + (static_cast<std::size_t>(b) * g.channels + c) * oh * ow;
+      for (int py = 0; py < oh; ++py) {
+        for (int px = 0; px < ow; ++px) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int sy = std::max(py * g.stride - g.pad, 0);
+               sy < std::min(py * g.stride - g.pad + g.kernel, g.in_h); ++sy) {
+            for (int sx = std::max(px * g.stride - g.pad, 0);
+                 sx < std::min(px * g.stride - g.pad + g.kernel, g.in_w);
+                 ++sx) {
+              best = std::max(best, plane[sy * g.in_w + sx]);
+            }
+          }
+          oplane[py * ow + px] = best;
+        }
+      }
+    }
+  }
+}
+
+class PoolSimTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PoolSimTest, MatchesHostPooling) {
+  const auto [img, kernel, stride, pad] = GetParam();
+  core::PoolGeom g;
+  g.batch = 2;
+  g.channels = 3;
+  g.in_h = g.in_w = img;
+  g.kernel = kernel;
+  g.stride = stride;
+  g.pad = pad;
+  base::Rng rng(101);
+  std::vector<float> in(static_cast<std::size_t>(g.batch) * g.channels * img *
+                        img);
+  for (auto& v : in) v = rng.uniform(-1.0f, 1.0f);
+  const std::size_t out_n = static_cast<std::size_t>(g.batch) * g.channels *
+                            g.out_h() * g.out_w();
+  std::vector<float> expected(out_n), out(out_n, -9.0f);
+  host_max_pool(g, in.data(), expected.data());
+  hw::CoreGroup cg{hw::HwParams{}};
+  const hw::TrafficLedger ledger = max_pool_sim(cg, g, in, out);
+  for (std::size_t i = 0; i < out_n; ++i) {
+    ASSERT_EQ(out[i], expected[i]) << i;
+  }
+  // Output written exactly once.
+  EXPECT_EQ(ledger.dma_put_bytes, out_n * sizeof(double));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PoolSimTest,
+                         ::testing::Values(std::make_tuple(8, 2, 2, 0),
+                                           std::make_tuple(9, 3, 2, 0),
+                                           std::make_tuple(7, 3, 1, 1),
+                                           std::make_tuple(13, 3, 2, 0)));
+
+TEST(PoolSimTest, NonOverlappingWindowsReadInputOnce) {
+  // kernel == stride: every input row feeds exactly one output row, so get
+  // traffic equals the input size (the cost model's assumption).
+  core::PoolGeom g;
+  g.batch = 1;
+  g.channels = 2;
+  g.in_h = g.in_w = 8;
+  g.kernel = 2;
+  g.stride = 2;
+  std::vector<float> in(static_cast<std::size_t>(g.channels) * 64, 1.0f);
+  std::vector<float> out(static_cast<std::size_t>(g.channels) * 16);
+  hw::CoreGroup cg{hw::HwParams{}};
+  const hw::TrafficLedger ledger = max_pool_sim(cg, g, in, out);
+  EXPECT_EQ(ledger.dma_get_bytes, in.size() * sizeof(double));
+}
+
+TEST(PoolSimTest, OverlappingWindowsStillReadEachRowOnce) {
+  // AlexNet-style k=3 s=2: adjacent windows share a row; LDM residency must
+  // keep the get traffic at exactly one pass over the input.
+  core::PoolGeom g;
+  g.batch = 1;
+  g.channels = 1;
+  g.in_h = g.in_w = 9;
+  g.kernel = 3;
+  g.stride = 2;
+  std::vector<float> in(81, 2.0f), out(static_cast<std::size_t>(g.out_h()) *
+                                       g.out_w());
+  hw::CoreGroup cg{hw::HwParams{}};
+  const hw::TrafficLedger ledger = max_pool_sim(cg, g, in, out);
+  EXPECT_EQ(ledger.dma_get_bytes, 81 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace swcaffe::dnn

@@ -1,0 +1,222 @@
+// Parallel I/O model (paper Sec. V-B), synthetic dataset and prefetcher.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/log.h"
+#include "io/dataset.h"
+#include "io/disk_model.h"
+#include "io/prefetch.h"
+
+namespace swcaffe::io {
+namespace {
+
+constexpr std::int64_t kMiniBatchBytes = 192LL << 20;  // paper: ~192 MB
+constexpr std::int64_t kFileBytes = 200LL << 30;       // dataset size
+
+TEST(DiskModelTest, SingleSplitCapsAtOneArray) {
+  DiskParams disk;
+  // Regardless of process count, aggregate bandwidth == one array.
+  for (int procs : {1, 8, 64, 512}) {
+    const double bw = aggregate_bandwidth(disk, FileLayout::kSingleSplit,
+                                          procs, kMiniBatchBytes, kFileBytes);
+    EXPECT_NEAR(bw, disk.array_bw, 1e-3) << procs;
+  }
+}
+
+TEST(DiskModelTest, StripingScalesAggregateBandwidth) {
+  // Not strictly monotone point-to-point (deterministic read offsets can
+  // alias onto the same array), but the growth trend must hold and the
+  // asymptote is the full 32-array rate.
+  DiskParams disk;
+  const double bw1 = aggregate_bandwidth(disk, FileLayout::kStriped, 1,
+                                         kMiniBatchBytes, kFileBytes);
+  const double bw16 = aggregate_bandwidth(disk, FileLayout::kStriped, 16,
+                                          kMiniBatchBytes, kFileBytes);
+  const double bw512 = aggregate_bandwidth(disk, FileLayout::kStriped, 512,
+                                           kMiniBatchBytes, kFileBytes);
+  EXPECT_GT(bw16, 2.0 * bw1);
+  EXPECT_GT(bw512, bw16);
+  EXPECT_GT(bw512, 0.5 * disk.num_arrays * disk.array_bw);
+  EXPECT_LE(bw512, disk.num_arrays * disk.array_bw * 1.001);
+}
+
+TEST(DiskModelTest, StripedBeatsSingleSplitAtScale) {
+  DiskParams disk;
+  const double single = read_time(disk, FileLayout::kSingleSplit, 256,
+                                  kMiniBatchBytes, kFileBytes);
+  const double striped = read_time(disk, FileLayout::kStriped, 256,
+                                   kMiniBatchBytes, kFileBytes);
+  EXPECT_GT(single / striped, 10.0);  // paper: aggregate collapses without it
+}
+
+TEST(DiskModelTest, ReadersPerArrayBoundMatchesPaper) {
+  DiskParams disk;  // 32 arrays, 256 MB stripes
+  // Paper: a 192 MB contiguous read touches at most two stripes, so at most
+  // N/32 * 2 processes per array.
+  const int bound = max_readers_per_array(disk, 256, kMiniBatchBytes);
+  EXPECT_EQ(bound, (256 / 32) * 2);
+}
+
+TEST(DiskModelTest, OneProcessStripedSeesOneToTwoArrays) {
+  DiskParams disk;
+  const double t = read_time(disk, FileLayout::kStriped, 1, kMiniBatchBytes,
+                             kFileBytes);
+  // 192 MB split over at most 2 arrays: between n/2B and n/B seconds.
+  EXPECT_LE(t, static_cast<double>(kMiniBatchBytes) / disk.array_bw + 1e-9);
+  EXPECT_GE(t, 0.5 * kMiniBatchBytes / disk.array_bw - 1e-9);
+}
+
+TEST(DatasetTest, SamplesAreDeterministic) {
+  DatasetSpec spec;
+  spec.num_samples = 100;
+  spec.classes = 10;
+  spec.height = spec.width = 8;
+  SyntheticImageNet data(spec);
+  std::vector<float> a, b;
+  data.fill_image(42, a);
+  data.fill_image(42, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(data.label_of(42), data.label_of(42));
+  data.fill_image(43, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(DatasetTest, LabelsAreBalancedish) {
+  DatasetSpec spec;
+  spec.num_samples = 10000;
+  spec.classes = 10;
+  SyntheticImageNet data(spec);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[data.label_of(i)]++;
+  for (int c = 0; c < 10; ++c) {
+    EXPECT_GT(counts[c], 700) << c;
+    EXPECT_LT(counts[c], 1300) << c;
+  }
+}
+
+TEST(DatasetTest, SampleBytesMatchImageNetScale) {
+  DatasetSpec spec;  // defaults: 3x224x224 float
+  EXPECT_EQ(spec.sample_bytes(), 3 * 224 * 224 * 4);
+  // The paper's 256-image mini-batch is "around 192 MB".
+  EXPECT_NEAR(256.0 * spec.sample_bytes() / (1 << 20), 147.0, 1.0);
+}
+
+TEST(SamplerTest, RanksDrawDifferentStreams) {
+  Sampler s0(1000, 7, 0), s1(1000, 7, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.next() == s1.next()) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(PrefetcherTest, DeliversWellFormedBatches) {
+  DatasetSpec spec;
+  spec.num_samples = 64;
+  spec.classes = 5;
+  spec.channels = 1;
+  spec.height = spec.width = 4;
+  DiskParams disk;
+  Prefetcher pf(spec, disk, FileLayout::kStriped, /*batch=*/8);
+  for (int i = 0; i < 3; ++i) {
+    Batch b = pf.pop();
+    EXPECT_EQ(b.images.size(), 8u * 16);
+    EXPECT_EQ(b.labels.size(), 8u);
+    for (float l : b.labels) {
+      EXPECT_GE(l, 0.0f);
+      EXPECT_LT(l, 5.0f);
+    }
+    EXPECT_GT(b.simulated_read_s, 0.0);
+  }
+}
+
+TEST(PrefetcherTest, DeterministicPerRank) {
+  DatasetSpec spec;
+  spec.num_samples = 64;
+  spec.classes = 5;
+  spec.channels = 1;
+  spec.height = spec.width = 4;
+  DiskParams disk;
+  Prefetcher a(spec, disk, FileLayout::kStriped, 4, /*rank=*/3);
+  Prefetcher b(spec, disk, FileLayout::kStriped, 4, /*rank=*/3);
+  const Batch ba = a.pop(), bb = b.pop();
+  EXPECT_EQ(ba.images, bb.images);
+  EXPECT_EQ(ba.labels, bb.labels);
+}
+
+TEST(PrefetcherTest, CropShrinksImagesToSpec) {
+  DatasetSpec spec;
+  spec.num_samples = 32;
+  spec.classes = 4;
+  spec.channels = 3;
+  spec.height = spec.width = 12;
+  spec.crop = 8;
+  DiskParams disk;
+  Prefetcher pf(spec, disk, FileLayout::kStriped, 4);
+  const Batch b = pf.pop();
+  EXPECT_EQ(b.images.size(), 4u * 3 * 8 * 8);
+}
+
+TEST(PrefetcherTest, MirrorFlipsSomeImages) {
+  DatasetSpec base;
+  base.num_samples = 16;
+  base.classes = 2;
+  base.channels = 1;
+  base.height = base.width = 6;
+  DatasetSpec mirrored = base;
+  mirrored.mirror = true;
+  DiskParams disk;
+  // Same sampler stream (same seed/rank): any differing image must be the
+  // exact horizontal flip of its unaugmented counterpart.
+  Prefetcher plain(base, disk, FileLayout::kStriped, 8);
+  Prefetcher flip(mirrored, disk, FileLayout::kStriped, 8);
+  const Batch a = plain.pop(), b = flip.pop();
+  ASSERT_EQ(a.images.size(), b.images.size());
+  int flipped = 0, same = 0;
+  const std::size_t img = 36;
+  for (int i = 0; i < 8; ++i) {
+    const float* pa = a.images.data() + i * img;
+    const float* pb = b.images.data() + i * img;
+    bool is_same = true, is_flip = true;
+    for (int y = 0; y < 6; ++y) {
+      for (int x = 0; x < 6; ++x) {
+        if (pa[y * 6 + x] != pb[y * 6 + x]) is_same = false;
+        if (pa[y * 6 + x] != pb[y * 6 + (5 - x)]) is_flip = false;
+      }
+    }
+    EXPECT_TRUE(is_same || is_flip) << "image " << i;
+    flipped += is_flip && !is_same;
+    same += is_same;
+  }
+  EXPECT_GT(flipped, 0);  // with p=0.5 over 8 images, all-unflipped is 0.4%
+}
+
+TEST(PrefetcherTest, CropRejectsOversizedWindow) {
+  DatasetSpec spec;
+  spec.num_samples = 4;
+  spec.channels = 1;
+  spec.height = spec.width = 6;
+  spec.crop = 8;  // larger than the image
+  DiskParams disk;
+  EXPECT_THROW(Prefetcher(spec, disk, FileLayout::kStriped, 1),
+               base::CheckError);
+}
+
+TEST(PrefetcherTest, SimulatedReadTimeReflectsLayoutContention) {
+  // The dataset must span several stripes for striping to matter; shrink the
+  // stripe so a small synthetic set exercises the layout difference.
+  DatasetSpec spec;
+  spec.num_samples = 4096;
+  spec.channels = 1;
+  spec.height = spec.width = 64;  // 16 KiB floats per sample
+  DiskParams disk;
+  disk.stripe_bytes = 1 << 20;  // dataset = 64 MiB -> 64 stripes
+  Prefetcher striped(spec, disk, FileLayout::kStriped, 4, 0, /*num_procs=*/256);
+  Prefetcher single(spec, disk, FileLayout::kSingleSplit, 4, 0,
+                    /*num_procs=*/256);
+  EXPECT_LT(striped.pop().simulated_read_s, single.pop().simulated_read_s);
+}
+
+}  // namespace
+}  // namespace swcaffe::io

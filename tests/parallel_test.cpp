@@ -1,0 +1,327 @@
+// Multi-core-group node runner (Algorithm 1) and distributed SSGD trainer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <thread>
+
+#include "base/rng.h"
+#include "core/models.h"
+#include "parallel/node_runner.h"
+#include "parallel/ssgd.h"
+#include "topo/allreduce.h"
+
+namespace swcaffe::parallel {
+namespace {
+
+core::NetSpec mlp(int batch, int in_dim, int hidden, int classes) {
+  core::NetSpec net;
+  net.name = "mlp";
+  net.inputs.push_back({"data", {batch, in_dim}});
+  net.inputs.push_back({"label", {batch}});
+  net.layers.push_back(core::ip_spec("fc1", "data", "h", hidden));
+  net.layers.push_back(core::relu_spec("relu1", "h", "h_out"));
+  net.layers.push_back(core::ip_spec("fc2", "h_out", "scores", classes));
+  net.layers.push_back(
+      core::softmax_loss_spec("loss", "scores", "label", "loss"));
+  return net;
+}
+
+void random_batch(std::vector<float>& data, std::vector<float>& labels,
+                  int batch, int dim, int classes, base::Rng& rng) {
+  data.resize(static_cast<std::size_t>(batch) * dim);
+  labels.resize(batch);
+  for (int b = 0; b < batch; ++b) {
+    const int cls = static_cast<int>(rng.uniform_int(0, classes - 1));
+    labels[b] = static_cast<float>(cls);
+    for (int i = 0; i < dim; ++i) {
+      data[b * dim + i] =
+          (cls == 0 ? -0.5f : 0.5f) + rng.gaussian(0.0f, 0.3f);
+    }
+  }
+}
+
+TEST(SimpleSyncTest, BarriersAllParties) {
+  SimpleSync sync(4);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      sync.arrive_and_wait();
+      // Every thread must observe all arrivals once released.
+      EXPECT_EQ(before.load(), 4);
+      after.fetch_add(1);
+      sync.arrive_and_wait();
+      EXPECT_EQ(after.load(), 4);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(SimpleSyncTest, ReusableAcrossManyRounds) {
+  SimpleSync sync(3);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        counter.fetch_add(1);
+        sync.arrive_and_wait();
+        EXPECT_EQ(counter.load() % 3, 0) << "round " << round;
+        sync.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(NodeRunnerTest, FourCgGradientsMatchSingleNetFullBatch) {
+  // Algorithm 1's invariant: averaging per-CG gradients over B/4 samples
+  // equals the full-batch gradient of one net over B samples.
+  const int cgs = 4, sub_batch = 3, dim = 6, classes = 2;
+  NodeRunner runner(mlp(sub_batch, dim, 8, classes), cgs, 42);
+  core::Net reference(mlp(sub_batch * cgs, dim, 8, classes), 42);
+  reference.copy_params_from(runner.master());
+
+  base::Rng rng(7);
+  std::vector<float> data, labels;
+  random_batch(data, labels, sub_batch * cgs, dim, classes, rng);
+
+  const double loss_node = runner.compute_gradients(data, labels);
+
+  std::copy(data.begin(), data.end(),
+            reference.blob("data")->data().begin());
+  std::copy(labels.begin(), labels.end(),
+            reference.blob("label")->data().begin());
+  const double loss_ref = reference.forward_backward();
+
+  EXPECT_NEAR(loss_node, loss_ref, 1e-5);
+  const std::size_t n = reference.param_count();
+  std::vector<float> g_node(n), g_ref(n);
+  runner.master().pack_param_diffs(g_node);
+  reference.pack_param_diffs(g_ref);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Softmax loss normalizes by batch: the CG average over B/4-sample
+    // losses equals the B-sample gradient.
+    EXPECT_NEAR(g_node[i], g_ref[i], 1e-4f) << i;
+  }
+}
+
+TEST(NodeRunnerTest, BroadcastParamsSynchronizesReplicas) {
+  NodeRunner runner(mlp(2, 4, 6, 2), 4, 1);
+  // Perturb master params, broadcast, compare.
+  auto params = runner.master().learnable_params();
+  params[0]->data()[0] = 123.0f;
+  runner.broadcast_params();
+  for (int cg = 1; cg < 4; ++cg) {
+    EXPECT_EQ(runner.replica(cg).learnable_params()[0]->data()[0], 123.0f);
+  }
+}
+
+class SsgdAlgoTest : public ::testing::TestWithParam<AllreduceAlgo> {};
+
+TEST_P(SsgdAlgoTest, AllNodesStayBitwiseIdentical) {
+  SsgdOptions opt;
+  opt.algo = GetParam();
+  opt.supernode_size = 2;
+  const int nodes = 4, sub_batch = 2, dim = 5, classes = 2;
+  core::SolverSpec solver;
+  solver.base_lr = 0.1f;
+  solver.momentum = 0.9f;
+  SsgdTrainer trainer(mlp(sub_batch, dim, 6, classes), nodes, solver, opt, 3);
+  base::Rng rng(4);
+  std::vector<float> data, labels;
+  for (int it = 0; it < 5; ++it) {
+    random_batch(data, labels, nodes * sub_batch, dim, classes, rng);
+    trainer.step(data, labels);
+  }
+  std::vector<float> w0(trainer.node(0).param_count());
+  trainer.node(0).pack_params(w0);
+  for (int r = 1; r < nodes; ++r) {
+    std::vector<float> wr(w0.size());
+    trainer.node(r).pack_params(wr);
+    EXPECT_EQ(wr, w0) << "rank " << r << " diverged under "
+                      << allreduce_algo_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SsgdAlgoTest,
+                         ::testing::Values(AllreduceAlgo::kRhdAdjacent,
+                                           AllreduceAlgo::kRhdRoundRobin,
+                                           AllreduceAlgo::kRing,
+                                           AllreduceAlgo::kParamServer),
+                         [](const auto& info) {
+                           std::string n = allreduce_algo_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(SsgdTest, DataParallelMatchesLargeBatchSingleNode) {
+  // k nodes x sub-batch b with averaged gradients == one node with batch k*b
+  // (up to float reduction order).
+  const int nodes = 4, sub_batch = 2, dim = 5, classes = 2;
+  SsgdOptions opt;
+  opt.supernode_size = 2;
+  core::SolverSpec solver;
+  solver.base_lr = 0.05f;
+  solver.momentum = 0.0f;
+  SsgdTrainer trainer(mlp(sub_batch, dim, 6, classes), nodes, solver, opt, 9);
+
+  core::Net big(mlp(nodes * sub_batch, dim, 6, classes), 9);
+  big.copy_params_from(trainer.node(0));
+  core::SgdSolver big_solver(big, solver);
+
+  base::Rng rng(10);
+  std::vector<float> data, labels;
+  for (int it = 0; it < 3; ++it) {
+    random_batch(data, labels, nodes * sub_batch, dim, classes, rng);
+    trainer.step(data, labels);
+    std::copy(data.begin(), data.end(), big.blob("data")->data().begin());
+    std::copy(labels.begin(), labels.end(),
+              big.blob("label")->data().begin());
+    big_solver.step();
+  }
+  std::vector<float> w_dist(trainer.node(0).param_count()),
+      w_big(big.param_count());
+  trainer.node(0).pack_params(w_dist);
+  big.pack_params(w_big);
+  for (std::size_t i = 0; i < w_big.size(); ++i) {
+    EXPECT_NEAR(w_dist[i], w_big[i], 1e-4f) << i;
+  }
+}
+
+TEST(SsgdTest, TrainingLossDecreases) {
+  SsgdOptions opt;
+  opt.supernode_size = 2;
+  core::SolverSpec solver;
+  solver.base_lr = 0.2f;
+  solver.momentum = 0.9f;
+  SsgdTrainer trainer(mlp(4, 6, 12, 2), 4, solver, opt, 11);
+  base::Rng rng(12);
+  std::vector<float> data, labels;
+  double first = 0.0, last = 0.0;
+  for (int it = 0; it < 40; ++it) {
+    random_batch(data, labels, 16, 6, 2, rng);
+    const double loss = trainer.step(data, labels);
+    if (it == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(SsgdTest, CommCostReflectsPlacement) {
+  const int nodes = 8;
+  core::SolverSpec solver;
+  base::Rng rng(13);
+  std::vector<float> data, labels;
+  random_batch(data, labels, nodes * 2, 5, 2, rng);
+
+  SsgdOptions adjacent;
+  adjacent.algo = AllreduceAlgo::kRhdAdjacent;
+  adjacent.supernode_size = 4;
+  SsgdTrainer t_adj(mlp(2, 5, 6, 2), nodes, solver, adjacent, 14);
+  t_adj.step(data, labels);
+
+  SsgdOptions rr;
+  rr.algo = AllreduceAlgo::kRhdRoundRobin;
+  rr.supernode_size = 4;
+  SsgdTrainer t_rr(mlp(2, 5, 6, 2), nodes, solver, rr, 14);
+  t_rr.step(data, labels);
+
+  EXPECT_LT(t_rr.last_comm().beta2_bytes, t_adj.last_comm().beta2_bytes);
+  EXPECT_LT(t_rr.last_comm().seconds, t_adj.last_comm().seconds);
+}
+
+TEST(FullStackTest, NodeRunnerSsgdMatchesBigBatchTraining) {
+  // The complete hierarchy of the paper: 2 nodes x 4 core groups x sub-batch
+  // 2 = global batch 16, with intra-node gradient averaging (Algorithm 1
+  // line 8) and inter-node all-reduce (line 9) — must track a single net
+  // trained on the full batch.
+  const int nodes = 2, cgs = 4, sub = 2, dim = 5, classes = 2;
+  const core::NetSpec cg_spec = mlp(sub, dim, 6, classes);
+  std::vector<std::unique_ptr<NodeRunner>> runners;
+  for (int r = 0; r < nodes; ++r) {
+    runners.push_back(std::make_unique<NodeRunner>(cg_spec, cgs, 21));
+  }
+  core::Net reference(mlp(nodes * cgs * sub, dim, 6, classes), 21);
+  reference.copy_params_from(runners[0]->master());
+  for (int r = 1; r < nodes; ++r) {
+    runners[r]->master().copy_params_from(runners[0]->master());
+    runners[r]->broadcast_params();
+  }
+
+  core::SolverSpec sspec;
+  sspec.base_lr = 0.1f;
+  sspec.momentum = 0.0f;
+  std::vector<std::unique_ptr<core::SgdSolver>> solvers;
+  for (auto& r : runners) {
+    solvers.push_back(std::make_unique<core::SgdSolver>(r->master(), sspec));
+  }
+  core::SgdSolver ref_solver(reference, sspec);
+
+  base::Rng rng(22);
+  std::vector<float> data, labels;
+  topo::Topology topo{nodes, 256};
+  const topo::NetParams net_params = topo::sunway_network();
+  const std::size_t n = reference.param_count();
+  for (int it = 0; it < 3; ++it) {
+    random_batch(data, labels, nodes * cgs * sub, dim, classes, rng);
+    const std::size_t per_node = data.size() / nodes;
+    const std::size_t labels_per_node = labels.size() / nodes;
+    std::vector<std::vector<float>> grads(nodes, std::vector<float>(n));
+    for (int r = 0; r < nodes; ++r) {
+      runners[r]->compute_gradients(
+          std::span<const float>(data).subspan(r * per_node, per_node),
+          std::span<const float>(labels).subspan(r * labels_per_node,
+                                                 labels_per_node));
+      runners[r]->master().pack_param_diffs(grads[r]);
+    }
+    topo::allreduce_rhd(grads, topo, net_params, topo::Placement::kRoundRobin);
+    for (int r = 0; r < nodes; ++r) {
+      for (auto& v : grads[r]) v /= nodes;  // SSGD average
+      runners[r]->master().unpack_param_diffs(grads[r]);
+      solvers[r]->apply_update();
+      runners[r]->broadcast_params();
+    }
+    // Reference trains on the same full batch in one shot.
+    std::copy(data.begin(), data.end(),
+              reference.blob("data")->data().begin());
+    std::copy(labels.begin(), labels.end(),
+              reference.blob("label")->data().begin());
+    ref_solver.step();
+  }
+  std::vector<float> w_dist(n), w_ref(n);
+  runners[0]->master().pack_params(w_dist);
+  reference.pack_params(w_ref);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(w_dist[i], w_ref[i], 1e-4f) << i;
+  }
+  // Both nodes ended identical.
+  std::vector<float> w_other(n);
+  runners[1]->master().pack_params(w_other);
+  EXPECT_EQ(w_dist, w_other);
+}
+
+TEST(ScalabilityTest, SpeedupGrowsAndCommFractionRises) {
+  hw::CostModel cost;
+  const auto descs = core::describe_net_spec(core::alexnet_bn(64));  // B/4
+  SsgdOptions opt;
+  const auto curve = scalability_curve(
+      cost, descs, 233 << 20, opt, {1, 4, 16, 64, 256, 1024});
+  ASSERT_EQ(curve.size(), 6u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].speedup, curve[i - 1].speedup);
+    EXPECT_GE(curve[i].comm_fraction, curve[i - 1].comm_fraction - 1e-9);
+  }
+  // Sub-linear at scale: the paper reports 715x at 1024 nodes for B=256.
+  EXPECT_LT(curve.back().speedup, 1024.0);
+  EXPECT_GT(curve.back().speedup, 200.0);
+}
+
+}  // namespace
+}  // namespace swcaffe::parallel

@@ -1,0 +1,125 @@
+// Baseline device rooflines (K40m GPU, Xeon CPU) — Table I/III sanity.
+#include <gtest/gtest.h>
+
+#include "core/models.h"
+#include "perfmodel/device_model.h"
+
+namespace swcaffe::perfmodel {
+namespace {
+
+std::int64_t input_bytes(int batch) { return 4LL * batch * 3 * 227 * 227; }
+
+TEST(DeviceModelTest, TableOneSpecs) {
+  EXPECT_NEAR(k40m().peak_sp_flops, 4.29e12, 1e9);
+  EXPECT_NEAR(k40m().mem_bw, 288e9, 1e6);
+  EXPECT_NEAR(sw26010_specsheet().peak_sp_flops, 3.02e12, 1e9);
+  EXPECT_NEAR(sw26010_specsheet().mem_bw, 128e9, 1e6);
+}
+
+TEST(DeviceModelTest, GpuBeatsCpuOnEveryNetwork) {
+  const DeviceModel gpu = k40m(), cpu = xeon_e5_2680v3();
+  struct Cfg {
+    core::NetSpec spec;
+    int batch;
+  };
+  const Cfg cfgs[] = {{core::alexnet_bn(256), 256},
+                      {core::vgg(16, 64), 64},
+                      {core::resnet50(32), 32},
+                      {core::googlenet(128), 128}};
+  for (const auto& c : cfgs) {
+    const auto descs = core::describe_net_spec(c.spec);
+    const double g = device_throughput_img_s(gpu, descs, c.batch,
+                                             input_bytes(c.batch));
+    const double h = device_throughput_img_s(cpu, descs, c.batch,
+                                             input_bytes(c.batch));
+    EXPECT_GT(g, 3.0 * h) << c.spec.name;
+  }
+}
+
+TEST(DeviceModelTest, AlexNetGpuThroughputNearPaper) {
+  // Table III: K40m AlexNet = 79.25 img/s; we accept the right decade and
+  // a tight-ish band since this column is directly calibrated.
+  const auto descs = core::describe_net_spec(core::alexnet_bn(256));
+  const double img_s =
+      device_throughput_img_s(k40m(), descs, 256, input_bytes(256));
+  EXPECT_NEAR(img_s, 79.25, 30.0);
+}
+
+TEST(DeviceModelTest, AlexNetGpuInputPipelineDominance) {
+  // Sec. VI-B: "data reading ... accounts for over 40% of time" on AlexNet.
+  const DeviceModel gpu = k40m();
+  const auto descs = core::describe_net_spec(core::alexnet_bn(256));
+  double compute = 0.0;
+  bool saw_conv = false;
+  for (const auto& d : descs) {
+    const bool first = d.kind == core::LayerKind::kConv && !saw_conv;
+    if (d.kind == core::LayerKind::kConv) saw_conv = true;
+    compute += estimate_layer_dev(gpu, d, first).total();
+  }
+  const double input = input_bytes(256) / gpu.input_pipeline_bw;
+  EXPECT_GT(input / (input + compute), 0.35);
+  EXPECT_LT(input / (input + compute), 0.60);
+}
+
+TEST(DeviceModelTest, VggGpuSlowerThanAlexNetPerImage) {
+  const DeviceModel gpu = k40m();
+  const double alex = device_throughput_img_s(
+      gpu, core::describe_net_spec(core::alexnet_bn(256)), 256,
+      input_bytes(256));
+  const double vgg16 = device_throughput_img_s(
+      gpu, core::describe_net_spec(core::vgg(16, 64)), 64, input_bytes(64));
+  EXPECT_GT(alex, 3.0 * vgg16);  // Table III: 79.25 vs 13.79
+}
+
+TEST(DeviceModelTest, Vgg19SlowerThanVgg16) {
+  const DeviceModel gpu = k40m();
+  const double v16 = device_throughput_img_s(
+      gpu, core::describe_net_spec(core::vgg(16, 64)), 64, input_bytes(64));
+  const double v19 = device_throughput_img_s(
+      gpu, core::describe_net_spec(core::vgg(19, 64)), 64, input_bytes(64));
+  EXPECT_GT(v16, v19);
+}
+
+TEST(DeviceModelTest, CpuAlexNetNearPaper) {
+  // Table III: CPU AlexNet = 12.01 img/s.
+  const auto descs = core::describe_net_spec(core::alexnet_bn(256));
+  const double img_s = device_throughput_img_s(xeon_e5_2680v3(), descs, 256,
+                                               input_bytes(256));
+  EXPECT_NEAR(img_s, 12.01, 6.0);
+}
+
+TEST(DeviceModelTest, KnlSitsBetweenCpuAndGpuOnConvNets) {
+  // The paper never benchmarks KNL, but Table I's specs put it above the
+  // K40m in raw flops while Intel-Caffe efficiencies were below cuDNN's —
+  // the model should land it between the Xeon and the K40m on VGG.
+  const auto descs = core::describe_net_spec(core::vgg(16, 64));
+  const double knl = device_throughput_img_s(knl_7250(), descs, 64, 0);
+  const double cpu = device_throughput_img_s(xeon_e5_2680v3(), descs, 64, 0);
+  const double gpu =
+      device_throughput_img_s(k40m(), descs, 64, input_bytes(64));
+  EXPECT_GT(knl, cpu);
+  EXPECT_GT(knl, 0.3 * gpu);
+  EXPECT_NEAR(knl_7250().peak_sp_flops, 6.92e12, 1e9);  // Table I
+}
+
+TEST(DeviceModelTest, FirstConvBackwardIsCheaperThanLater) {
+  const DeviceModel gpu = k40m();
+  core::LayerDesc d;
+  d.kind = core::LayerKind::kConv;
+  d.conv.batch = 32;
+  d.conv.in_c = 3;
+  d.conv.out_c = 64;
+  d.conv.in_h = d.conv.in_w = 224;
+  d.conv.kernel = 7;
+  d.conv.stride = 2;
+  d.conv.pad = 3;
+  d.input_count = d.conv.input_count();
+  d.output_count = d.conv.output_count();
+  const auto first = estimate_layer_dev(gpu, d, /*first_conv=*/true);
+  const auto later = estimate_layer_dev(gpu, d, /*first_conv=*/false);
+  EXPECT_LT(first.bwd_s, later.bwd_s);
+  EXPECT_EQ(first.fwd_s, later.fwd_s);
+}
+
+}  // namespace
+}  // namespace swcaffe::perfmodel

@@ -1,0 +1,162 @@
+// Prototxt parser/writer: parsing, error reporting, round-trips, and
+// end-to-end training of a text-defined net.
+#include <gtest/gtest.h>
+
+#include "base/log.h"
+#include "core/models.h"
+#include "core/net.h"
+#include "core/proto.h"
+
+namespace swcaffe::core {
+namespace {
+
+constexpr const char* kSmallNet = R"(
+# A small CNN in the Caffe dialect.
+name: "proto-cnn"
+input: "data"  input_dim: 4 input_dim: 2 input_dim: 8 input_dim: 8
+input: "label" input_dim: 4
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 6 kernel_size: 3 pad: 1 engine: EXPLICIT }
+}
+layer { name: "relu1" type: "ReLU" bottom: "conv1" top: "relu1" }
+layer {
+  name: "pool1" type: "Pooling" bottom: "relu1" top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "fc" type: "InnerProduct" bottom: "pool1" top: "scores"
+  inner_product_param { num_output: 3 }
+}
+layer {
+  name: "loss" type: "SoftmaxWithLoss"
+  bottom: "scores" bottom: "label" top: "loss"
+}
+)";
+
+TEST(ProtoTest, ParsesSmallNet) {
+  const NetSpec spec = parse_net_prototxt(kSmallNet);
+  EXPECT_EQ(spec.name, "proto-cnn");
+  ASSERT_EQ(spec.inputs.size(), 2u);
+  EXPECT_EQ(spec.inputs[0].first, "data");
+  EXPECT_EQ(spec.inputs[0].second, (std::vector<int>{4, 2, 8, 8}));
+  EXPECT_EQ(spec.inputs[1].second, (std::vector<int>{4}));
+  ASSERT_EQ(spec.layers.size(), 5u);
+  EXPECT_EQ(spec.layers[0].kind, LayerKind::kConv);
+  EXPECT_EQ(spec.layers[0].num_output, 6);
+  EXPECT_EQ(spec.layers[0].pad, 1);
+  EXPECT_EQ(spec.layers[0].strategy, ConvStrategy::kExplicit);
+  EXPECT_EQ(spec.layers[2].pool_method, PoolMethod::kMax);
+  EXPECT_EQ(spec.layers[4].bottoms,
+            (std::vector<std::string>{"scores", "label"}));
+}
+
+TEST(ProtoTest, ParsedNetTrains) {
+  Net net(parse_net_prototxt(kSmallNet), 3);
+  base::Rng rng(4);
+  for (auto& v : net.blob("data")->data()) v = rng.uniform(-1, 1);
+  for (int b = 0; b < 4; ++b) {
+    net.blob("label")->data()[b] = static_cast<float>(b % 3);
+  }
+  const double loss0 = net.forward_backward();
+  EXPECT_GT(loss0, 0.0);
+  for (int it = 0; it < 20; ++it) {
+    net.forward_backward();
+    for (auto* p : net.learnable_params()) p->axpy_from_diff(-0.2f);
+  }
+  EXPECT_LT(net.forward(), loss0);
+}
+
+TEST(ProtoTest, RoundTripPreservesDescription) {
+  // Model-zoo specs survive write -> parse with identical shape inference.
+  for (const auto& spec :
+       {alexnet_bn(4, 10, 67), vgg(16, 1, 10, 32), googlenet(1, 10, 64)}) {
+    const std::string text = net_spec_to_prototxt(spec);
+    const NetSpec back = parse_net_prototxt(text);
+    const auto a = describe_net_spec(spec);
+    const auto b = describe_net_spec(back);
+    ASSERT_EQ(a.size(), b.size()) << spec.name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].name, b[i].name) << spec.name;
+      EXPECT_EQ(a[i].input_count, b[i].input_count) << a[i].name;
+      EXPECT_EQ(a[i].output_count, b[i].output_count) << a[i].name;
+      EXPECT_EQ(a[i].param_count, b[i].param_count) << a[i].name;
+    }
+  }
+}
+
+TEST(ProtoTest, CommentsAndFlatKeysAccepted) {
+  const NetSpec spec = parse_net_prototxt(R"(
+    name: "flat"  # trailing comment
+    input: "x" input_dim: 1 input_dim: 4
+    layer { name: "fc" type: "InnerProduct" bottom: "x" top: "y"
+            num_output: 2 bias_term: false }
+  )");
+  EXPECT_EQ(spec.layers[0].num_output, 2);
+  EXPECT_FALSE(spec.layers[0].bias);
+}
+
+TEST(ProtoTest, UnknownLayerTypeThrows) {
+  EXPECT_THROW(parse_net_prototxt(
+                   R"(layer { name: "x" type: "Deconvolution" })"),
+               base::CheckError);
+}
+
+TEST(ProtoTest, MissingNameThrows) {
+  EXPECT_THROW(parse_net_prototxt(R"(layer { type: "ReLU" })"),
+               base::CheckError);
+}
+
+TEST(ProtoTest, UnterminatedBlockThrows) {
+  EXPECT_THROW(parse_net_prototxt(R"(layer { name: "x" type: "ReLU" )"),
+               base::CheckError);
+}
+
+TEST(ProtoTest, StrayBraceThrows) {
+  EXPECT_THROW(parse_net_prototxt("}"), base::CheckError);
+}
+
+TEST(ProtoTest, BadNumberThrows) {
+  EXPECT_THROW(
+      parse_net_prototxt(
+          R"(layer { name: "c" type: "Convolution" num_output: lots })"),
+      base::CheckError);
+}
+
+TEST(ProtoTest, SolverParsing) {
+  const SolverSpec s = parse_solver_prototxt(R"(
+    base_lr: 0.05
+    momentum: 0.95
+    weight_decay: 0.0005
+    lr_policy: "step"
+    gamma: 0.1
+    stepsize: 1000
+    type: "Nesterov"
+  )");
+  EXPECT_FLOAT_EQ(s.base_lr, 0.05f);
+  EXPECT_FLOAT_EQ(s.momentum, 0.95f);
+  EXPECT_FLOAT_EQ(s.weight_decay, 0.0005f);
+  EXPECT_EQ(s.policy, LrPolicy::kStep);
+  EXPECT_EQ(s.step_size, 1000);
+  EXPECT_EQ(s.type, SolverType::kNesterov);
+}
+
+TEST(ProtoTest, SolverRejectsUnknownPolicy) {
+  EXPECT_THROW(parse_solver_prototxt(R"(lr_policy: "cosine")"),
+               base::CheckError);
+}
+
+TEST(ProtoTest, DataLayerDims) {
+  const NetSpec spec = parse_net_prototxt(R"(
+    layer { name: "data" type: "Data" top: "x" top: "label"
+            data_param { dim: 8 dim: 3 dim: 16 dim: 16 num_classes: 10 } }
+  )");
+  EXPECT_EQ(spec.layers[0].data_shape, (std::vector<int>{8, 3, 16, 16}));
+  EXPECT_EQ(spec.layers[0].num_classes, 10);
+}
+
+}  // namespace
+}  // namespace swcaffe::core

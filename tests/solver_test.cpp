@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/log.h"
+#include "core/net.h"
+#include "core/solver.h"
+#include "core/spec.h"
+
+namespace swcaffe::core {
+namespace {
+
+/// One-parameter quadratic-ish problem: a single 1x1 inner product with no
+/// bias; loss = softmax over two scores [w*x, 0]-style is awkward, so use a
+/// tiny two-class net and verify the update arithmetic directly instead.
+NetSpec one_fc_net(int batch) {
+  NetSpec spec;
+  spec.inputs.push_back({"data", {batch, 2}});
+  spec.inputs.push_back({"label", {batch}});
+  spec.layers.push_back(ip_spec("fc", "data", "scores", 2));
+  spec.layers.push_back(softmax_loss_spec("loss", "scores", "label", "loss"));
+  return spec;
+}
+
+TEST(SolverTest, FixedPolicyKeepsLr) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 1);
+  SolverSpec ss;
+  ss.base_lr = 0.05f;
+  ss.policy = LrPolicy::kFixed;
+  SgdSolver solver(net, ss);
+  EXPECT_FLOAT_EQ(solver.current_lr(), 0.05f);
+}
+
+TEST(SolverTest, StepPolicyDecays) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 1);
+  net.blob("label")->data()[0] = 0;
+  SolverSpec ss;
+  ss.base_lr = 1.0f;
+  ss.policy = LrPolicy::kStep;
+  ss.gamma = 0.1f;
+  ss.step_size = 2;
+  SgdSolver solver(net, ss);
+  EXPECT_FLOAT_EQ(solver.current_lr(), 1.0f);
+  solver.step();
+  solver.step();
+  EXPECT_FLOAT_EQ(solver.current_lr(), 0.1f);
+  solver.step();
+  solver.step();
+  EXPECT_FLOAT_EQ(solver.current_lr(), 0.01f);
+}
+
+TEST(SolverTest, PolyPolicyReachesZeroAtHorizon) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 1);
+  net.blob("label")->data()[0] = 0;
+  SolverSpec ss;
+  ss.base_lr = 2.0f;
+  ss.policy = LrPolicy::kPoly;
+  ss.power = 1.0f;
+  ss.max_iter = 4;
+  SgdSolver solver(net, ss);
+  EXPECT_FLOAT_EQ(solver.current_lr(), 2.0f);
+  solver.step();
+  EXPECT_FLOAT_EQ(solver.current_lr(), 1.5f);
+  solver.step();
+  solver.step();
+  solver.step();
+  EXPECT_FLOAT_EQ(solver.current_lr(), 0.0f);
+}
+
+TEST(SolverTest, VanillaSgdUpdateMatchesHandComputation) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 2);
+  SolverSpec ss;
+  ss.base_lr = 0.5f;
+  ss.momentum = 0.0f;
+  ss.weight_decay = 0.0f;
+  SgdSolver solver(net, ss);
+  auto* w = net.learnable_params()[0];
+  const float w0 = w->data()[0];
+  net.zero_param_diffs();
+  w->diff()[0] = 2.0f;  // pretend gradient
+  solver.apply_update();
+  EXPECT_FLOAT_EQ(w->data()[0], w0 - 0.5f * 2.0f);
+}
+
+TEST(SolverTest, MomentumAccumulatesVelocity) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 3);
+  SolverSpec ss;
+  ss.base_lr = 1.0f;
+  ss.momentum = 0.9f;
+  SgdSolver solver(net, ss);
+  auto* w = net.learnable_params()[0];
+  const float w0 = w->data()[0];
+  // Two updates with constant unit gradient: v1 = 1, v2 = 0.9 + 1 = 1.9.
+  net.zero_param_diffs();
+  w->diff()[0] = 1.0f;
+  solver.apply_update();
+  EXPECT_FLOAT_EQ(w->data()[0], w0 - 1.0f);
+  net.zero_param_diffs();
+  w->diff()[0] = 1.0f;
+  solver.apply_update();
+  EXPECT_FLOAT_EQ(w->data()[0], w0 - 1.0f - 1.9f);
+}
+
+TEST(SolverTest, WeightDecayPullsTowardZero) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 4);
+  SolverSpec ss;
+  ss.base_lr = 0.1f;
+  ss.momentum = 0.0f;
+  ss.weight_decay = 0.5f;
+  SgdSolver solver(net, ss);
+  auto* w = net.learnable_params()[0];
+  w->data()[0] = 2.0f;
+  net.zero_param_diffs();  // zero gradient: only decay acts
+  solver.apply_update();
+  EXPECT_FLOAT_EQ(w->data()[0], 2.0f - 0.1f * 0.5f * 2.0f);
+}
+
+TEST(SolverTest, StepTrainsSeparableProblem) {
+  NetSpec spec = one_fc_net(16);
+  Net net(spec, 5);
+  SolverSpec ss;
+  ss.base_lr = 0.2f;
+  ss.momentum = 0.9f;
+  SgdSolver solver(net, ss);
+  base::Rng rng(6);
+  double first = 0.0, last = 0.0;
+  for (int it = 0; it < 50; ++it) {
+    auto data = net.blob("data")->data();
+    auto label = net.blob("label")->data();
+    for (int b = 0; b < 16; ++b) {
+      const int cls = rng.bernoulli(0.5) ? 1 : 0;
+      label[b] = static_cast<float>(cls);
+      data[b * 2] = (cls ? 1.0f : -1.0f) + rng.gaussian(0, 0.2f);
+      data[b * 2 + 1] = rng.gaussian(0, 0.2f);
+    }
+    const double loss = solver.step();
+    if (it == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_EQ(solver.iter(), 50);
+  EXPECT_LT(last, 0.2 * first);
+}
+
+TEST(SolverTest, InvPolicyDecaysSmoothly) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 1);
+  net.blob("label")->data()[0] = 0;
+  SolverSpec ss;
+  ss.base_lr = 1.0f;
+  ss.policy = LrPolicy::kInv;
+  ss.gamma = 1.0f;
+  ss.power = 1.0f;
+  SgdSolver solver(net, ss);
+  EXPECT_FLOAT_EQ(solver.current_lr(), 1.0f);
+  solver.step();
+  EXPECT_FLOAT_EQ(solver.current_lr(), 0.5f);  // 1/(1+1)
+  solver.step();
+  solver.step();
+  EXPECT_FLOAT_EQ(solver.current_lr(), 0.25f);  // 1/(1+3)
+}
+
+TEST(SolverTest, NesterovUpdateMatchesHandComputation) {
+  NetSpec spec = one_fc_net(1);
+  Net net(spec, 6);
+  SolverSpec ss;
+  ss.type = SolverType::kNesterov;
+  ss.base_lr = 1.0f;
+  ss.momentum = 0.5f;
+  SgdSolver solver(net, ss);
+  auto* w = net.learnable_params()[0];
+  const float w0 = w->data()[0];
+  // Step 1: v_prev=0, v=1*g=1; delta = 1.5*1 - 0.5*0 = 1.5.
+  net.zero_param_diffs();
+  w->diff()[0] = 1.0f;
+  solver.apply_update();
+  EXPECT_FLOAT_EQ(w->data()[0], w0 - 1.5f);
+  // Step 2: v_prev=1, v=0.5+1=1.5; delta = 1.5*1.5 - 0.5*1 = 1.75.
+  net.zero_param_diffs();
+  w->diff()[0] = 1.0f;
+  solver.apply_update();
+  EXPECT_FLOAT_EQ(w->data()[0], w0 - 1.5f - 1.75f);
+}
+
+TEST(SolverTest, SnapshotRestoreResumesBitExactly) {
+  const std::string path = ::testing::TempDir() + "/swc_solver.snap";
+  NetSpec spec = one_fc_net(8);
+  SolverSpec ss;
+  ss.base_lr = 0.1f;
+  ss.momentum = 0.9f;
+  ss.policy = LrPolicy::kStep;
+  ss.step_size = 5;
+
+  auto run_batch = [](Net& net, SgdSolver& solver, base::Rng& rng, int iters) {
+    for (int it = 0; it < iters; ++it) {
+      auto data = net.blob("data")->data();
+      auto label = net.blob("label")->data();
+      for (int b = 0; b < 8; ++b) {
+        label[b] = static_cast<float>(b % 2);
+        data[b * 2] = (b % 2 ? 1.0f : -1.0f) + rng.uniform(-0.1f, 0.1f);
+        data[b * 2 + 1] = rng.uniform(-0.1f, 0.1f);
+      }
+      solver.step();
+    }
+  };
+
+  // Reference: 10 uninterrupted iterations.
+  Net ref(spec, 9);
+  SgdSolver ref_solver(ref, ss);
+  base::Rng ref_rng(10);
+  run_batch(ref, ref_solver, ref_rng, 10);
+
+  // Interrupted: 6 iterations, snapshot, fresh solver restores, 4 more with
+  // the same data stream.
+  Net a(spec, 9);
+  SgdSolver sa(a, ss);
+  base::Rng rng(10);
+  run_batch(a, sa, rng, 6);
+  sa.snapshot(path);
+
+  Net b(spec, 999);  // different init: restore must overwrite it
+  SgdSolver sb(b, ss);
+  sb.restore(path);
+  EXPECT_EQ(sb.iter(), 6);
+  run_batch(b, sb, rng, 4);
+
+  std::vector<float> w_ref(ref.param_count()), w_b(b.param_count());
+  ref.pack_params(w_ref);
+  b.pack_params(w_b);
+  EXPECT_EQ(w_ref, w_b);
+  std::remove(path.c_str());
+}
+
+TEST(SolverTest, RestoreRejectsMismatchedNet) {
+  const std::string path = ::testing::TempDir() + "/swc_solver_bad.snap";
+  NetSpec small = one_fc_net(1);
+  Net a(small, 1);
+  SolverSpec ss;
+  SgdSolver sa(a, ss);
+  sa.snapshot(path);
+  NetSpec big = one_fc_net(1);
+  big.layers[0].num_output = 7;  // different parameter count
+  Net b(big, 1);
+  SgdSolver sb(b, ss);
+  EXPECT_THROW(sb.restore(path), base::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(SolverTest, GradientAndUpdateHalvesCompose) {
+  // compute_gradients + apply_update must equal step.
+  NetSpec spec = one_fc_net(4);
+  Net a(spec, 7), b(spec, 7);
+  SolverSpec ss;
+  ss.base_lr = 0.1f;
+  ss.momentum = 0.5f;
+  SgdSolver sa(a, ss), sb(b, ss);
+  base::Rng rng(8);
+  for (auto& v : a.blob("data")->data()) v = rng.uniform(-1, 1);
+  b.blob("data")->copy_from(*a.blob("data"));
+  for (int i = 0; i < 4; ++i) {
+    a.blob("label")->data()[i] = b.blob("label")->data()[i] =
+        static_cast<float>(i % 2);
+  }
+  sa.step();
+  sb.compute_gradients();
+  sb.apply_update();
+  auto pa = a.learnable_params(), pb = b.learnable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pa[i]->count(); ++j) {
+      EXPECT_EQ(pa[i]->data()[j], pb[i]->data()[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swcaffe::core

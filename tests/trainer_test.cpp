@@ -1,0 +1,114 @@
+// Training harness: end-to-end loop over prefetcher + node runner + solver.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/proto.h"
+#include "parallel/trainer.h"
+
+namespace swcaffe::parallel {
+namespace {
+
+core::NetSpec tiny_cnn(int sub_batch, int channels, int image, int classes) {
+  core::NetSpec spec;
+  spec.name = "trainer-test";
+  spec.inputs.push_back({"data", {sub_batch, channels, image, image}});
+  spec.inputs.push_back({"label", {sub_batch}});
+  spec.layers.push_back(core::conv_spec("c1", "data", "c1", 8, 3, 1, 1));
+  spec.layers.push_back(core::relu_spec("r1", "c1", "r1"));
+  spec.layers.push_back(core::ip_spec("fc", "r1", "scores", classes));
+  spec.layers.push_back(
+      core::softmax_loss_spec("loss", "scores", "label", "loss"));
+  return spec;
+}
+
+io::DatasetSpec tiny_dataset(int channels, int image, int classes) {
+  io::DatasetSpec d;
+  d.num_samples = 512;
+  d.classes = classes;
+  d.channels = channels;
+  d.height = d.width = image;
+  return d;
+}
+
+TEST(TrainerTest, LossDecreasesOverRun) {
+  core::SolverSpec solver;
+  solver.base_lr = 0.05f;
+  solver.momentum = 0.9f;
+  TrainOptions opt;
+  opt.max_iter = 40;
+  opt.display_every = 5;
+  Trainer trainer(tiny_cnn(2, 2, 8, 4), solver, tiny_dataset(2, 8, 4),
+                  io::DiskParams{}, opt);
+  const TrainStats stats = trainer.run();
+  EXPECT_EQ(stats.iterations, 40);
+  ASSERT_GE(stats.losses.size(), 4u);
+  EXPECT_LT(stats.losses.back(), stats.losses.front());
+  EXPECT_GT(stats.simulated_seconds, 0.0);
+}
+
+TEST(TrainerTest, TestPhaseReportsAccuracy) {
+  core::SolverSpec solver;
+  solver.base_lr = 0.05f;
+  solver.momentum = 0.9f;
+  TrainOptions opt;
+  opt.max_iter = 36;
+  opt.display_every = 0;
+  opt.test_every = 12;
+  opt.test_batches = 3;
+  Trainer trainer(tiny_cnn(2, 2, 8, 4), solver, tiny_dataset(2, 8, 4),
+                  io::DiskParams{}, opt);
+  const TrainStats stats = trainer.run();
+  ASSERT_EQ(stats.test_accuracy.size(), 3u);
+  for (double a : stats.test_accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  // Synthetic classes are learnable: late accuracy beats chance.
+  EXPECT_GT(stats.test_accuracy.back(), 0.25);
+}
+
+TEST(TrainerTest, SnapshotsAreWritten) {
+  core::SolverSpec solver;
+  TrainOptions opt;
+  opt.max_iter = 10;
+  opt.display_every = 0;
+  opt.snapshot_every = 5;
+  opt.snapshot_prefix = ::testing::TempDir() + "/swc_trainer";
+  Trainer trainer(tiny_cnn(1, 2, 8, 3), solver, tiny_dataset(2, 8, 3),
+                  io::DiskParams{}, opt);
+  trainer.run();
+  for (int iter : {5, 10}) {
+    const std::string path =
+        opt.snapshot_prefix + "_iter_" + std::to_string(iter) + ".snap";
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << path;
+    f.close();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TrainerTest, PrototxtEndToEnd) {
+  const core::NetSpec net = core::parse_net_prototxt(R"(
+    name: "e2e"
+    input: "data"  input_dim: 2 input_dim: 1 input_dim: 6 input_dim: 6
+    input: "label" input_dim: 2
+    layer { name: "fc" type: "InnerProduct" bottom: "data" top: "scores"
+            inner_product_param { num_output: 3 } }
+    layer { name: "loss" type: "SoftmaxWithLoss"
+            bottom: "scores" bottom: "label" top: "loss" }
+  )");
+  const core::SolverSpec solver =
+      core::parse_solver_prototxt("base_lr: 0.05 momentum: 0.9");
+  TrainOptions opt;
+  opt.max_iter = 25;
+  opt.display_every = 24;
+  Trainer trainer(net, solver, tiny_dataset(1, 6, 3), io::DiskParams{}, opt);
+  const TrainStats stats = trainer.run();
+  EXPECT_EQ(stats.iterations, 25);
+  EXPECT_LT(stats.final_loss, 3.0);
+}
+
+}  // namespace
+}  // namespace swcaffe::parallel

@@ -1,0 +1,109 @@
+// Layout-transform planning pass (paper Sec. IV-C).
+#include <gtest/gtest.h>
+
+#include "core/models.h"
+#include "hw/cost_model.h"
+#include "swdnn/transform_plan.h"
+
+namespace swcaffe::dnn {
+namespace {
+
+TEST(TransformPlanTest, LayoutAgnosticClassification) {
+  EXPECT_TRUE(layout_agnostic(core::LayerKind::kReLU));
+  EXPECT_TRUE(layout_agnostic(core::LayerKind::kBatchNorm));
+  EXPECT_TRUE(layout_agnostic(core::LayerKind::kDropout));
+  EXPECT_TRUE(layout_agnostic(core::LayerKind::kEltwise));
+  EXPECT_FALSE(layout_agnostic(core::LayerKind::kConv));
+  EXPECT_FALSE(layout_agnostic(core::LayerKind::kPool));
+  EXPECT_FALSE(layout_agnostic(core::LayerKind::kInnerProduct));
+  EXPECT_FALSE(layout_agnostic(core::LayerKind::kConcat));
+}
+
+TEST(TransformPlanTest, GatheringNeverLosesToPerLayer) {
+  hw::CostModel cost;
+  for (const auto& spec :
+       {core::alexnet_bn(64), core::vgg(16, 16), core::resnet50(8),
+        core::googlenet(32)}) {
+    const auto plan =
+        plan_layout_transforms(cost, core::describe_net_spec(spec));
+    EXPECT_LE(plan.gathered_transforms, plan.per_layer_transforms)
+        << spec.name;
+    EXPECT_LE(plan.gathered_total_s, plan.per_layer_total_s + 1e-9)
+        << spec.name;
+  }
+}
+
+TEST(TransformPlanTest, MixedPlanBeatsAllExplicit) {
+  // Wherever implicit kernels win per Table II, the transform overhead must
+  // not eat the gain (that is the point of gathering).
+  hw::CostModel cost;
+  for (const auto& spec : {core::vgg(16, 16), core::resnet50(8)}) {
+    const auto plan =
+        plan_layout_transforms(cost, core::describe_net_spec(spec));
+    EXPECT_LT(plan.gathered_total_s, plan.all_explicit_total_s) << spec.name;
+  }
+}
+
+TEST(TransformPlanTest, ElementwiseRunsAreBridged) {
+  // conv(implicit) -> relu -> conv(implicit) must be ONE run: 2 transforms,
+  // with the relu marked RCNB.
+  core::NetSpec spec;
+  spec.inputs.push_back({"data", {16, 512, 14, 14}});
+  // 512-channel 14x14 convs: implicit wins (Table II conv5_x).
+  spec.layers.push_back(core::conv_spec("c1", "data", "c1", 512, 3, 1, 1));
+  spec.layers.push_back(core::relu_spec("r1", "c1", "r1"));
+  spec.layers.push_back(core::conv_spec("c2", "r1", "c2", 512, 3, 1, 1));
+  hw::CostModel cost;
+  const auto descs = core::describe_net_spec(spec);
+  const auto plan = plan_layout_transforms(cost, descs);
+  ASSERT_EQ(plan.rcnb.size(), 3u);
+  EXPECT_TRUE(plan.rcnb[0]);
+  EXPECT_TRUE(plan.rcnb[1]);  // the bridged ReLU
+  EXPECT_TRUE(plan.rcnb[2]);
+  EXPECT_EQ(plan.gathered_transforms, 2);   // in before c1, out after c2
+  EXPECT_EQ(plan.per_layer_transforms, 4);  // a pair around each conv
+}
+
+TEST(TransformPlanTest, PoolBreaksRuns) {
+  // conv(implicit) -> pool -> conv(implicit): pooling is layout-bound, so
+  // two runs and four gathered transforms.
+  core::NetSpec spec;
+  spec.inputs.push_back({"data", {16, 512, 14, 14}});  // implicit-winning size
+  spec.layers.push_back(core::conv_spec("c1", "data", "c1", 512, 3, 1, 1));
+  spec.layers.push_back(core::pool_spec("p1", "c1", "p1",
+                                        core::PoolMethod::kMax, 2, 2));
+  spec.layers.push_back(core::conv_spec("c2", "p1", "c2", 512, 3, 1, 1));
+  hw::CostModel cost;
+  const auto plan =
+      plan_layout_transforms(cost, core::describe_net_spec(spec));
+  EXPECT_TRUE(plan.rcnb[0]);
+  EXPECT_FALSE(plan.rcnb[1]);
+  EXPECT_TRUE(plan.rcnb[2]);
+  EXPECT_EQ(plan.gathered_transforms, 4);
+}
+
+TEST(TransformPlanTest, ExplicitOnlyNetNeedsNoTransforms) {
+  // A 3-channel first conv (implicit unsupported) alone: no RCNB anywhere.
+  core::NetSpec spec;
+  spec.inputs.push_back({"data", {16, 3, 64, 64}});
+  spec.layers.push_back(core::conv_spec("c1", "data", "c1", 16, 3, 1, 1));
+  hw::CostModel cost;
+  const auto plan =
+      plan_layout_transforms(cost, core::describe_net_spec(spec));
+  EXPECT_FALSE(plan.rcnb[0]);
+  EXPECT_EQ(plan.gathered_transforms, 0);
+  EXPECT_DOUBLE_EQ(plan.gathered_transform_s, 0.0);
+}
+
+TEST(TransformPlanTest, ResNetGathersIntoFewRuns) {
+  // ResNet-50's body is implicit-friendly and glued by eltwise/BN/ReLU:
+  // gathering must collapse the ~100 per-layer transforms to a handful.
+  hw::CostModel cost;
+  const auto plan =
+      plan_layout_transforms(cost, core::describe_net_spec(core::resnet50(8)));
+  EXPECT_GT(plan.per_layer_transforms, 50);
+  EXPECT_LT(plan.gathered_transforms, 12);
+}
+
+}  // namespace
+}  // namespace swcaffe::dnn
