@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conv_vgg.dir/bench_conv_vgg.cpp.o"
+  "CMakeFiles/bench_conv_vgg.dir/bench_conv_vgg.cpp.o.d"
+  "bench_conv_vgg"
+  "bench_conv_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conv_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dma.dir/bench_dma.cpp.o"
+  "CMakeFiles/bench_dma.dir/bench_dma.cpp.o.d"
+  "bench_dma"
+  "bench_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layers_alexnet.dir/bench_layers_alexnet.cpp.o"
+  "CMakeFiles/bench_layers_alexnet.dir/bench_layers_alexnet.cpp.o.d"
+  "bench_layers_alexnet"
+  "bench_layers_alexnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layers_alexnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

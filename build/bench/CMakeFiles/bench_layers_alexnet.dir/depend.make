@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_layers_alexnet.
+# This may be replaced when dependencies are built.

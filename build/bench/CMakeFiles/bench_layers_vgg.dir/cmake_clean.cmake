@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layers_vgg.dir/bench_layers_vgg.cpp.o"
+  "CMakeFiles/bench_layers_vgg.dir/bench_layers_vgg.cpp.o.d"
+  "bench_layers_vgg"
+  "bench_layers_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layers_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

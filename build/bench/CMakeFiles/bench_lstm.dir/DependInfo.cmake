@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lstm.cpp" "bench/CMakeFiles/bench_lstm.dir/bench_lstm.cpp.o" "gcc" "bench/CMakeFiles/bench_lstm.dir/bench_lstm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swdnn/CMakeFiles/swc_swdnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/swc_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/swgemm/CMakeFiles/swc_swgemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/swc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lstm.dir/bench_lstm.cpp.o"
+  "CMakeFiles/bench_lstm.dir/bench_lstm.cpp.o.d"
+  "bench_lstm"
+  "bench_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2p_network.dir/bench_p2p_network.cpp.o"
+  "CMakeFiles/bench_p2p_network.dir/bench_p2p_network.cpp.o.d"
+  "bench_p2p_network"
+  "bench_p2p_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2p_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_dma "/root/repo/build/bench/bench_dma")
+set_tests_properties(smoke_bench_dma PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_p2p_network "/root/repo/build/bench/bench_p2p_network")
+set_tests_properties(smoke_bench_p2p_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_allreduce "/root/repo/build/bench/bench_allreduce")
+set_tests_properties(smoke_bench_allreduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_conv_vgg "/root/repo/build/bench/bench_conv_vgg")
+set_tests_properties(smoke_bench_conv_vgg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_layers_alexnet "/root/repo/build/bench/bench_layers_alexnet")
+set_tests_properties(smoke_bench_layers_alexnet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_layers_vgg "/root/repo/build/bench/bench_layers_vgg")
+set_tests_properties(smoke_bench_layers_vgg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_networks "/root/repo/build/bench/bench_networks")
+set_tests_properties(smoke_bench_networks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_scalability "/root/repo/build/bench/bench_scalability")
+set_tests_properties(smoke_bench_scalability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_io "/root/repo/build/bench/bench_io")
+set_tests_properties(smoke_bench_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_packing "/root/repo/build/bench/bench_packing")
+set_tests_properties(smoke_bench_packing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_transform "/root/repo/build/bench/bench_transform")
+set_tests_properties(smoke_bench_transform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_lstm "/root/repo/build/bench/bench_lstm")
+set_tests_properties(smoke_bench_lstm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_gemm "/root/repo/build/bench/bench_gemm" "--benchmark_min_time=0.01")
+set_tests_properties(smoke_bench_gemm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_plan_explorer.dir/conv_plan_explorer.cpp.o"
+  "CMakeFiles/conv_plan_explorer.dir/conv_plan_explorer.cpp.o.d"
+  "conv_plan_explorer"
+  "conv_plan_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_plan_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagenet_node_training.dir/imagenet_node_training.cpp.o"
+  "CMakeFiles/imagenet_node_training.dir/imagenet_node_training.cpp.o.d"
+  "imagenet_node_training"
+  "imagenet_node_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagenet_node_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_sequence.dir/lstm_sequence.cpp.o"
+  "CMakeFiles/lstm_sequence.dir/lstm_sequence.cpp.o.d"
+  "lstm_sequence"
+  "lstm_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

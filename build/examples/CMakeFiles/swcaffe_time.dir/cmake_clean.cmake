@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcaffe_time.dir/swcaffe_time.cpp.o"
+  "CMakeFiles/swcaffe_time.dir/swcaffe_time.cpp.o.d"
+  "swcaffe_time"
+  "swcaffe_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcaffe_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

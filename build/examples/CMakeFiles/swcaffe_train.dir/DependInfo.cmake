@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/swcaffe_train.cpp" "examples/CMakeFiles/swcaffe_train.dir/swcaffe_train.cpp.o" "gcc" "examples/CMakeFiles/swcaffe_train.dir/swcaffe_train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/swc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/swc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/swc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/swdnn/CMakeFiles/swc_swdnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/swgemm/CMakeFiles/swc_swgemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/swc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

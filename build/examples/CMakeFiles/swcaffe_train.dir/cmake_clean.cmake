@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcaffe_train.dir/swcaffe_train.cpp.o"
+  "CMakeFiles/swcaffe_train.dir/swcaffe_train.cpp.o.d"
+  "swcaffe_train"
+  "swcaffe_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcaffe_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_base.dir/log.cpp.o"
+  "CMakeFiles/swc_base.dir/log.cpp.o.d"
+  "CMakeFiles/swc_base.dir/rng.cpp.o"
+  "CMakeFiles/swc_base.dir/rng.cpp.o.d"
+  "CMakeFiles/swc_base.dir/table.cpp.o"
+  "CMakeFiles/swc_base.dir/table.cpp.o.d"
+  "CMakeFiles/swc_base.dir/units.cpp.o"
+  "CMakeFiles/swc_base.dir/units.cpp.o.d"
+  "libswc_base.a"
+  "libswc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

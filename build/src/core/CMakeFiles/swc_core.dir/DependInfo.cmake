@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/act_layers.cpp" "src/core/CMakeFiles/swc_core.dir/act_layers.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/act_layers.cpp.o.d"
+  "/root/repo/src/core/conv_layer.cpp" "src/core/CMakeFiles/swc_core.dir/conv_layer.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/core/ip_layer.cpp" "src/core/CMakeFiles/swc_core.dir/ip_layer.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/ip_layer.cpp.o.d"
+  "/root/repo/src/core/lstm_layer.cpp" "src/core/CMakeFiles/swc_core.dir/lstm_layer.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/lstm_layer.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "src/core/CMakeFiles/swc_core.dir/models.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/models.cpp.o.d"
+  "/root/repo/src/core/models_desc.cpp" "src/core/CMakeFiles/swc_core.dir/models_desc.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/models_desc.cpp.o.d"
+  "/root/repo/src/core/net.cpp" "src/core/CMakeFiles/swc_core.dir/net.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/net.cpp.o.d"
+  "/root/repo/src/core/norm_layers.cpp" "src/core/CMakeFiles/swc_core.dir/norm_layers.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/norm_layers.cpp.o.d"
+  "/root/repo/src/core/pool_layer.cpp" "src/core/CMakeFiles/swc_core.dir/pool_layer.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/pool_layer.cpp.o.d"
+  "/root/repo/src/core/proto.cpp" "src/core/CMakeFiles/swc_core.dir/proto.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/proto.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/swc_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/swc_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/spec.cpp.o.d"
+  "/root/repo/src/core/struct_layers.cpp" "src/core/CMakeFiles/swc_core.dir/struct_layers.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/struct_layers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/swc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/swc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/swgemm/CMakeFiles/swc_swgemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/swdnn/CMakeFiles/swc_swdnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

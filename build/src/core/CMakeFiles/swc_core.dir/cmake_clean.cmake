@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_core.dir/act_layers.cpp.o"
+  "CMakeFiles/swc_core.dir/act_layers.cpp.o.d"
+  "CMakeFiles/swc_core.dir/conv_layer.cpp.o"
+  "CMakeFiles/swc_core.dir/conv_layer.cpp.o.d"
+  "CMakeFiles/swc_core.dir/ip_layer.cpp.o"
+  "CMakeFiles/swc_core.dir/ip_layer.cpp.o.d"
+  "CMakeFiles/swc_core.dir/lstm_layer.cpp.o"
+  "CMakeFiles/swc_core.dir/lstm_layer.cpp.o.d"
+  "CMakeFiles/swc_core.dir/models.cpp.o"
+  "CMakeFiles/swc_core.dir/models.cpp.o.d"
+  "CMakeFiles/swc_core.dir/models_desc.cpp.o"
+  "CMakeFiles/swc_core.dir/models_desc.cpp.o.d"
+  "CMakeFiles/swc_core.dir/net.cpp.o"
+  "CMakeFiles/swc_core.dir/net.cpp.o.d"
+  "CMakeFiles/swc_core.dir/norm_layers.cpp.o"
+  "CMakeFiles/swc_core.dir/norm_layers.cpp.o.d"
+  "CMakeFiles/swc_core.dir/pool_layer.cpp.o"
+  "CMakeFiles/swc_core.dir/pool_layer.cpp.o.d"
+  "CMakeFiles/swc_core.dir/proto.cpp.o"
+  "CMakeFiles/swc_core.dir/proto.cpp.o.d"
+  "CMakeFiles/swc_core.dir/solver.cpp.o"
+  "CMakeFiles/swc_core.dir/solver.cpp.o.d"
+  "CMakeFiles/swc_core.dir/spec.cpp.o"
+  "CMakeFiles/swc_core.dir/spec.cpp.o.d"
+  "CMakeFiles/swc_core.dir/struct_layers.cpp.o"
+  "CMakeFiles/swc_core.dir/struct_layers.cpp.o.d"
+  "libswc_core.a"
+  "libswc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/chip.cpp" "src/hw/CMakeFiles/swc_hw.dir/chip.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/chip.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "src/hw/CMakeFiles/swc_hw.dir/cost_model.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hw/dma.cpp" "src/hw/CMakeFiles/swc_hw.dir/dma.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/dma.cpp.o.d"
+  "/root/repo/src/hw/ldm.cpp" "src/hw/CMakeFiles/swc_hw.dir/ldm.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/ldm.cpp.o.d"
+  "/root/repo/src/hw/rlc.cpp" "src/hw/CMakeFiles/swc_hw.dir/rlc.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/rlc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

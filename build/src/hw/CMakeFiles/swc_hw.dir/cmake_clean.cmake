@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_hw.dir/chip.cpp.o"
+  "CMakeFiles/swc_hw.dir/chip.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/swc_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/dma.cpp.o"
+  "CMakeFiles/swc_hw.dir/dma.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/ldm.cpp.o"
+  "CMakeFiles/swc_hw.dir/ldm.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/rlc.cpp.o"
+  "CMakeFiles/swc_hw.dir/rlc.cpp.o.d"
+  "libswc_hw.a"
+  "libswc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswc_hw.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dataset.cpp" "src/io/CMakeFiles/swc_io.dir/dataset.cpp.o" "gcc" "src/io/CMakeFiles/swc_io.dir/dataset.cpp.o.d"
+  "/root/repo/src/io/disk_model.cpp" "src/io/CMakeFiles/swc_io.dir/disk_model.cpp.o" "gcc" "src/io/CMakeFiles/swc_io.dir/disk_model.cpp.o.d"
+  "/root/repo/src/io/prefetch.cpp" "src/io/CMakeFiles/swc_io.dir/prefetch.cpp.o" "gcc" "src/io/CMakeFiles/swc_io.dir/prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

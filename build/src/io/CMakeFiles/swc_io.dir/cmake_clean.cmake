@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_io.dir/dataset.cpp.o"
+  "CMakeFiles/swc_io.dir/dataset.cpp.o.d"
+  "CMakeFiles/swc_io.dir/disk_model.cpp.o"
+  "CMakeFiles/swc_io.dir/disk_model.cpp.o.d"
+  "CMakeFiles/swc_io.dir/prefetch.cpp.o"
+  "CMakeFiles/swc_io.dir/prefetch.cpp.o.d"
+  "libswc_io.a"
+  "libswc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

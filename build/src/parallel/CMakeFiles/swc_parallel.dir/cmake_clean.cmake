@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_parallel.dir/node_runner.cpp.o"
+  "CMakeFiles/swc_parallel.dir/node_runner.cpp.o.d"
+  "CMakeFiles/swc_parallel.dir/ssgd.cpp.o"
+  "CMakeFiles/swc_parallel.dir/ssgd.cpp.o.d"
+  "CMakeFiles/swc_parallel.dir/trainer.cpp.o"
+  "CMakeFiles/swc_parallel.dir/trainer.cpp.o.d"
+  "libswc_parallel.a"
+  "libswc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_perfmodel.dir/device_model.cpp.o"
+  "CMakeFiles/swc_perfmodel.dir/device_model.cpp.o.d"
+  "libswc_perfmodel.a"
+  "libswc_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

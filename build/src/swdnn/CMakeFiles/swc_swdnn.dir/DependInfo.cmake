@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swdnn/conv_func.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/conv_func.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/conv_func.cpp.o.d"
+  "/root/repo/src/swdnn/conv_plan.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/conv_plan.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/conv_plan.cpp.o.d"
+  "/root/repo/src/swdnn/im2col.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/im2col.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/im2col.cpp.o.d"
+  "/root/repo/src/swdnn/im2col_sim.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/im2col_sim.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/im2col_sim.cpp.o.d"
+  "/root/repo/src/swdnn/implicit_conv_sim.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/implicit_conv_sim.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/implicit_conv_sim.cpp.o.d"
+  "/root/repo/src/swdnn/layer_estimate.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/layer_estimate.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/layer_estimate.cpp.o.d"
+  "/root/repo/src/swdnn/mem_plans.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/mem_plans.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/mem_plans.cpp.o.d"
+  "/root/repo/src/swdnn/pool_sim.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/pool_sim.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/pool_sim.cpp.o.d"
+  "/root/repo/src/swdnn/transform_plan.cpp" "src/swdnn/CMakeFiles/swc_swdnn.dir/transform_plan.cpp.o" "gcc" "src/swdnn/CMakeFiles/swc_swdnn.dir/transform_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/swc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/swgemm/CMakeFiles/swc_swgemm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

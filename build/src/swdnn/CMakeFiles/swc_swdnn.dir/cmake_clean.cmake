@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_swdnn.dir/conv_func.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/conv_func.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/conv_plan.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/conv_plan.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/im2col.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/im2col.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/im2col_sim.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/im2col_sim.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/implicit_conv_sim.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/implicit_conv_sim.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/layer_estimate.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/layer_estimate.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/mem_plans.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/mem_plans.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/pool_sim.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/pool_sim.cpp.o.d"
+  "CMakeFiles/swc_swdnn.dir/transform_plan.cpp.o"
+  "CMakeFiles/swc_swdnn.dir/transform_plan.cpp.o.d"
+  "libswc_swdnn.a"
+  "libswc_swdnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_swdnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

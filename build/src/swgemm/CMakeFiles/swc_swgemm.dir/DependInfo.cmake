@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swgemm/estimate.cpp" "src/swgemm/CMakeFiles/swc_swgemm.dir/estimate.cpp.o" "gcc" "src/swgemm/CMakeFiles/swc_swgemm.dir/estimate.cpp.o.d"
+  "/root/repo/src/swgemm/mesh_gemm.cpp" "src/swgemm/CMakeFiles/swc_swgemm.dir/mesh_gemm.cpp.o" "gcc" "src/swgemm/CMakeFiles/swc_swgemm.dir/mesh_gemm.cpp.o.d"
+  "/root/repo/src/swgemm/reference.cpp" "src/swgemm/CMakeFiles/swc_swgemm.dir/reference.cpp.o" "gcc" "src/swgemm/CMakeFiles/swc_swgemm.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/swc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

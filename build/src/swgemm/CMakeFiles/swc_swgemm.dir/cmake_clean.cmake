@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_swgemm.dir/estimate.cpp.o"
+  "CMakeFiles/swc_swgemm.dir/estimate.cpp.o.d"
+  "CMakeFiles/swc_swgemm.dir/mesh_gemm.cpp.o"
+  "CMakeFiles/swc_swgemm.dir/mesh_gemm.cpp.o.d"
+  "CMakeFiles/swc_swgemm.dir/reference.cpp.o"
+  "CMakeFiles/swc_swgemm.dir/reference.cpp.o.d"
+  "libswc_swgemm.a"
+  "libswc_swgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_swgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

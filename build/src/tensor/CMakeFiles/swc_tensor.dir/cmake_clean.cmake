@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_tensor.dir/filler.cpp.o"
+  "CMakeFiles/swc_tensor.dir/filler.cpp.o.d"
+  "CMakeFiles/swc_tensor.dir/layout.cpp.o"
+  "CMakeFiles/swc_tensor.dir/layout.cpp.o.d"
+  "CMakeFiles/swc_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/swc_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/swc_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/swc_tensor.dir/tensor.cpp.o.d"
+  "libswc_tensor.a"
+  "libswc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

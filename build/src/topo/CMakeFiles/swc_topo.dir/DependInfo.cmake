@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/allreduce.cpp" "src/topo/CMakeFiles/swc_topo.dir/allreduce.cpp.o" "gcc" "src/topo/CMakeFiles/swc_topo.dir/allreduce.cpp.o.d"
+  "/root/repo/src/topo/network_model.cpp" "src/topo/CMakeFiles/swc_topo.dir/network_model.cpp.o" "gcc" "src/topo/CMakeFiles/swc_topo.dir/network_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/swc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

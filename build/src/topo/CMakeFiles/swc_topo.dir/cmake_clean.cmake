@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_topo.dir/allreduce.cpp.o"
+  "CMakeFiles/swc_topo.dir/allreduce.cpp.o.d"
+  "CMakeFiles/swc_topo.dir/network_model.cpp.o"
+  "CMakeFiles/swc_topo.dir/network_model.cpp.o.d"
+  "libswc_topo.a"
+  "libswc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_conv_test.dir/group_conv_test.cpp.o"
+  "CMakeFiles/group_conv_test.dir/group_conv_test.cpp.o.d"
+  "group_conv_test"
+  "group_conv_test.pdb"
+  "group_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

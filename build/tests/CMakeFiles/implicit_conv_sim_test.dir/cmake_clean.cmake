@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicit_conv_sim_test.dir/implicit_conv_sim_test.cpp.o"
+  "CMakeFiles/implicit_conv_sim_test.dir/implicit_conv_sim_test.cpp.o.d"
+  "implicit_conv_sim_test"
+  "implicit_conv_sim_test.pdb"
+  "implicit_conv_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicit_conv_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

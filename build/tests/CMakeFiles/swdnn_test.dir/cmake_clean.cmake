@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swdnn_test.dir/swdnn_test.cpp.o"
+  "CMakeFiles/swdnn_test.dir/swdnn_test.cpp.o.d"
+  "swdnn_test"
+  "swdnn_test.pdb"
+  "swdnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swdnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

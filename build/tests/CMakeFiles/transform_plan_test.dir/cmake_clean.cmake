@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_plan_test.dir/transform_plan_test.cpp.o"
+  "CMakeFiles/transform_plan_test.dir/transform_plan_test.cpp.o.d"
+  "transform_plan_test"
+  "transform_plan_test.pdb"
+  "transform_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
