@@ -13,13 +13,15 @@
 #include "base/rng.h"
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "topo/allreduce.h"
 
 using namespace swcaffe;
 using base::TablePrinter;
 using base::fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_allreduce", argc, argv);
   const topo::NetParams net = topo::sunway_network();
 
   std::printf("=== Fig. 7: 8 nodes in 2 supernodes (q=4), message n ===\n");
@@ -36,6 +38,13 @@ int main() {
                  fmt(c.beta1_bytes / n, 3) + "n", fmt(c.beta2_bytes / n, 3) + "n",
                  fmt(c.gamma_bytes / n, 3) + "n",
                  base::format_seconds(c.seconds)});
+      const std::string key =
+          "fig7_" + bench::metric_key(topo::placement_name(placement));
+      json.metric(key + "_alpha_terms", c.alpha_terms);
+      json.metric(key + "_beta1_coeff", c.beta1_bytes / n);
+      json.metric(key + "_beta2_coeff", c.beta2_bytes / n);
+      json.metric(key + "_gamma_coeff", c.gamma_bytes / n);
+      json.metric(key + "_seconds_100mb", c.seconds);
     }
     t.print(std::cout);
     std::printf("Paper: original = 6a + 3/4 nB1 + nB2 + 7/8 nG; "
@@ -88,6 +97,11 @@ int main() {
                  base::format_seconds(ring.seconds),
                  base::format_seconds(ps.seconds),
                  fmt(adj.seconds / rr.seconds, 2) + "x"});
+      const std::string key = "alexnet_" + std::to_string(p) + "nodes_";
+      json.metric(key + "adjacent_s", adj.seconds);
+      json.metric(key + "round_robin_s", rr.seconds);
+      json.metric(key + "ring_s", ring.seconds);
+      json.metric(key + "param_server_s", ps.seconds);
     }
     t.print(std::cout);
     std::printf("Shapes: placements identical within one supernode "

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/table.h"
+#include "bench_json.h"
 #include "core/layer_desc.h"
 #include "hw/cost_model.h"
 #include "swdnn/conv_plan.h"
@@ -33,7 +34,8 @@ std::string cell(double v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_conv_vgg", argc, argv);
   const Row rows[] = {
       {"1_1", 3, 64, 224, -1, 4.19, -1, 1.10, 0, 0},
       {"1_2", 64, 64, 224, 4.30, 7.79, -1, 5.22, -1, 14.97},
@@ -83,6 +85,10 @@ int main() {
                first ? "NA" : pair(est.backward_input.implicit_s, r.p_id_imp),
                first ? "NA" : pair(est.backward_input.explicit_s, r.p_id_exp),
                fmt(est.gflops_fwd, 1)});
+    const std::string key = std::string("conv") + r.name;
+    json.metric(key + "_fwd_implicit_s", est.forward.implicit_s);
+    json.metric(key + "_fwd_explicit_s", est.forward.explicit_s);
+    json.metric(key + "_gflops_fwd", est.gflops_fwd);
     // Did the forward winner match the paper's winner?
     if (r.p_fwd_imp > 0) {
       ++winner_total;
@@ -94,6 +100,8 @@ int main() {
   std::printf("\nForward-strategy winner agreement with the paper: %d/%d "
               "layers.\n",
               winner_matches, winner_total);
+  json.metric("winner_matches", winner_matches);
+  json.metric("winner_total", winner_total);
   std::printf("Availability pattern (the '-' cells) is reproduced exactly by "
               "the implicit kernel's channel constraints (Sec. IV-B2).\n");
   return 0;

@@ -9,13 +9,15 @@
 
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "hw/cost_model.h"
 
 using swcaffe::base::TablePrinter;
 using swcaffe::base::fmt;
 using swcaffe::hw::CostModel;
 
-int main() {
+int main(int argc, char** argv) {
+  swcaffe::bench::JsonBench json("bench_dma", argc, argv);
   CostModel cost;
   const std::vector<int> cpes = {1, 8, 16, 32, 64};
 
@@ -31,6 +33,8 @@ int main() {
       for (int c : cpes) {
         row.push_back(fmt(cost.dma_bandwidth(bytes, c) / 1e9, 2));
       }
+      json.metric("continuous_64cpe_" + std::to_string(bytes) + "b_gbs",
+                  cost.dma_bandwidth(bytes, 64) / 1e9);
       t.add_row(row);
     }
     t.print(std::cout);
@@ -48,6 +52,8 @@ int main() {
       for (int c : cpes) {
         row.push_back(fmt(cost.dma_strided_bandwidth(32 * 1024, block, c) / 1e9, 2));
       }
+      json.metric("strided_64cpe_block" + std::to_string(block) + "b_gbs",
+                  cost.dma_strided_bandwidth(32 * 1024, block, 64) / 1e9);
       t.add_row(row);
     }
     t.print(std::cout);

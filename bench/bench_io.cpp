@@ -7,13 +7,15 @@
 
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "io/disk_model.h"
 
 using namespace swcaffe;
 using base::TablePrinter;
 using base::fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_io", argc, argv);
   io::DiskParams disk;  // 32 arrays x 2 GB/s, 256 MB stripes
   const std::int64_t batch_bytes = 192LL << 20;  // paper: ~192 MB / 256 images
   const std::int64_t file_bytes = 240LL << 30;   // ImageNet-scale dataset
@@ -33,6 +35,10 @@ int main() {
       t.add_row({std::to_string(procs), fmt(single / 1e9, 2),
                  fmt(striped / 1e9, 2), fmt(striped / single, 1) + "x",
                  base::format_seconds(read_s)});
+      const std::string key = std::to_string(procs) + "procs_";
+      json.metric(key + "single_split_gbs", single / 1e9);
+      json.metric(key + "striped_gbs", striped / 1e9);
+      json.metric(key + "striped_read_s", read_s);
     }
     t.print(std::cout);
   }

@@ -1,0 +1,94 @@
+// Shared --json support for the custom-main benchmarks: each bench collects
+// its headline numbers as named metrics and, when invoked with
+// `--json <path>` (or `--json=<path>`), writes them as one JSON object
+//
+//   {"bench": "<name>", "metrics": {"<metric>": <value>, ...}}
+//
+// on destruction — the machine-readable twin of the printed tables, suitable
+// for checking into BENCH_*.json files or diffing across commits. Without
+// the flag the helper is inert. (bench_gemm links google-benchmark and uses
+// its native --benchmark_out instead.)
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swcaffe::bench {
+
+/// Sanitizes a human-facing label ("VGG-16 (B=16/CG)") into a metric key
+/// ("vgg_16_b_16_cg"): lowercase, runs of non-alphanumerics collapse to '_'.
+inline std::string metric_key(const std::string& label) {
+  std::string out;
+  for (char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+class JsonBench {
+ public:
+  JsonBench(std::string bench_name, int argc, char** argv)
+      : name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path_ = argv[++i];
+      }
+    }
+  }
+
+  JsonBench(const JsonBench&) = delete;
+  JsonBench& operator=(const JsonBench&) = delete;
+
+  ~JsonBench() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
+      return;
+    }
+    out << "{\"bench\": \"" << name_ << "\", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '"' << metrics_[i].first << "\": ";
+      const double v = metrics_[i].second;
+      if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out << buf;
+      } else {
+        out << "null";  // JSON has no Inf/NaN literals
+      }
+    }
+    out << "}}\n";
+    std::printf("wrote %zu metrics to %s\n", metrics_.size(), path_.c_str());
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one metric; later values with the same name are kept as-is
+  /// (the object is written in insertion order, duplicates included, which
+  /// standard parsers resolve last-wins).
+  void metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace swcaffe::bench

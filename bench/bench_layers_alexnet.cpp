@@ -4,15 +4,19 @@
 // unit Algorithm 1 schedules).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/models.h"
 #include "layer_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace swcaffe;
+  bench::JsonBench json("bench_layers_alexnet", argc, argv);
   std::printf("=== Fig. 8: AlexNet-BN per-layer times, batch 256 "
               "(SW column: one CG at batch 64) ===\n\n");
   const auto descs = core::describe_net_spec(core::alexnet_bn(64));
-  benchutil::print_layer_comparison(descs);
+  const auto [sw_total, gpu_total] = benchutil::print_layer_comparison(descs);
+  json.metric("sw_total_s", sw_total);
+  json.metric("gpu_total_s", gpu_total);
   std::printf(
       "\nPaper shapes to check (Sec. VI-A): bandwidth-bound layers "
       "(pool/bn/relu) cost real time on SW26010 but are\nnearly free on the "

@@ -3,15 +3,19 @@
 // at batch/4 = 16, the unit Algorithm 1 schedules).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/models.h"
 #include "layer_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace swcaffe;
+  bench::JsonBench json("bench_layers_vgg", argc, argv);
   std::printf("=== Fig. 9: VGG-16 per-layer times, batch 64 "
               "(SW column: one CG at batch 16) ===\n\n");
   const auto descs = core::describe_net_spec(core::vgg(16, 16));
-  benchutil::print_layer_comparison(descs);
+  const auto [sw_total, gpu_total] = benchutil::print_layer_comparison(descs);
+  json.metric("sw_total_s", sw_total);
+  json.metric("gpu_total_s", gpu_total);
   std::printf(
       "\nPaper shapes to check (Sec. VI-A): the first two convolutions lag "
       "the GPU most (im2col traffic on 224x224\nimages, 3/64 channels); "

@@ -8,6 +8,7 @@
 
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "core/layer_desc.h"
 #include "hw/cost_model.h"
 #include "perfmodel/device_model.h"
@@ -17,7 +18,8 @@ using namespace swcaffe;
 using base::TablePrinter;
 using base::fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_lstm", argc, argv);
   hw::CostModel cost;
   const auto gpu = perfmodel::k40m();
   std::printf("=== LSTM layer: per-iteration time, batch 64 per core group "
@@ -45,6 +47,10 @@ int main() {
                  fmt(sw.total() / gp.total(), 2) + "x",
                  "64 x " + std::to_string(4 * hidden) + " x " +
                      std::to_string(input + hidden)});
+      const std::string key = "h" + std::to_string(hidden) + "_t" +
+                              std::to_string(steps);
+      json.metric(key + "_sw_s", sw.total());
+      json.metric(key + "_gpu_s", gp.total());
     }
   }
   t.print(std::cout);

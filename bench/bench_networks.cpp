@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "base/table.h"
+#include "bench_json.h"
 #include "core/models.h"
 #include "hw/cost_model.h"
 #include "perfmodel/device_model.h"
@@ -26,7 +27,8 @@ struct NetCfg {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_networks", argc, argv);
   std::printf("=== Table I: processor comparison ===\n");
   {
     TablePrinter t({"spec", "SW26010", "NVIDIA K40m", "Intel KNL"});
@@ -70,6 +72,10 @@ int main() {
                pair(sw_img, c.paper_sw),
                pair(sw_img / gpu_img, c.paper_sw / c.paper_gpu),
                pair(sw_img / cpu_img, c.paper_sw / c.paper_cpu)});
+    const std::string key = bench::metric_key(c.name);
+    json.metric(key + "_cpu_img_s", cpu_img);
+    json.metric(key + "_gpu_img_s", gpu_img);
+    json.metric(key + "_sw_img_s", sw_img);
   }
   t.print(std::cout);
   std::printf(

@@ -7,13 +7,15 @@
 
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "topo/network_model.h"
 
 using namespace swcaffe;
 using base::TablePrinter;
 using base::fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_p2p_network", argc, argv);
   const topo::NetParams sw = topo::sunway_network();
   const topo::NetParams ib = topo::infiniband_fdr();
 
@@ -29,6 +31,10 @@ int main() {
                  fmt(topo::p2p_bandwidth(sw, n, true, true) / 1e9, 2),
                  fmt(topo::p2p_bandwidth(ib, n, false, false) / 1e9, 2),
                  fmt(topo::p2p_bandwidth(ib, n, true, false) / 1e9, 2)});
+      json.metric("sw_uni_" + std::to_string(n) + "b_gbs",
+                  topo::p2p_bandwidth(sw, n, false, false) / 1e9);
+      json.metric("ib_uni_" + std::to_string(n) + "b_gbs",
+                  topo::p2p_bandwidth(ib, n, false, false) / 1e9);
     }
     t.print(std::cout);
   }
@@ -40,6 +46,10 @@ int main() {
       t.add_row({base::format_bytes(static_cast<double>(n)),
                  fmt(topo::p2p_latency(sw, n) * 1e3, 4),
                  fmt(topo::p2p_latency(ib, n) * 1e3, 4)});
+      json.metric("sw_latency_" + std::to_string(n) + "b_ms",
+                  topo::p2p_latency(sw, n) * 1e3);
+      json.metric("ib_latency_" + std::to_string(n) + "b_ms",
+                  topo::p2p_latency(ib, n) * 1e3);
     }
     t.print(std::cout);
   }

@@ -8,6 +8,7 @@
 
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "core/models.h"
 #include "topo/allreduce.h"
 
@@ -15,7 +16,8 @@ using namespace swcaffe;
 using base::TablePrinter;
 using base::fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_packing", argc, argv);
   const topo::NetParams net = topo::sunway_network();
   struct Cfg {
     const char* name;
@@ -56,6 +58,10 @@ int main() {
                base::format_seconds(packed_s),
                base::format_seconds(per_layer_s),
                fmt(per_layer_s / packed_s, 2) + "x"});
+    const std::string key = bench::metric_key(c.name);
+    json.metric(key + "_packed_s", packed_s);
+    json.metric(key + "_per_layer_s", per_layer_s);
+    json.metric(key + "_packing_speedup", per_layer_s / packed_s);
   }
   t.print(std::cout);
   std::printf("\nShape to check: deep nets with many small parameter tensors "

@@ -8,6 +8,7 @@
 
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "core/models.h"
 #include "hw/cost_model.h"
 #include "parallel/ssgd.h"
@@ -28,7 +29,8 @@ struct Series {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_scalability", argc, argv);
   hw::CostModel cost;
   const std::vector<int> nodes = {1, 2, 8, 32, 128, 512, 1024};
   std::vector<Series> series;
@@ -61,6 +63,12 @@ int main() {
       std::vector<std::string> row{std::to_string(nodes[i])};
       for (const auto& c : curves) row.push_back(fmt(c[i].speedup, 1) + "x");
       t.add_row(row);
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        const std::string key = bench::metric_key(series[s].name) + "_" +
+                                std::to_string(nodes[i]) + "nodes";
+        json.metric(key + "_speedup", curves[s][i].speedup);
+        json.metric(key + "_comm_fraction", curves[s][i].comm_fraction);
+      }
     }
     t.print(std::cout);
     std::printf("Paper at 1024 nodes: ");

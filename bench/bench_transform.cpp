@@ -8,6 +8,7 @@
 
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_json.h"
 #include "core/models.h"
 #include "hw/cost_model.h"
 #include "swdnn/transform_plan.h"
@@ -16,7 +17,8 @@ using namespace swcaffe;
 using base::TablePrinter;
 using base::fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_transform", argc, argv);
   hw::CostModel cost;
   struct Cfg {
     const char* name;
@@ -44,6 +46,10 @@ int main() {
                base::format_seconds(plan.per_layer_total_s),
                base::format_seconds(plan.all_explicit_total_s),
                fmt(plan.per_layer_total_s / plan.gathered_total_s, 3) + "x"});
+    const std::string key = bench::metric_key(c.name);
+    json.metric(key + "_gathered_s", plan.gathered_total_s);
+    json.metric(key + "_per_layer_s", plan.per_layer_total_s);
+    json.metric(key + "_all_explicit_s", plan.all_explicit_total_s);
   }
   t.print(std::cout);
   std::printf("\nShapes to check: gathering reduces transform count and "

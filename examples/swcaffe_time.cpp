@@ -3,14 +3,20 @@
 // simulated SW26010 core-group time the cost model assigns to each layer.
 //
 // Usage:
+//   swcaffe_time [--model M] [--iterations N] [--batch B]
+//                [--trace=out.json] [--trace-report]
 //   swcaffe_time <net.prototxt | alexnet | vgg16 | vgg19 | resnet50 |
-//                 googlenet> [iterations] [batch]
-// Zoo models run at reduced resolution functionally; the simulated column
-// is computed for the shapes actually instantiated.
+//                 googlenet> [iterations] [batch]        (legacy positional)
+//
+// --trace writes a Chrome-trace JSON of the simulated timeline (open in
+// ui.perfetto.dev); --trace-report prints the per-layer aggregate table from
+// the same spans. Zoo models run at reduced resolution functionally; the
+// simulated column is computed for the shapes actually instantiated.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "base/table.h"
 #include "base/units.h"
@@ -19,6 +25,9 @@
 #include "core/proto.h"
 #include "hw/cost_model.h"
 #include "swdnn/layer_estimate.h"
+#include "trace/chrome_trace.h"
+#include "trace/report.h"
+#include "trace/tracer.h"
 
 using namespace swcaffe;
 
@@ -39,12 +48,63 @@ core::NetSpec resolve_model(const std::string& arg, int batch) {
   return core::load_net_prototxt(arg);
 }
 
+/// Matches "--name value" and "--name=value"; advances `i` past the value.
+bool flag_value(int argc, char** argv, int& i, const char* name,
+                std::string& out) {
+  const std::string arg = argv[i];
+  const std::string prefix = std::string(name) + "=";
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name);
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  if (arg.rfind(prefix, 0) == 0) {
+    out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string model = argc > 1 ? argv[1] : "alexnet";
-  const int iterations = argc > 2 ? std::atoi(argv[2]) : 3;
-  const int batch = argc > 3 ? std::atoi(argv[3]) : 2;
+  std::string model = "alexnet";
+  int iterations = 3;
+  int batch = 2;
+  std::string trace_path;
+  bool trace_report = false;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (flag_value(argc, argv, i, "--model", v)) {
+      model = v;
+    } else if (flag_value(argc, argv, i, "--iterations", v)) {
+      iterations = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--batch", v)) {
+      batch = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--trace", v)) {
+      trace_path = v;
+    } else if (std::strcmp(argv[i], "--trace-report") == 0) {
+      trace_report = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      // Legacy positional form: model [iterations] [batch].
+      switch (positional++) {
+        case 0: model = argv[i]; break;
+        case 1: iterations = std::atoi(argv[i]); break;
+        case 2: batch = std::atoi(argv[i]); break;
+        default:
+          std::fprintf(stderr, "too many positional arguments\n");
+          return 2;
+      }
+    }
+  }
 
   core::NetSpec spec = resolve_model(model, batch);
   core::Net net(spec, 1);
@@ -65,7 +125,12 @@ int main(int argc, char** argv) {
   for (int i = 0; i < iterations; ++i) net.forward_backward();
   const double host_iter = (now_s() - t0) / iterations;
 
+  const bool tracing = !trace_path.empty() || trace_report;
+  trace::Tracer tracer;
+  tracer.set_track_name(0, "cg0");
+
   hw::CostModel cost;
+  if (tracing) cost.set_tracer(&tracer, 0);
   base::TablePrinter t({"layer", "type", "SW26010 fwd", "SW26010 bwd"});
   double sw_total = 0.0;
   bool saw_conv = false;
@@ -86,5 +151,17 @@ int main(int argc, char** argv) {
   std::printf("simulated SW26010 iteration:    %s (one core group at this "
               "batch)\n",
               base::format_seconds(sw_total).c_str());
+
+  if (tracing) {
+    if (trace_report) {
+      std::printf("\nper-layer trace aggregate:\n");
+      trace::Report::build(tracer, "layer").print(std::cout);
+    }
+    if (!trace_path.empty()) {
+      trace::save_chrome_trace(tracer, trace_path);
+      std::printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  }
   return 0;
 }

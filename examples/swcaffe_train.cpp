@@ -5,13 +5,24 @@
 //
 // Usage:
 //   swcaffe_train [net.prototxt solver.prototxt] [iterations]
-// With no arguments a built-in demo net is used.
+//                 [--trace=out.json] [--trace-report]
+// With no (positional) arguments a built-in demo net is used. --trace writes
+// a Chrome-trace JSON of the simulated run (track "node" plus one track per
+// core group; open in ui.perfetto.dev); --trace-report prints the per-layer
+// aggregate of the traced compute.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "base/units.h"
 #include "core/proto.h"
 #include "parallel/trainer.h"
+#include "trace/chrome_trace.h"
+#include "trace/report.h"
+#include "trace/tracer.h"
 
 using namespace swcaffe;
 
@@ -49,18 +60,33 @@ type: "SGD"
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_path;
+  bool trace_report = false;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-report") == 0) {
+      trace_report = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   core::NetSpec net_spec;
   core::SolverSpec solver_spec;
   int iterations = 60;
-  if (argc >= 3) {
-    net_spec = core::load_net_prototxt(argv[1]);
-    solver_spec = core::load_solver_prototxt(argv[2]);
-    if (argc >= 4) iterations = std::atoi(argv[3]);
+  if (positional.size() >= 2) {
+    net_spec = core::load_net_prototxt(positional[0]);
+    solver_spec = core::load_solver_prototxt(positional[1]);
+    if (positional.size() >= 3) iterations = std::atoi(positional[2]);
   } else {
     std::printf("(no prototxt arguments: using the built-in demo net)\n");
     net_spec = core::parse_net_prototxt(kDemoNet);
     solver_spec = core::parse_solver_prototxt(kDemoSolver);
-    if (argc == 2) iterations = std::atoi(argv[1]);
+    if (positional.size() == 1) iterations = std::atoi(positional[0]);
   }
 
   // The dataset must match the net's data blob.
@@ -76,6 +102,10 @@ int main(int argc, char** argv) {
   options.max_iter = iterations;
   options.display_every = std::max(1, iterations / 10);
   options.test_every = std::max(1, iterations / 3);
+
+  trace::Tracer tracer;
+  const bool tracing = !trace_path.empty() || trace_report;
+  if (tracing) options.tracer = &tracer;
 
   parallel::Trainer trainer(net_spec, solver_spec, dataset, io::DiskParams{},
                             options);
@@ -95,5 +125,17 @@ int main(int argc, char** argv) {
               "(exposed I/O: %s)\n",
               base::format_seconds(stats.simulated_seconds).c_str(),
               base::format_seconds(stats.simulated_io_seconds).c_str());
+
+  if (tracing) {
+    if (trace_report) {
+      std::printf("\nper-layer trace aggregate (all iterations):\n");
+      trace::Report::build(tracer, "layer").print(std::cout);
+    }
+    if (!trace_path.empty()) {
+      trace::save_chrome_trace(tracer, trace_path);
+      std::printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -29,6 +29,14 @@ class CoreGroup {
   /// Resets all LDMs and the RLC ledger (between kernel launches).
   void reset();
 
+  /// Attaches an optional tracer to this core group's cost model. Kernels
+  /// that run on the group (mesh GEMM, the functional conv/pool sims) emit
+  /// phase-level spans on `track`; for fine-grained per-message RLC spans
+  /// attach a tracer to the fabric directly via rlc().set_tracer().
+  void set_tracer(trace::Tracer* tracer, int track = 0) {
+    cost_.set_tracer(tracer, track);
+  }
+
  private:
   HwParams params_;
   CostModel cost_;

@@ -11,6 +11,10 @@
 
 #include "hw/params.h"
 
+namespace swcaffe::trace {
+class Tracer;
+}  // namespace swcaffe::trace
+
 namespace swcaffe::hw {
 
 /// Accumulated traffic and simulated time of a kernel or plan.
@@ -36,6 +40,19 @@ class CostModel {
   explicit CostModel(const HwParams& params = HwParams{}) : params_(params) {}
 
   const HwParams& params() const { return params_; }
+
+  // --- Tracing ---------------------------------------------------------------
+  /// Attaches an optional tracer. The cost model itself stays a pure
+  /// function of its parameters — the pointer merely rides along so every
+  /// component built on this model (DmaEngine, RlcFabric, the layer
+  /// estimators) can emit spans on `track` without new plumbing. Null (the
+  /// default) disables tracing at the cost of one pointer test per event.
+  void set_tracer(trace::Tracer* tracer, int track = 0) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+  int trace_track() const { return trace_track_; }
 
   // --- DMA ------------------------------------------------------------------
   /// Time for `n_cpes` CPEs to each move `bytes_per_cpe` contiguous bytes
@@ -72,6 +89,8 @@ class CostModel {
 
  private:
   HwParams params_;
+  trace::Tracer* tracer_ = nullptr;
+  int trace_track_ = 0;
 };
 
 }  // namespace swcaffe::hw

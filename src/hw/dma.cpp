@@ -3,16 +3,39 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "trace/tracer.h"
 
 namespace swcaffe::hw {
+
+namespace {
+
+/// Mirrors one charged transfer into the tracer attached to the cost model
+/// (if any): a "hw.dma" span of the charged duration carrying the byte
+/// counters. Purely observational — ledgers and times are computed first and
+/// are identical with tracing off.
+void trace_transfer(const CostModel& cost, const char* name, bool is_get,
+                    std::size_t bytes, double seconds) {
+  trace::Tracer* tracer = cost.tracer();
+  if (!tracer) return;
+  const int track = cost.trace_track();
+  tracer->begin_span(track, name, "hw.dma");
+  trace::TrafficCounters c;
+  (is_get ? c.dma_get_bytes : c.dma_put_bytes) = bytes;
+  tracer->charge(track, c);
+  tracer->end_span(track, seconds);
+}
+
+}  // namespace
 
 void DmaEngine::get(std::span<const double> src, std::span<double> dst,
                     int n_cpes) {
   SWC_CHECK_EQ(src.size(), dst.size());
   std::copy(src.begin(), src.end(), dst.begin());
   const std::size_t bytes = src.size() * sizeof(double);
+  const double seconds = cost_->dma_time(bytes, n_cpes);
   ledger_.dma_get_bytes += bytes;
-  ledger_.elapsed_s += cost_->dma_time(bytes, n_cpes);
+  ledger_.elapsed_s += seconds;
+  trace_transfer(*cost_, "dma.get", /*is_get=*/true, bytes, seconds);
 }
 
 void DmaEngine::put(std::span<const double> src, std::span<double> dst,
@@ -20,8 +43,10 @@ void DmaEngine::put(std::span<const double> src, std::span<double> dst,
   SWC_CHECK_EQ(src.size(), dst.size());
   std::copy(src.begin(), src.end(), dst.begin());
   const std::size_t bytes = src.size() * sizeof(double);
+  const double seconds = cost_->dma_time(bytes, n_cpes);
   ledger_.dma_put_bytes += bytes;
-  ledger_.elapsed_s += cost_->dma_time(bytes, n_cpes);
+  ledger_.elapsed_s += seconds;
+  trace_transfer(*cost_, "dma.put", /*is_get=*/false, bytes, seconds);
 }
 
 void DmaEngine::get_strided(std::span<const double> src,
@@ -36,9 +61,11 @@ void DmaEngine::get_strided(std::span<const double> src,
                 dst.data() + b * block_len);
   }
   const std::size_t bytes = block_len * blocks * sizeof(double);
-  ledger_.dma_get_bytes += bytes;
-  ledger_.elapsed_s +=
+  const double seconds =
       cost_->dma_strided_time(bytes, block_len * sizeof(double), n_cpes);
+  ledger_.dma_get_bytes += bytes;
+  ledger_.elapsed_s += seconds;
+  trace_transfer(*cost_, "dma.get_strided", /*is_get=*/true, bytes, seconds);
 }
 
 void DmaEngine::put_strided(std::span<const double> src, std::span<double> dst,
@@ -52,9 +79,11 @@ void DmaEngine::put_strided(std::span<const double> src, std::span<double> dst,
                 dst.data() + b * dst_stride);
   }
   const std::size_t bytes = block_len * blocks * sizeof(double);
-  ledger_.dma_put_bytes += bytes;
-  ledger_.elapsed_s +=
+  const double seconds =
       cost_->dma_strided_time(bytes, block_len * sizeof(double), n_cpes);
+  ledger_.dma_put_bytes += bytes;
+  ledger_.elapsed_s += seconds;
+  trace_transfer(*cost_, "dma.put_strided", /*is_get=*/false, bytes, seconds);
 }
 
 }  // namespace swcaffe::hw

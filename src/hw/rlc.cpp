@@ -1,8 +1,26 @@
 #include "hw/rlc.h"
 
 #include "base/log.h"
+#include "trace/tracer.h"
 
 namespace swcaffe::hw {
+
+namespace {
+
+/// Mirrors one charged RLC operation into the attached tracer (if any).
+void trace_rlc(const CostModel& cost, const char* name, std::size_t bytes,
+               double seconds) {
+  trace::Tracer* tracer = cost.tracer();
+  if (!tracer) return;
+  const int track = cost.trace_track();
+  tracer->begin_span(track, name, "hw.rlc");
+  trace::TrafficCounters c;
+  c.rlc_bytes = bytes;
+  tracer->charge(track, c);
+  tracer->end_span(track, seconds);
+}
+
+}  // namespace
 
 RlcFabric::RlcFabric(const HwParams& params)
     : params_(params), cost_(params), queues_(params.mesh_size()) {}
@@ -27,7 +45,10 @@ void RlcFabric::row_broadcast(int row, int src_col,
     queues_[index(row, c)].row.emplace_back(data.begin(), data.end());
     ledger_.rlc_bytes += bytes;
   }
-  ledger_.elapsed_s += cost_.rlc_time(bytes, /*broadcast=*/true);
+  const double seconds = cost_.rlc_time(bytes, /*broadcast=*/true);
+  ledger_.elapsed_s += seconds;
+  trace_rlc(cost_, "rlc.row_broadcast",
+            bytes * (params_.mesh_cols - 1), seconds);
 }
 
 void RlcFabric::col_broadcast(int src_row, int col,
@@ -39,7 +60,10 @@ void RlcFabric::col_broadcast(int src_row, int col,
     queues_[index(r, col)].col.emplace_back(data.begin(), data.end());
     ledger_.rlc_bytes += bytes;
   }
-  ledger_.elapsed_s += cost_.rlc_time(bytes, /*broadcast=*/true);
+  const double seconds = cost_.rlc_time(bytes, /*broadcast=*/true);
+  ledger_.elapsed_s += seconds;
+  trace_rlc(cost_, "rlc.col_broadcast",
+            bytes * (params_.mesh_rows - 1), seconds);
 }
 
 void RlcFabric::send(int src_row, int src_col, int dst_row, int dst_col,
@@ -58,7 +82,9 @@ void RlcFabric::send(int src_row, int src_col, int dst_row, int dst_col,
     q.col.emplace_back(data.begin(), data.end());
   }
   ledger_.rlc_bytes += bytes;
-  ledger_.elapsed_s += cost_.rlc_time(bytes, /*broadcast=*/false);
+  const double seconds = cost_.rlc_time(bytes, /*broadcast=*/false);
+  ledger_.elapsed_s += seconds;
+  trace_rlc(cost_, "rlc.send", bytes, seconds);
 }
 
 std::vector<double> RlcFabric::receive_row(int row, int col) {

@@ -48,6 +48,12 @@ class RlcFabric {
   const TrafficLedger& ledger() const { return ledger_; }
   void reset_ledger() { ledger_ = TrafficLedger{}; }
 
+  /// Attaches an optional tracer (see CostModel::set_tracer): broadcasts and
+  /// sends emit "hw.rlc" spans of their charged duration on `track`.
+  void set_tracer(trace::Tracer* tracer, int track = 0) {
+    cost_.set_tracer(tracer, track);
+  }
+
  private:
   struct Queues {
     std::deque<std::vector<double>> row;  // messages arriving over the row bus

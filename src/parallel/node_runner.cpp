@@ -1,6 +1,7 @@
 #include "parallel/node_runner.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 #include "base/log.h"
@@ -76,6 +77,20 @@ double NodeRunner::compute_gradients(std::span<const float> data,
   }
   for (auto& t : threads) t.join();
 
+  if (tracer_ != nullptr) {
+    // All CGs run the same net on the same sub-batch size, so they advance
+    // in lockstep for sim_iter_seconds_ starting at the node clock.
+    const double t0 = tracer_->now(node_track_);
+    for (int cg = 0; cg < cgs; ++cg) {
+      const int track = base_track_ + cg;
+      tracer_->set_clock(track, t0);
+      tracer_->begin_span(track, "forward_backward", "train.cg");
+      tracer_->end_span(track, sim_iter_seconds_);
+    }
+    // CG0 averages after the barrier; its clock is now at iteration end.
+    tracer_->instant(base_track_, "grad.average", "train.phase");
+  }
+
   double loss = 0.0;
   for (double l : losses) loss += l;
   return loss / cgs;
@@ -84,6 +99,22 @@ double NodeRunner::compute_gradients(std::span<const float> data,
 void NodeRunner::broadcast_params() {
   for (int i = 1; i < num_core_groups(); ++i) {
     nets_[i]->copy_params_from(*nets_[0]);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(base_track_, "params.broadcast", "train.phase");
+  }
+}
+
+void NodeRunner::set_tracer(trace::Tracer* tracer, double sim_iter_seconds,
+                            int node_track, int base_track) {
+  tracer_ = tracer;
+  sim_iter_seconds_ = sim_iter_seconds;
+  node_track_ = node_track;
+  base_track_ = base_track;
+  if (tracer_ != nullptr) {
+    for (int cg = 0; cg < num_core_groups(); ++cg) {
+      tracer_->set_track_name(base_track_ + cg, "cg" + std::to_string(cg));
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/net.h"
+#include "trace/tracer.h"
 
 namespace swcaffe::parallel {
 
@@ -54,8 +55,21 @@ class NodeRunner {
   /// Pushes master's (post-update) parameters to the other core groups.
   void broadcast_params();
 
+  /// Attaches an optional tracer. Each compute_gradients() then emits one
+  /// "forward_backward" span per core group on tracks base_track..+CGs-1
+  /// (aligned to the node track's clock; all CGs run concurrently for
+  /// `sim_iter_seconds` of simulated time, Algorithm 1), and marks the CG0
+  /// gradient average and the parameter broadcast as instants on the node
+  /// track. Purely observational — the functional math is unchanged.
+  void set_tracer(trace::Tracer* tracer, double sim_iter_seconds,
+                  int node_track = 0, int base_track = 1);
+
  private:
   std::vector<std::unique_ptr<core::Net>> nets_;
+  trace::Tracer* tracer_ = nullptr;
+  double sim_iter_seconds_ = 0.0;
+  int node_track_ = 0;
+  int base_track_ = 1;
 };
 
 }  // namespace swcaffe::parallel

@@ -65,19 +65,23 @@ double SsgdTrainer::step(std::span<const float> data,
   switch (options_.algo) {
     case AllreduceAlgo::kRhdAdjacent:
       last_comm_ = topo::allreduce_rhd(grads, topo_, options_.net,
-                                       topo::Placement::kAdjacent);
+                                       topo::Placement::kAdjacent, tracer_,
+                                       trace_track_);
       break;
     case AllreduceAlgo::kRhdRoundRobin:
       last_comm_ = topo::allreduce_rhd(grads, topo_, options_.net,
-                                       topo::Placement::kRoundRobin);
+                                       topo::Placement::kRoundRobin, tracer_,
+                                       trace_track_);
       break;
     case AllreduceAlgo::kRing:
       last_comm_ = topo::allreduce_ring(grads, topo_, options_.net,
-                                        topo::Placement::kAdjacent);
+                                        topo::Placement::kAdjacent, tracer_,
+                                        trace_track_);
       break;
     case AllreduceAlgo::kParamServer:
       last_comm_ = topo::allreduce_param_server(grads, topo_, options_.net,
-                                                options_.param_servers);
+                                                options_.param_servers,
+                                                tracer_, trace_track_);
       break;
   }
 

@@ -52,12 +52,21 @@ class SsgdTrainer {
   const topo::CostBreakdown& last_comm() const { return last_comm_; }
   int iter() const { return solvers_[0]->iter(); }
 
+  /// Attaches an optional tracer: each step()'s all-reduce is recorded as a
+  /// "comm.allreduce" span with alpha/beta/gamma counters on `track`.
+  void set_tracer(trace::Tracer* tracer, int track = 0) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  private:
   SsgdOptions options_;
   topo::Topology topo_;
   std::vector<std::unique_ptr<core::Net>> nets_;
   std::vector<std::unique_ptr<core::SgdSolver>> solvers_;
   topo::CostBreakdown last_comm_;
+  trace::Tracer* tracer_ = nullptr;
+  int trace_track_ = 0;
 };
 
 /// One point of the Fig. 10/11 curves.

@@ -21,8 +21,13 @@ Trainer::Trainer(const core::NetSpec& spec, const core::SolverSpec& solver,
       /*num_procs=*/1);
   // One core group's simulated compute per iteration (Algorithm 1: the four
   // CGs run concurrently, so this IS the node's compute time).
-  sim_compute_per_iter_ =
-      dnn::estimate_net_sw(cost_, runner_->master().describe());
+  descs_ = runner_->master().describe();
+  sim_compute_per_iter_ = dnn::estimate_net_sw(cost_, descs_);
+  if (options_.tracer != nullptr) {
+    options_.tracer->set_track_name(0, "node");
+    runner_->set_tracer(options_.tracer, sim_compute_per_iter_,
+                        /*node_track=*/0, /*base_track=*/1);
+  }
 }
 
 double Trainer::evaluate(int batches) {
@@ -70,11 +75,35 @@ double Trainer::evaluate(int batches) {
 
 TrainStats Trainer::run() {
   TrainStats stats;
+  trace::Tracer* const tracer = options_.tracer;
   for (int iter = 0; iter < options_.max_iter; ++iter) {
     const io::Batch batch = prefetcher_->pop();
+    double iter_t0 = 0.0;
+    if (tracer != nullptr) {
+      iter_t0 = tracer->now(0);
+      tracer->begin_span(0, "iteration", "train.iteration");
+    }
     const double loss = runner_->compute_gradients(batch.images, batch.labels);
     solver_->apply_update();
     runner_->broadcast_params();
+    if (tracer != nullptr) {
+      // Per-layer detail: replay the layer estimator with a traced copy of
+      // the cost model. The replay is deterministic, so the layer spans sum
+      // to sim_compute_per_iter_ (up to association order; snapped below).
+      tracer->begin_span(0, "compute", "train.phase");
+      hw::CostModel traced = cost_;
+      traced.set_tracer(tracer, 0);
+      dnn::estimate_net_sw(traced, descs_);
+      const double compute_end = iter_t0 + sim_compute_per_iter_;
+      if (compute_end > tracer->now(0)) tracer->set_clock(0, compute_end);
+      tracer->end_span(0);
+      if (batch.simulated_read_s > sim_compute_per_iter_) {
+        tracer->begin_span(0, "io.exposed", "train.io");
+        tracer->end_span(0, batch.simulated_read_s - sim_compute_per_iter_);
+      }
+      tracer->counter(0, trace::kCounterLoss, loss);
+      tracer->end_span(0);  // iteration
+    }
 
     // Simulated node time: prefetch overlaps I/O with the previous
     // iteration's compute, so the exposed I/O is only the excess.

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/layer_desc.h"
 #include "core/solver.h"
 #include "hw/cost_model.h"
 #include "io/prefetch.h"
@@ -26,6 +27,11 @@ struct TrainOptions {
   std::string snapshot_prefix = "swcaffe";
   int num_core_groups = 4;
   io::FileLayout file_layout = io::FileLayout::kStriped;
+  /// Optional: records the run as simulated-time spans (track 0 = the node:
+  /// iteration > compute > per-layer detail, plus exposed I/O; tracks 1..CGs
+  /// = one "forward_backward" span per core group per iteration). Null costs
+  /// nothing and every TrainStats number is bit-identical to an untraced run.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct TrainStats {
@@ -61,6 +67,7 @@ class Trainer {
   hw::CostModel cost_;
   io::SyntheticImageNet eval_data_;
   double sim_compute_per_iter_ = 0.0;
+  std::vector<core::LayerDesc> descs_;
 };
 
 }  // namespace swcaffe::parallel

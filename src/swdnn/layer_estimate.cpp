@@ -1,9 +1,13 @@
 #include "swdnn/layer_estimate.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "base/log.h"
 #include "swdnn/conv_plan.h"
 #include "swdnn/mem_plans.h"
 #include "swgemm/estimate.h"
+#include "trace/tracer.h"
 
 namespace swcaffe::dnn {
 
@@ -22,16 +26,128 @@ double gemm_s(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
 // suggest, while being negligible for AlexNet/VGG's two dozen fat layers.
 constexpr double kLaunchOverheadS = 3.0e-3;
 
+/// Fig. 4 transformation volumes (duplicated from conv_plan.cpp's internal
+/// helpers; only used to label trace spans, never to compute time).
+std::size_t conv_image_bytes(const core::ConvGeom& g) {
+  return 4ull * g.batch * g.in_c * g.in_h * g.in_w;
+}
+std::size_t conv_col_bytes(const core::ConvGeom& g) {
+  return 4ull * g.batch * g.in_c * g.kernel * g.kernel * g.out_h() *
+         g.out_w();
+}
+
+void charge_flops(trace::Tracer* tr, int track, double flops) {
+  trace::TrafficCounters c;
+  c.flops = flops;
+  tr->charge(track, c);
+}
+
+/// One closed child span of `seconds` with optional byte/flop counters.
+void child_span(trace::Tracer* tr, int track, const char* name,
+                const char* category, double seconds,
+                const trace::TrafficCounters& c = {}) {
+  tr->begin_span(track, name, category);
+  if (!c.empty()) tr->charge(track, c);
+  tr->end_span(track, std::max(0.0, seconds));
+}
+
+/// Emits the layer's span tree: <name> → {fwd, bwd} → kernel-phase children
+/// (im2col / gemm / implicit / col2im for convolutions). The clock is
+/// snapped to the exact fwd_s/bwd_s boundaries of the already-computed
+/// LayerTime, so re-derived child durations cannot drift the timeline: the
+/// layer span's duration equals the table's fwd+bwd to the last ulp.
+void trace_layer(const hw::CostModel& cost, const core::LayerDesc& d,
+                 bool first_conv, const LayerTime& t,
+                 const std::optional<ConvEstimate>& conv) {
+  trace::Tracer* tr = cost.tracer();
+  const int track = cost.trace_track();
+  const double t0 = tr->now(track);
+  auto snap = [&](double target) {
+    const double now = tr->now(track);
+    if (target > now) tr->advance(track, target - now);
+  };
+
+  tr->begin_span(track, d.name, "layer");
+  const bool conv_phases = conv.has_value() && d.conv.group == 1;
+
+  tr->begin_span(track, "fwd", "layer.phase");
+  if (conv_phases) {
+    const core::ConvGeom& g = d.conv;
+    trace::TrafficCounters flops;
+    flops.flops = g.flops_fwd();
+    if (conv->forward.implicit_wins()) {
+      child_span(tr, track, "implicit_conv", "kernel.conv",
+                 conv->forward.implicit_s, flops);
+    } else {
+      const double im2col_s = im2col_time(cost, g);
+      trace::TrafficCounters dma;
+      dma.dma_get_bytes = conv_image_bytes(g);
+      dma.dma_put_bytes = conv_col_bytes(g);
+      child_span(tr, track, "im2col", "kernel.transform", im2col_s, dma);
+      child_span(tr, track, "gemm", "kernel.gemm",
+                 conv->forward.explicit_s - im2col_s, flops);
+    }
+  } else if (d.kind == core::LayerKind::kInnerProduct ||
+             d.kind == core::LayerKind::kLSTM) {
+    charge_flops(tr, track, d.fc.flops_fwd() * d.steps);
+  }
+  snap(t0 + t.fwd_s);
+  tr->end_span(track);
+
+  tr->begin_span(track, "bwd", "layer.phase");
+  if (conv_phases) {
+    const core::ConvGeom& g = d.conv;
+    trace::TrafficCounters flops;
+    flops.flops = g.flops_bwd_weight();
+    if (conv->backward_weight.implicit_wins()) {
+      child_span(tr, track, "dW.implicit_conv", "kernel.conv",
+                 conv->backward_weight.implicit_s, flops);
+    } else {
+      const double im2col_s = im2col_time(cost, g);
+      trace::TrafficCounters dma;
+      dma.dma_get_bytes = conv_image_bytes(g);
+      dma.dma_put_bytes = conv_col_bytes(g);
+      child_span(tr, track, "dW.im2col", "kernel.transform", im2col_s, dma);
+      child_span(tr, track, "dW.gemm", "kernel.gemm",
+                 conv->backward_weight.explicit_s - im2col_s, flops);
+    }
+    if (!first_conv) {
+      flops.flops = g.flops_bwd_input();
+      if (conv->backward_input.implicit_wins()) {
+        child_span(tr, track, "dX.implicit_conv", "kernel.conv",
+                   conv->backward_input.implicit_s, flops);
+      } else {
+        const double col2im_s = col2im_time(cost, g);
+        child_span(tr, track, "dX.gemm", "kernel.gemm",
+                   conv->backward_input.explicit_s - col2im_s, flops);
+        trace::TrafficCounters dma;
+        dma.dma_get_bytes = conv_col_bytes(g);
+        dma.dma_put_bytes = conv_image_bytes(g);
+        child_span(tr, track, "dX.col2im", "kernel.transform", col2im_s, dma);
+      }
+    }
+  } else if (d.kind == core::LayerKind::kInnerProduct ||
+             d.kind == core::LayerKind::kLSTM) {
+    charge_flops(tr, track, 2.0 * d.fc.flops_fwd() * d.steps);
+  }
+  snap(t0 + t.fwd_s + t.bwd_s);
+  tr->end_span(track);
+
+  tr->end_span(track);  // layer
+}
+
 }  // namespace
 
 LayerTime estimate_layer_sw(const hw::CostModel& cost,
                             const core::LayerDesc& d, bool first_conv) {
   LayerTime t;
+  std::optional<ConvEstimate> conv_est;
+  bool launch_overhead = true;
   switch (d.kind) {
     case core::LayerKind::kConv: {
-      const ConvEstimate est = estimate_conv(cost, d.conv);
-      t.fwd_s = est.forward.best();
-      t.bwd_s = est.best_bwd(first_conv);
+      conv_est = estimate_conv(cost, d.conv);
+      t.fwd_s = conv_est->forward.best();
+      t.bwd_s = conv_est->best_bwd(first_conv);
       break;
     }
     case core::LayerKind::kInnerProduct: {
@@ -103,14 +219,19 @@ LayerTime estimate_layer_sw(const hw::CostModel& cost,
     }
     case core::LayerKind::kData:
     case core::LayerKind::kAccuracy:
-      return t;  // I/O is modelled by swcaffe::io; accuracy is negligible.
+      // I/O is modelled by swcaffe::io; accuracy is negligible.
+      launch_overhead = false;
+      break;
   }
-  t.fwd_s += kLaunchOverheadS;
-  // Backward launches two kernels for parameterized layers (weight grad and
-  // input grad), one otherwise.
-  const bool two_kernels = d.kind == core::LayerKind::kConv ||
-                           d.kind == core::LayerKind::kInnerProduct;
-  t.bwd_s += (two_kernels && !first_conv ? 2.0 : 1.0) * kLaunchOverheadS;
+  if (launch_overhead) {
+    t.fwd_s += kLaunchOverheadS;
+    // Backward launches two kernels for parameterized layers (weight grad
+    // and input grad), one otherwise.
+    const bool two_kernels = d.kind == core::LayerKind::kConv ||
+                             d.kind == core::LayerKind::kInnerProduct;
+    t.bwd_s += (two_kernels && !first_conv ? 2.0 : 1.0) * kLaunchOverheadS;
+  }
+  if (cost.tracer()) trace_layer(cost, d, first_conv, t, conv_est);
   return t;
 }
 

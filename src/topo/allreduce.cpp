@@ -73,8 +73,24 @@ void charge_fold(CostBreakdown& cost, const Topology& topo,
 
 }  // namespace
 
+void trace_allreduce(trace::Tracer* tracer, int track, const char* algorithm,
+                     const CostBreakdown& breakdown) {
+  if (!tracer) return;
+  tracer->begin_span(track, algorithm, "comm.allreduce");
+  trace::TrafficCounters c;
+  c.net_bytes = static_cast<std::size_t>(breakdown.beta1_bytes +
+                                         breakdown.beta2_bytes);
+  tracer->charge(track, c);
+  tracer->counter(track, trace::kCounterAlphaTerms, breakdown.alpha_terms);
+  tracer->counter(track, trace::kCounterBeta1Bytes, breakdown.beta1_bytes);
+  tracer->counter(track, trace::kCounterBeta2Bytes, breakdown.beta2_bytes);
+  tracer->counter(track, trace::kCounterGammaBytes, breakdown.gamma_bytes);
+  tracer->end_span(track, breakdown.seconds);
+}
+
 CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
-                       const NetParams& net, Placement placement) {
+                       const NetParams& net, Placement placement,
+                       trace::Tracer* tracer, int trace_track) {
   const int p = topo.num_nodes;
   CostBreakdown cost;
   if (p == 1) return cost;
@@ -84,6 +100,7 @@ CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
     core.num_nodes = p2;
     cost = cost_rhd(bytes, core, net, placement);
     charge_fold(cost, topo, net, placement, bytes);
+    trace_allreduce(tracer, trace_track, "allreduce.rhd", cost);
     return cost;
   }
   const int steps = log2i(p);
@@ -101,12 +118,14 @@ CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
                 static_cast<double>(bytes) / (1 << (s + 1)),
                 /*reduce=*/false);
   }
+  trace_allreduce(tracer, trace_track, "allreduce.rhd", cost);
   return cost;
 }
 
 CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
                             const Topology& topo, const NetParams& net,
-                            Placement placement) {
+                            Placement placement, trace::Tracer* tracer,
+                            int trace_track) {
   const int p = static_cast<int>(data.size());
   SWC_CHECK_EQ(p, topo.num_nodes);
   const std::size_t n = data[0].size();
@@ -177,11 +196,13 @@ CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
   }
   // Unfold: the sidelined odd ranks receive the finished result.
   for (int i = 0; i < extra; ++i) data[2 * i + 1] = data[2 * i];
-  return cost_rhd(static_cast<std::int64_t>(n) * 4, topo, net, placement);
+  return cost_rhd(static_cast<std::int64_t>(n) * 4, topo, net, placement,
+                  tracer, trace_track);
 }
 
 CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
-                        const NetParams& net, Placement placement) {
+                        const NetParams& net, Placement placement,
+                        trace::Tracer* tracer, int trace_track) {
   const int p = topo.num_nodes;
   CostBreakdown cost;
   if (p == 1) return cost;
@@ -198,12 +219,14 @@ CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
   cost.seconds = cost.alpha_terms * alpha +
                  cost.beta1_bytes * net.beta1() +
                  cost.gamma_bytes * net.gamma();
+  trace_allreduce(tracer, trace_track, "allreduce.ring", cost);
   return cost;
 }
 
 CostBreakdown allreduce_ring(std::vector<std::vector<float>>& data,
                              const Topology& topo, const NetParams& net,
-                             Placement placement) {
+                             Placement placement, trace::Tracer* tracer,
+                             int trace_track) {
   const int p = static_cast<int>(data.size());
   SWC_CHECK_EQ(p, topo.num_nodes);
   const std::size_t n = data[0].size();
@@ -245,11 +268,13 @@ CostBreakdown allreduce_ring(std::vector<std::vector<float>>& data,
                 data[r].begin() + block_lo(b));
     }
   }
-  return cost_ring(static_cast<std::int64_t>(n) * 4, topo, net, placement);
+  return cost_ring(static_cast<std::int64_t>(n) * 4, topo, net, placement,
+                   tracer, trace_track);
 }
 
 CostBreakdown cost_param_server(std::int64_t bytes, const Topology& topo,
-                                const NetParams& net, int servers) {
+                                const NetParams& net, int servers,
+                                trace::Tracer* tracer, int trace_track) {
   SWC_CHECK_GT(servers, 0);
   CostBreakdown cost;
   const int p = topo.num_nodes;
@@ -266,12 +291,14 @@ CostBreakdown cost_param_server(std::int64_t bytes, const Topology& topo,
   if (shard > static_cast<double>(net.eager_limit)) alpha += net.alpha_rendezvous;
   cost.seconds = 2 * alpha + cost.beta1_bytes * net.beta1() +
                  cost.gamma_bytes * net.gamma();
+  trace_allreduce(tracer, trace_track, "allreduce.param_server", cost);
   return cost;
 }
 
 CostBreakdown allreduce_param_server(std::vector<std::vector<float>>& data,
                                      const Topology& topo,
-                                     const NetParams& net, int servers) {
+                                     const NetParams& net, int servers,
+                                     trace::Tracer* tracer, int trace_track) {
   const int p = static_cast<int>(data.size());
   SWC_CHECK_EQ(p, topo.num_nodes);
   const std::size_t n = data[0].size();
@@ -281,7 +308,7 @@ CostBreakdown allreduce_param_server(std::vector<std::vector<float>>& data,
   }
   for (auto& v : data) v = sum;
   return cost_param_server(static_cast<std::int64_t>(n) * 4, topo, net,
-                           servers);
+                           servers, tracer, trace_track);
 }
 
 }  // namespace swcaffe::topo

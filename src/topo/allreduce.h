@@ -10,6 +10,11 @@
 //    baseline and, with round-robin placement, its improved version)
 //  * ring (Patarasuk & Yuan; rejected by the paper for its p*alpha latency)
 //  * parameter server push/pull (rejected for the single-port bottleneck)
+//
+// Every variant takes an optional trace::Tracer: when set, the call is
+// recorded as one "comm.allreduce" span of the breakdown's duration with the
+// per-node network volume charged and the alpha/beta1/beta2/gamma terms
+// emitted as counter samples (the Fig. 7 decomposition, machine-readable).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 
 #include "topo/network_model.h"
 #include "topo/topology.h"
+#include "trace/tracer.h"
 
 namespace swcaffe::topo {
 
@@ -29,6 +35,11 @@ struct CostBreakdown {
   double gamma_bytes = 0.0;   ///< per-node bytes locally reduced
 };
 
+/// Records one finished all-reduce in `tracer` (no-op when null): a span of
+/// `breakdown.seconds` named `algorithm` plus alpha/beta/gamma counters.
+void trace_allreduce(trace::Tracer* tracer, int track, const char* algorithm,
+                     const CostBreakdown& breakdown);
+
 /// Recursive-halving reduce-scatter + recursive-doubling allgather.
 /// Functional: `data[r]` is rank r's vector; on return every rank holds the
 /// elementwise sum. Non-power-of-2 node counts use MPICH's fold/unfold
@@ -36,27 +47,37 @@ struct CostBreakdown {
 /// receive the result after it).
 CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
                             const Topology& topo, const NetParams& net,
-                            Placement placement);
+                            Placement placement,
+                            trace::Tracer* tracer = nullptr,
+                            int trace_track = 0);
 
 /// Analytic cost of the same algorithm for arbitrary message size (used at
 /// 1024-node scale where functional buffers would not fit).
 CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
-                       const NetParams& net, Placement placement);
+                       const NetParams& net, Placement placement,
+                       trace::Tracer* tracer = nullptr, int trace_track = 0);
 
 /// Ring all-reduce (reduce-scatter ring + allgather ring).
 CostBreakdown allreduce_ring(std::vector<std::vector<float>>& data,
                              const Topology& topo, const NetParams& net,
-                             Placement placement);
+                             Placement placement,
+                             trace::Tracer* tracer = nullptr,
+                             int trace_track = 0);
 CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
-                        const NetParams& net, Placement placement);
+                        const NetParams& net, Placement placement,
+                        trace::Tracer* tracer = nullptr, int trace_track = 0);
 
 /// Parameter-server synchronization: workers push gradients to `servers`
 /// shards, servers reduce and broadcast back. Functional result equals the
 /// all-reduce sum on every rank.
 CostBreakdown allreduce_param_server(std::vector<std::vector<float>>& data,
                                      const Topology& topo,
-                                     const NetParams& net, int servers);
+                                     const NetParams& net, int servers,
+                                     trace::Tracer* tracer = nullptr,
+                                     int trace_track = 0);
 CostBreakdown cost_param_server(std::int64_t bytes, const Topology& topo,
-                                const NetParams& net, int servers);
+                                const NetParams& net, int servers,
+                                trace::Tracer* tracer = nullptr,
+                                int trace_track = 0);
 
 }  // namespace swcaffe::topo

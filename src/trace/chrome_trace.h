@@ -1,0 +1,27 @@
+// Chrome-trace-format exporter (the JSON consumed by chrome://tracing and
+// https://ui.perfetto.dev). Each Tracer track becomes one named "thread";
+// spans are emitted as matched B/E duration events whose args carry the
+// span's TrafficCounters, counter samples as "C" events, instants as "i".
+// Timestamps are the tracer's simulated seconds expressed in microseconds
+// (the trace format's unit).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/tracer.h"
+
+namespace swcaffe::trace {
+
+/// Writes the full trace object ({"traceEvents": [...], ...}) to `os`.
+/// Requires a balanced trace (tracer.open_spans() == 0).
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Same, to a file; throws base::CheckError when the file cannot be opened.
+void save_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Escapes a string for embedding in a JSON string literal (exposed for the
+/// report writer and tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace swcaffe::trace

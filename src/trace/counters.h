@@ -1,0 +1,46 @@
+// Traffic counters attached to trace spans.
+//
+// Mirrors hw::TrafficLedger's byte/flop bookkeeping (trace cannot include hw
+// headers — hw links against trace, not the other way around) and adds the
+// network-level volume the topo collectives move. Instrumentation sites
+// convert their native ledgers into this struct when charging a span.
+#pragma once
+
+#include <cstddef>
+
+namespace swcaffe::trace {
+
+/// Byte/flop counters accumulated by one span (inclusive of children: a
+/// child span's traffic folds into its parent when the child closes).
+struct TrafficCounters {
+  std::size_t dma_get_bytes = 0;  ///< main memory -> LDM
+  std::size_t dma_put_bytes = 0;  ///< LDM -> main memory
+  std::size_t rlc_bytes = 0;      ///< register-level communication volume
+  std::size_t mpe_bytes = 0;      ///< memory copies through the MPE
+  std::size_t net_bytes = 0;      ///< inter-node (MPI) volume per node
+  double flops = 0.0;             ///< arithmetic executed on the CPE cluster
+
+  void add(const TrafficCounters& o) {
+    dma_get_bytes += o.dma_get_bytes;
+    dma_put_bytes += o.dma_put_bytes;
+    rlc_bytes += o.rlc_bytes;
+    mpe_bytes += o.mpe_bytes;
+    net_bytes += o.net_bytes;
+    flops += o.flops;
+  }
+  std::size_t dma_bytes() const { return dma_get_bytes + dma_put_bytes; }
+  bool empty() const {
+    return dma_get_bytes == 0 && dma_put_bytes == 0 && rlc_bytes == 0 &&
+           mpe_bytes == 0 && net_bytes == 0 && flops == 0.0;
+  }
+};
+
+// Canonical counter-sample names (chrome "C" events) emitted by the
+// instrumented all-reduce variants; the report groups by these strings.
+inline constexpr const char* kCounterAlphaTerms = "allreduce.alpha_terms";
+inline constexpr const char* kCounterBeta1Bytes = "allreduce.beta1_bytes";
+inline constexpr const char* kCounterBeta2Bytes = "allreduce.beta2_bytes";
+inline constexpr const char* kCounterGammaBytes = "allreduce.gamma_bytes";
+inline constexpr const char* kCounterLoss = "train.loss";
+
+}  // namespace swcaffe::trace

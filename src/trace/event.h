@@ -1,0 +1,49 @@
+// Event records collected by trace::Tracer.
+//
+// All timestamps are SIMULATED seconds (the cost-model clock, not host wall
+// time). A "track" is one timeline in the exported trace — by convention
+// track 0 is the node aggregate, tracks 1..4 the four core groups, higher
+// tracks whatever the instrumentation site registers (e.g. the I/O thread).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/counters.h"
+
+namespace swcaffe::trace {
+
+/// Index value meaning "no parent span".
+inline constexpr std::int64_t kNoParent = -1;
+
+/// One closed span: a named interval of simulated time on one track.
+struct Span {
+  std::string name;
+  std::string category;
+  int track = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  int depth = 0;                      ///< 0 = top level on its track
+  std::int64_t parent = kNoParent;    ///< index into Tracer::spans()
+  TrafficCounters traffic;            ///< inclusive of closed children
+
+  double duration_s() const { return end_s - begin_s; }
+};
+
+/// One counter sample (chrome "C" event): value of `name` at time `t_s`.
+struct CounterSample {
+  std::string name;
+  int track = 0;
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+/// A zero-duration marker (chrome "i" event).
+struct InstantEvent {
+  std::string name;
+  std::string category;
+  int track = 0;
+  double t_s = 0.0;
+};
+
+}  // namespace swcaffe::trace

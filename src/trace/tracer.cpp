@@ -1,0 +1,105 @@
+#include "trace/tracer.h"
+
+#include "base/log.h"
+
+namespace swcaffe::trace {
+
+namespace {
+constexpr double kOpenSentinel = -1.0;
+}  // namespace
+
+Tracer::Track& Tracer::track(int id) { return tracks_[id]; }
+
+const Tracer::Track* Tracer::find_track(int id) const {
+  auto it = tracks_.find(id);
+  return it == tracks_.end() ? nullptr : &it->second;
+}
+
+double Tracer::now(int track_id) const {
+  const Track* t = find_track(track_id);
+  return t ? t->clock : 0.0;
+}
+
+void Tracer::set_clock(int track_id, double t_s) {
+  Track& t = track(track_id);
+  if (!t.open.empty()) {
+    SWC_CHECK_GE(t_s, spans_[t.open.back()].begin_s);
+  }
+  t.clock = t_s;
+}
+
+void Tracer::advance(int track_id, double dt_s) {
+  SWC_CHECK_GE(dt_s, 0.0);
+  track(track_id).clock += dt_s;
+}
+
+std::int64_t Tracer::begin_span(int track_id, std::string name,
+                                std::string category) {
+  Track& t = track(track_id);
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.track = track_id;
+  s.begin_s = t.clock;
+  s.end_s = kOpenSentinel;
+  s.depth = static_cast<int>(t.open.size());
+  s.parent = t.open.empty() ? kNoParent : t.open.back();
+  const std::int64_t index = static_cast<std::int64_t>(spans_.size());
+  spans_.push_back(std::move(s));
+  t.open.push_back(index);
+  return index;
+}
+
+void Tracer::end_span(int track_id) {
+  Track& t = track(track_id);
+  SWC_CHECK_MSG(!t.open.empty(),
+                "end_span on track " << track_id << " with no open span");
+  const std::int64_t index = t.open.back();
+  t.open.pop_back();
+  Span& s = spans_[index];
+  SWC_CHECK_GE(t.clock, s.begin_s);
+  s.end_s = t.clock;
+  // Counters are inclusive: fold the closed child into its parent.
+  if (s.parent != kNoParent) spans_[s.parent].traffic.add(s.traffic);
+}
+
+void Tracer::end_span(int track_id, double dt_s) {
+  advance(track_id, dt_s);
+  end_span(track_id);
+}
+
+void Tracer::charge(int track_id, const TrafficCounters& c) {
+  Track& t = track(track_id);
+  if (t.open.empty()) return;
+  spans_[t.open.back()].traffic.add(c);
+}
+
+void Tracer::counter(int track_id, std::string name, double value) {
+  counters_.push_back(
+      {std::move(name), track_id, track(track_id).clock, value});
+}
+
+void Tracer::instant(int track_id, std::string name, std::string category) {
+  instants_.push_back(
+      {std::move(name), std::move(category), track_id, track(track_id).clock});
+}
+
+void Tracer::set_track_name(int track_id, std::string name) {
+  track_names_[track_id] = std::move(name);
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t n = 0;
+  for (const auto& [id, t] : tracks_) n += t.open.size();
+  return n;
+}
+
+void Tracer::clear() {
+  tracks_.clear();
+  spans_.clear();
+  counters_.clear();
+  instants_.clear();
+  // track_names_ kept: naming is configuration, not recorded data.
+}
+
+}  // namespace swcaffe::trace
