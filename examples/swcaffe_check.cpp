@@ -1,0 +1,196 @@
+// swcaffe_check: static plan linter for SW26010 kernel plans (swcheck).
+//
+// Walks every layer of a network description and verifies, without running a
+// single simulated cycle, that the plans the simulator would execute respect
+// the hardware contracts: per-CPE LDM budgets (incl. double-buffering), DMA
+// legality and byte conservation against the cost model, deadlock-free RLC
+// schedules, and the implicit-convolution applicability rules of Table II.
+//
+// Usage:
+//   swcaffe_check [--model M] [--batch B] [--classes C] [--image R]
+//                 [--nodes N] [--pedantic] [--quiet]
+//   swcaffe_check --paper         # all paper-scale AlexNet/VGG configs
+//   swcaffe_check --list-codes    # print the diagnostic code reference
+//   swcaffe_check <net.prototxt>  # lint a prototxt model
+//
+// Models: alexnet | alexnet-orig | vgg16 | vgg19 | resnet50 | googlenet or a
+// prototxt path. Exit status: 0 when no errors (warnings allowed), 1 when
+// any error-severity diagnostic fired, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/verify.h"
+#include "core/models.h"
+#include "core/proto.h"
+#include "hw/cost_model.h"
+
+using namespace swcaffe;
+
+namespace {
+
+struct NamedConfig {
+  std::string label;
+  std::vector<core::LayerDesc> descs;
+};
+
+core::NetSpec resolve_model(const std::string& arg, int batch, int classes,
+                            int image) {
+  if (arg == "alexnet") return core::alexnet_bn(batch, classes, image);
+  if (arg == "alexnet-orig") {
+    return core::alexnet_original(batch, classes, image);
+  }
+  if (arg == "vgg16") return core::vgg(16, batch, classes, image);
+  if (arg == "vgg19") return core::vgg(19, batch, classes, image);
+  if (arg == "resnet50") return core::resnet50(batch, classes, image);
+  if (arg == "googlenet") return core::googlenet(batch, classes, image);
+  return core::load_net_prototxt(arg);
+}
+
+/// The paper's evaluated configurations (Sec. VI / Tables II-III): the
+/// acceptance bar is zero errors on every one of them.
+std::vector<NamedConfig> paper_configs() {
+  std::vector<NamedConfig> configs;
+  configs.push_back({"alexnet-bn batch 256 @227",
+                     core::describe_net_spec(core::alexnet_bn(256, 1000, 227))});
+  configs.push_back({"alexnet-bn batch 128 @227",
+                     core::describe_net_spec(core::alexnet_bn(128, 1000, 227))});
+  configs.push_back({"vgg16 batch 128 @224",
+                     core::describe_net_spec(core::vgg(16, 128, 1000, 224))});
+  configs.push_back({"vgg16 batch 32 @224",
+                     core::describe_net_spec(core::vgg(16, 32, 1000, 224))});
+  configs.push_back({"vgg19 batch 128 @224",
+                     core::describe_net_spec(core::vgg(19, 128, 1000, 224))});
+  return configs;
+}
+
+void print_codes() {
+  using check::Code;
+  static const Code kAll[] = {
+      Code::kLdmOverflow,      Code::kLdmDoubleBuffer, Code::kDmaEmptyRun,
+      Code::kDmaMisaligned,    Code::kDmaOverlap,      Code::kDmaBytesMismatch,
+      Code::kDmaShortRun,      Code::kRlcDeadlock,     Code::kRlcIllegalPair,
+      Code::kRlcUnmatched,     Code::kImplicitUnsupported,
+      Code::kImplicitDegraded, Code::kPlanInconsistent, Code::kGeomInvalid,
+  };
+  static const char* kDesc[] = {
+      "per-CPE working set exceeds the 64 KB LDM",
+      "plan fits single-buffered only; DMA cannot overlap compute",
+      "zero-length DMA run or zero-byte transfer planned",
+      "DMA run/stride not a multiple of the element size",
+      "DMA stride shorter than the run; transfers overlap",
+      "plan bytes disagree with what the cost model charges",
+      "DMA runs below the 256 B bandwidth knee (pedantic only)",
+      "cycle in the RLC send/receive dependency graph",
+      "P2P between CPEs sharing neither row nor column",
+      "receive without a matching send, or message never drained",
+      "implicit conv outside its support predicate (Table II dash)",
+      "implicit conv below the 64-channel efficiency knee",
+      "auto-tuner choice contradicts the support predicate",
+      "invalid geometry (empty output, indivisible groups, ...)",
+  };
+  std::printf("%-22s %s\n", "code", "meaning");
+  for (std::size_t i = 0; i < std::size(kAll); ++i) {
+    std::printf("%-22s %s\n", check::code_name(kAll[i]), kDesc[i]);
+  }
+}
+
+/// Matches "--name value" and "--name=value"; advances `i` past the value.
+bool flag_value(int argc, char** argv, int& i, const char* name,
+                std::string& out) {
+  const std::string arg = argv[i];
+  const std::string prefix = std::string(name) + "=";
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name);
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  if (arg.rfind(prefix, 0) == 0) {
+    out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model = "alexnet";
+  int batch = 256;
+  int classes = 1000;
+  int image = 227;
+  int nodes = 0;
+  bool paper = false;
+  bool pedantic = false;
+  bool quiet = false;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (flag_value(argc, argv, i, "--model", v)) {
+      model = v;
+    } else if (flag_value(argc, argv, i, "--batch", v)) {
+      batch = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--classes", v)) {
+      classes = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--image", v)) {
+      image = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--nodes", v)) {
+      nodes = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--paper") == 0) {
+      paper = true;
+    } else if (std::strcmp(argv[i], "--pedantic") == 0) {
+      pedantic = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--list-codes") == 0) {
+      print_codes();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    } else if (positional++ == 0) {
+      model = argv[i];
+    } else {
+      std::fprintf(stderr, "too many positional arguments\n");
+      return 2;
+    }
+  }
+
+  check::Options opts;
+  opts.pedantic = pedantic;
+  const hw::CostModel cost;
+
+  std::vector<NamedConfig> configs;
+  if (paper) {
+    configs = paper_configs();
+  } else {
+    core::NetSpec spec = resolve_model(model, batch, classes, image);
+    configs.push_back({spec.name + " batch " + std::to_string(batch) + " @" +
+                           std::to_string(image),
+                       core::describe_net_spec(spec)});
+  }
+
+  int errors = 0, warnings = 0;
+  for (const NamedConfig& config : configs) {
+    check::Report report = check::verify_net(cost, config.descs, opts);
+    if (nodes > 0) {
+      report.merge(check::verify_allreduce("rhd", nodes, opts));
+      report.merge(check::verify_allreduce("ring", nodes, opts));
+    }
+    errors += report.error_count();
+    warnings += report.warning_count();
+    if (!quiet && !report.empty()) report.print(std::cout);
+    std::printf("%-28s %zu layer(s): %s\n", config.label.c_str(),
+                config.descs.size(), report.summary().c_str());
+  }
+  if (configs.size() > 1) {
+    std::printf("total: %d error(s), %d warning(s)\n", errors, warnings);
+  }
+  return errors > 0 ? 1 : 0;
+}

@@ -1,0 +1,252 @@
+#include "check/rules.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace swcaffe::check {
+
+namespace {
+
+constexpr std::size_t kElemBytes = 4;
+/// Fig. 2: DMA bandwidth is "satisfactory" only from 256 B runs upward.
+constexpr std::size_t kShortRunBytes = 256;
+
+std::string human_bytes(std::size_t b) {
+  return std::to_string(b) + " B";
+}
+
+const char* comm_kind_name(CommOp::Kind k) {
+  switch (k) {
+    case CommOp::Kind::kRowBroadcast:
+      return "row-broadcast";
+    case CommOp::Kind::kColBroadcast:
+      return "col-broadcast";
+    case CommOp::Kind::kSend:
+      return "send";
+    case CommOp::Kind::kRecvRow:
+      return "recv-row";
+    case CommOp::Kind::kRecvCol:
+      return "recv-col";
+  }
+  return "?";
+}
+
+std::string describe_op(const CommOp& op) {
+  std::string s = std::string(comm_kind_name(op.kind)) + " @(" +
+                  std::to_string(op.row) + "," + std::to_string(op.col) + ")";
+  if (op.kind == CommOp::Kind::kSend) {
+    s += "->(" + std::to_string(op.peer_row) + "," +
+         std::to_string(op.peer_col) + ")";
+  }
+  return s;
+}
+
+}  // namespace
+
+void check_ldm(const LdmPlan& plan, const hw::HwParams& hp,
+               const Options& opts, const std::string& layer, Report* report) {
+  (void)opts;
+  const std::size_t capacity = hp.ldm_bytes;
+  const std::size_t resident = plan.resident_bytes();
+  const std::size_t buffered = plan.buffered_bytes();
+  if (resident > capacity) {
+    std::string detail;
+    for (const LdmItem& item : plan.items) {
+      if (!detail.empty()) detail += " + ";
+      detail += item.name + " " + human_bytes(item.bytes);
+    }
+    report->add(Code::kLdmOverflow, Severity::kError, layer,
+                plan.kernel + ": per-CPE working set " + human_bytes(resident) +
+                    " exceeds LDM capacity " + human_bytes(capacity) + " (" +
+                    detail + ")");
+  } else if (buffered > capacity) {
+    report->add(Code::kLdmDoubleBuffer, Severity::kWarning, layer,
+                plan.kernel + ": working set " + human_bytes(resident) +
+                    " fits only single-buffered (" + human_bytes(buffered) +
+                    " with double-buffering vs " + human_bytes(capacity) +
+                    "); DMA cannot overlap compute");
+  }
+}
+
+void check_dma(const DmaPlan& plan, const Options& opts,
+               const std::string& layer, Report* report) {
+  double planned = 0.0;
+  for (const DmaOp& op : plan.ops) {
+    const std::string where = plan.kernel + "/" + op.name;
+    if (op.run_bytes == 0 || op.total_bytes <= 0.0) {
+      report->add(Code::kDmaEmptyRun, Severity::kError, layer,
+                  where + ": zero-length DMA (" +
+                      std::to_string(op.run_bytes) + " B runs, " +
+                      std::to_string(op.total_bytes) + " B total)");
+      continue;
+    }
+    if (op.run_bytes % kElemBytes != 0 || op.stride_bytes % kElemBytes != 0) {
+      report->add(Code::kDmaMisaligned, Severity::kError, layer,
+                  where + ": run " + human_bytes(op.run_bytes) + " / stride " +
+                      human_bytes(op.stride_bytes) +
+                      " not a multiple of the 4 B element size");
+    }
+    if (op.stride_bytes > 0 && op.stride_bytes < op.run_bytes) {
+      report->add(Code::kDmaOverlap, Severity::kError, layer,
+                  where + ": stride " + human_bytes(op.stride_bytes) +
+                      " shorter than run " + human_bytes(op.run_bytes) +
+                      "; successive runs overlap in memory");
+    }
+    if (opts.pedantic && op.run_bytes < kShortRunBytes) {
+      report->add(Code::kDmaShortRun, Severity::kNote, layer,
+                  where + ": " + human_bytes(op.run_bytes) +
+                      " runs sit below the 256 B bandwidth knee (Fig. 2); "
+                      "expect degraded DMA throughput");
+    }
+    planned += op.total_bytes;
+  }
+  const double charged = plan.charged_bytes;
+  const double diff = std::abs(planned - charged);
+  if (diff > 1.0 && diff > 1e-6 * std::max(std::abs(planned), std::abs(charged))) {
+    report->add(Code::kDmaBytesMismatch, Severity::kError, layer,
+                plan.kernel + ": enumerated DMA ops move " +
+                    std::to_string(planned) + " B but the cost model charges " +
+                    std::to_string(charged) +
+                    " B; plan and model disagree on traffic");
+  }
+}
+
+void check_schedule(const CommSchedule& sched, const hw::HwParams& hp,
+                    const Options& opts, const std::string& layer,
+                    Report* report) {
+  (void)opts;
+  const std::size_t n = sched.ops.size();
+  enum Bus { kRowBus = 0, kColBus = 1 };
+  using QueueKey = std::tuple<int, int, int>;  // (dst row, dst col, bus)
+  std::map<QueueKey, std::vector<std::size_t>> deliveries;
+  std::map<QueueKey, std::vector<std::size_t>> receives;
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<int> indegree(n, 0);
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    succ[from].push_back(to);
+    ++indegree[to];
+  };
+
+  // Program-order edges: the op list restricted to one CPE is its program.
+  std::map<std::pair<int, int>, std::size_t> last_op;
+  int illegal_pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CommOp& op = sched.ops[i];
+    const std::pair<int, int> cpe{op.row, op.col};
+    auto it = last_op.find(cpe);
+    if (it != last_op.end()) add_edge(it->second, i);
+    last_op[cpe] = i;
+
+    switch (op.kind) {
+      case CommOp::Kind::kRowBroadcast:
+        for (int c = 0; c < hp.mesh_cols; ++c) {
+          if (c != op.col) deliveries[{op.row, c, kRowBus}].push_back(i);
+        }
+        break;
+      case CommOp::Kind::kColBroadcast:
+        for (int r = 0; r < hp.mesh_rows; ++r) {
+          if (r != op.row) deliveries[{r, op.col, kColBus}].push_back(i);
+        }
+        break;
+      case CommOp::Kind::kSend: {
+        int bus = kRowBus;
+        if (sched.mesh) {
+          const bool same_row = op.peer_row == op.row;
+          const bool same_col = op.peer_col == op.col;
+          if (same_row == same_col) {  // diagonal pair or self-send
+            if (illegal_pairs++ == 0) {
+              report->add(Code::kRlcIllegalPair, Severity::kError, layer,
+                          sched.name + ": " + describe_op(op) +
+                              " crosses the mesh diagonally; RLC reaches "
+                              "only CPEs sharing a row or column");
+            }
+            break;  // undeliverable: no queue entry
+          }
+          bus = same_row ? kRowBus : kColBus;
+        }
+        deliveries[{op.peer_row, op.peer_col, bus}].push_back(i);
+        break;
+      }
+      case CommOp::Kind::kRecvRow:
+        receives[{op.row, op.col, kRowBus}].push_back(i);
+        break;
+      case CommOp::Kind::kRecvCol:
+        receives[{op.row, op.col, kColBus}].push_back(i);
+        break;
+    }
+  }
+  if (illegal_pairs > 1) {
+    report->add(Code::kRlcIllegalPair, Severity::kError, layer,
+                sched.name + ": " + std::to_string(illegal_pairs - 1) +
+                    " further diagonal P2P op(s)");
+  }
+
+  // FIFO matching: the k-th receive on a (CPE, bus) queue consumes the k-th
+  // message delivered to it, independent of where either sits in the list —
+  // that is what makes a recv-before-matching-send cycle *detectable* rather
+  // than trivially impossible.
+  for (const auto& [key, recvs] : receives) {
+    const auto dit = deliveries.find(key);
+    const std::size_t have = dit == deliveries.end() ? 0 : dit->second.size();
+    for (std::size_t k = 0; k < recvs.size(); ++k) {
+      if (k < have) {
+        add_edge(dit->second[k], recvs[k]);
+      }
+    }
+    if (recvs.size() > have) {
+      const CommOp& op = sched.ops[recvs[have]];
+      report->add(Code::kRlcUnmatched, Severity::kError, layer,
+                  sched.name + ": " + std::to_string(recvs.size() - have) +
+                      " receive(s) with no matching send, first " +
+                      describe_op(op));
+    }
+  }
+  for (const auto& [key, sent] : deliveries) {
+    const auto rit = receives.find(key);
+    const std::size_t want = rit == receives.end() ? 0 : rit->second.size();
+    if (sent.size() > want) {
+      report->add(Code::kRlcUnmatched, Severity::kError, layer,
+                  sched.name + ": " + std::to_string(sent.size() - want) +
+                      " message(s) to CPE(" + std::to_string(std::get<0>(key)) +
+                      "," + std::to_string(std::get<1>(key)) +
+                      ") never received (" +
+                      (std::get<2>(key) == kRowBus ? "row" : "column") +
+                      " bus left non-empty)");
+    }
+  }
+
+  // Kahn's algorithm: every op must become runnable; a leftover set is a
+  // dependency cycle, i.e. the schedule deadlocks on hardware.
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::size_t done = 0;
+  while (!ready.empty()) {
+    const std::size_t i = ready.back();
+    ready.pop_back();
+    ++done;
+    for (std::size_t s : succ[i]) {
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (done < n) {
+    std::string first;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] > 0) {
+        first = describe_op(sched.ops[i]);
+        break;
+      }
+    }
+    report->add(Code::kRlcDeadlock, Severity::kError, layer,
+                sched.name + ": " + std::to_string(n - done) +
+                    " op(s) in a send/receive dependency cycle (e.g. " +
+                    first + "); schedule deadlocks");
+  }
+}
+
+}  // namespace swcaffe::check

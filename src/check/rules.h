@@ -1,0 +1,41 @@
+// swcheck rules: the hardware contracts verified against symbolic plans.
+//
+// Each rule takes a plan from plan_model.h and appends diagnostics to a
+// Report. Rules never execute anything — they reason about the plan data
+// only, which is what lets the checker run before any simulation starts.
+#pragma once
+
+#include "check/diagnostic.h"
+#include "check/plan_model.h"
+#include "hw/params.h"
+
+namespace swcaffe::check {
+
+/// Knobs shared by rules and the verify_* drivers.
+struct Options {
+  /// Emit kNote-severity advisories (e.g. dma-short-run on legal but
+  /// bandwidth-degraded plans). Off by default so clean paper configurations
+  /// produce an empty report.
+  bool pedantic = false;
+};
+
+/// LDM budget: resident bytes must fit the CPE scratchpad outright
+/// (ldm-overflow, error) and ideally with the double-buffer multiplier
+/// (ldm-double-buffer, warning).
+void check_ldm(const LdmPlan& plan, const hw::HwParams& hp,
+               const Options& opts, const std::string& layer, Report* report);
+
+/// DMA legality: positive element-aligned runs, non-overlapping strides, and
+/// byte conservation between the enumerated ops and charged_bytes. Under
+/// pedantic, also flags runs below the 256 B bandwidth knee (Fig. 2).
+void check_dma(const DmaPlan& plan, const Options& opts,
+               const std::string& layer, Report* report);
+
+/// RLC schedule soundness: P2P legality (mesh schedules must communicate
+/// along a shared row/column), FIFO send/receive matching, and
+/// deadlock-freedom via cycle detection over program-order + message edges.
+void check_schedule(const CommSchedule& sched, const hw::HwParams& hp,
+                    const Options& opts, const std::string& layer,
+                    Report* report);
+
+}  // namespace swcaffe::check

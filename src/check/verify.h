@@ -1,0 +1,65 @@
+// swcheck drivers: build the symbolic plans a layer/net would execute and
+// run every applicable rule over them.
+//
+// Entry points mirror how the rest of the stack consumes kernels:
+//  * verify_net        — whole network description (Trainer/NodeRunner hook,
+//                        swcaffe_check CLI)
+//  * verify_layer      — one LayerDesc (conv, FC/LSTM, pool, elementwise, ...)
+//  * verify_conv       — one convolution, optionally forcing a strategy the
+//                        auto-tuner would not pick (tests / what-if linting)
+//  * verify_gemm       — one blocked mesh GEMM (m, n, k)
+//  * verify_mesh_gemm  — one *unblocked* mesh_gemm kernel launch: predicts
+//                        exactly when the functional kernel would throw
+//  * verify_allreduce  — cluster all-reduce schedule by algorithm name
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/diagnostic.h"
+#include "check/rules.h"
+#include "core/layer_desc.h"
+#include "hw/cost_model.h"
+
+namespace swcaffe::check {
+
+/// Which convolution strategy to verify. kAuto follows estimate_conv's
+/// per-direction winner (what a simulation would actually run) and
+/// cross-checks the tuner's choice against the support predicates.
+enum class ConvStrategy { kAuto, kExplicit, kImplicit };
+
+Report verify_gemm(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const std::string& layer = "gemm",
+                   const Options& opts = {});
+
+/// Contract check of one raw mesh_gemm(m, n, k) launch: mesh divisibility
+/// plus the single-buffered three-tile LDM budget. A passing report implies
+/// the functional kernel will not throw; a kLdmOverflow/kGeomInvalid error
+/// implies it will (pinned by tests/check_test.cpp).
+Report verify_mesh_gemm(const hw::HwParams& hp, std::int64_t m, std::int64_t n,
+                        std::int64_t k,
+                        const std::string& layer = "mesh_gemm");
+
+Report verify_conv(const hw::CostModel& cost, const core::ConvGeom& g,
+                   const std::string& layer = "conv",
+                   const Options& opts = {},
+                   ConvStrategy strategy = ConvStrategy::kAuto,
+                   bool first_conv = false);
+
+Report verify_layer(const hw::CostModel& cost, const core::LayerDesc& d,
+                    bool first_conv = false, const Options& opts = {});
+
+/// Verifies every layer of a network description plus the shared RLC
+/// schedules (mesh GEMM, implicit conv). This is what the Trainer asserts on
+/// in debug builds and what swcaffe_check prints.
+Report verify_net(const hw::CostModel& cost,
+                  const std::vector<core::LayerDesc>& descs,
+                  const Options& opts = {});
+
+/// All-reduce schedule check. `algorithm` is "rhd", "ring" or "ps"
+/// (parameter server); unknown names are a kGeomInvalid error.
+Report verify_allreduce(const std::string& algorithm, int num_nodes,
+                        const Options& opts = {});
+
+}  // namespace swcaffe::check

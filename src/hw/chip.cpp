@@ -21,7 +21,12 @@ Ldm& CoreGroup::ldm(int row, int col) {
 }
 
 void CoreGroup::reset() {
-  for (auto& l : ldms_) l.reset();
+  for (auto& l : ldms_) {
+    l.reset();
+    // Post-condition the swcheck plans rely on: a reset CPE starts its next
+    // kernel with an empty bump allocator (and the same backing storage).
+    SWC_CHECK(l.empty());
+  }
   rlc_.reset_ledger();
 }
 

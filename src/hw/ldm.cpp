@@ -1,5 +1,7 @@
 #include "hw/ldm.h"
 
+#include <algorithm>
+
 #include "base/log.h"
 
 namespace swcaffe::hw {
@@ -16,9 +18,14 @@ std::span<double> Ldm::alloc(std::size_t n) {
                                            << "B already used");
   std::span<double> out(storage_.data() + used_, n);
   used_ += n;
+  peak_ = std::max(peak_, used_);
   return out;
 }
 
-void Ldm::reset() { used_ = 0; }
+void Ldm::reset() {
+  // Intentionally leaves storage_ untouched: capacity is fixed hardware, so
+  // the model must never re-grow (and thereby move) the scratchpad.
+  used_ = 0;
+}
 
 }  // namespace swcaffe::hw

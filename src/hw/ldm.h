@@ -19,15 +19,25 @@ class Ldm {
   /// Allocates `n` doubles; throws base::CheckError if the LDM is full.
   std::span<double> alloc(std::size_t n);
 
-  /// Releases all allocations (kernels reset between phases/blocks).
+  /// Releases all allocations (kernels reset between phases/blocks). The
+  /// backing storage is allocated once in the constructor and preserved
+  /// across resets: spans handed out before a reset keep pointing at stable
+  /// memory and no reallocation churn occurs between phases.
   void reset();
 
   std::size_t capacity_bytes() const { return capacity_bytes_; }
   std::size_t used_bytes() const { return used_ * sizeof(double); }
+  /// High-water mark of used_bytes() since construction (survives reset();
+  /// what swcheck's LDM budgets are validated against in tests).
+  std::size_t peak_bytes() const { return peak_ * sizeof(double); }
+  /// True when no allocation is live — the invariant every kernel must
+  /// restore before handing the CPE back (asserted by CoreGroup::reset).
+  bool empty() const { return used_ == 0; }
 
  private:
   std::size_t capacity_bytes_;
   std::size_t used_ = 0;  // in doubles
+  std::size_t peak_ = 0;  // in doubles
   std::vector<double> storage_;
 };
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "base/log.h"
+#include "check/verify.h"
 
 namespace swcaffe::parallel {
 
@@ -33,6 +34,13 @@ NodeRunner::NodeRunner(const core::NetSpec& spec, int num_core_groups,
   for (int i = 1; i < num_core_groups; ++i) {
     nets_[i]->copy_params_from(*nets_[0]);
   }
+#ifndef NDEBUG
+  // Debug builds statically verify the plans all core groups are about to
+  // execute (every CG runs the same net, so checking the master suffices).
+  const check::Report report =
+      check::verify_net(hw::CostModel{}, nets_[0]->describe());
+  SWC_CHECK_MSG(report.ok(), "swcheck rejected the net: " << report.summary());
+#endif
 }
 
 double NodeRunner::compute_gradients(std::span<const float> data,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "check/verify.h"
 #include "swdnn/layer_estimate.h"
 
 namespace swcaffe::parallel {
@@ -22,6 +23,16 @@ Trainer::Trainer(const core::NetSpec& spec, const core::SolverSpec& solver,
   // One core group's simulated compute per iteration (Algorithm 1: the four
   // CGs run concurrently, so this IS the node's compute time).
   descs_ = runner_->master().describe();
+  // Pre-validate every kernel plan the simulation will run (swcheck): a
+  // violated hardware contract surfaces here as one structured report
+  // instead of an Ldm::alloc throw mid-iteration.
+  const check::Report report = check::verify_net(cost_, descs_);
+  if (!report.empty()) {
+    SWC_LOG(kWarning, "swcheck: " << report.summary());
+  }
+#ifndef NDEBUG
+  SWC_CHECK_MSG(report.ok(), "swcheck rejected the net: " << report.summary());
+#endif
   sim_compute_per_iter_ = dnn::estimate_net_sw(cost_, descs_);
   if (options_.tracer != nullptr) {
     options_.tracer->set_track_name(0, "node");

@@ -1,6 +1,7 @@
 #include "swdnn/implicit_conv_sim.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "base/log.h"
@@ -63,6 +64,15 @@ hw::TrafficLedger implicit_conv_forward_sim(hw::CoreGroup& cg,
     }
   }
 
+  // Row-leader staging buffers, allocated ONCE next to the resident filter
+  // block. (A mid-kernel Ldm::reset here used to wipe the leaders' filter
+  // accounting, so overflowing plans went undetected — swcheck's
+  // implicit_conv_sim_ldm_plan mirrors this layout exactly.)
+  std::vector<std::span<double>> leader_buf(static_cast<std::size_t>(mesh));
+  for (int i = 0; i < mesh; ++i) {
+    leader_buf[static_cast<std::size_t>(i)] = cg.ldm(i, 0).alloc(g.in_w);
+  }
+
   const std::size_t in_plane = static_cast<std::size_t>(g.in_h) * g.in_w;
   const std::size_t out_plane = static_cast<std::size_t>(oh) * ow;
   std::vector<double> in_rows(static_cast<std::size_t>(ni_grp) * g.kernel *
@@ -91,10 +101,9 @@ hw::TrafficLedger implicit_conv_forward_sim(hw::CoreGroup& cg,
                                      g.in_w;
             std::vector<double> stage(g.in_w);
             for (int x = 0; x < g.in_w; ++x) stage[x] = row[x];
-            // The leader's LDM receives one contiguous row per DMA.
-            hw::Ldm& ldm = cg.ldm(i, 0);
-            ldm.reset();  // transient row buffer, reused every output row
-            auto buf = ldm.alloc(g.in_w);
+            // The leader's LDM receives one contiguous row per DMA into its
+            // persistent staging buffer (reused every output row).
+            auto buf = leader_buf[static_cast<std::size_t>(i)];
             dma.get(stage, buf, mesh /* one leader per row */);
             std::copy(buf.begin(), buf.end(), dst);
           }
