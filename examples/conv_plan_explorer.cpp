@@ -1,19 +1,69 @@
 // Convolution plan explorer: give it a layer geometry and it prints what
-// the swCaffe auto-tuner would do on SW26010 — both strategies' simulated
-// times per direction, the chosen plan, and the achieved Gflops — the same
-// analysis behind Table II.
+// the swtune auto-tuner does on SW26010 — the candidate plan space per
+// direction (with the check::-illegal ones marked), each survivor's
+// simulated time, and the chosen plan — the same analysis behind Table II.
+//
+// This is a thin presentation layer over tune::Tuner: the search itself
+// (enumeration, legality filtering, argmin) lives in src/tune/.
 //
 // Usage: conv_plan_explorer [batch in_c out_c image kernel stride pad]
 //        (defaults: 128 256 256 56 3 1 1, i.e. VGG-16 conv3_2)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "base/units.h"
 #include "hw/cost_model.h"
 #include "swdnn/conv_plan.h"
+#include "tune/tuner.h"
 
 using namespace swcaffe;
+
+namespace {
+
+const char* direction_name(dnn::ConvDirection dir) {
+  switch (dir) {
+    case dnn::ConvDirection::kForward:
+      return "forward";
+    case dnn::ConvDirection::kBackwardWeight:
+      return "weight gradient";
+    case dnn::ConvDirection::kBackwardInput:
+      return "input gradient";
+  }
+  return "?";
+}
+
+std::string describe_candidate(const tune::Candidate& c) {
+  char buf[96];
+  if (c.implicit) {
+    std::snprintf(buf, sizeof(buf), "implicit cb=%d ob=%d",
+                  c.channel_block_in, c.channel_block_out);
+  } else {
+    std::snprintf(buf, sizeof(buf), "explicit %dx%dx%d %s chunk=%d",
+                  c.blocking.block_m, c.blocking.block_n, c.blocking.block_k,
+                  c.blocking.double_buffered ? "db" : "sb",
+                  c.blocking.bcast_chunk);
+  }
+  return buf;
+}
+
+std::string describe_choice(const tune::DirectionChoice& d) {
+  char buf[96];
+  if (d.implicit) {
+    std::snprintf(buf, sizeof(buf),
+                  "IMPLICIT (swDNN direct kernel, cb=%d ob=%d)",
+                  d.channel_block_in, d.channel_block_out);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "EXPLICIT (im2col + mesh GEMM %dx%dx%d %s chunk=%d)",
+                  d.blocking.block_m, d.blocking.block_n, d.blocking.block_k,
+                  d.blocking.double_buffered ? "db" : "sb", d.blocking.bcast_chunk);
+  }
+  return buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   core::ConvGeom g;
@@ -47,25 +97,52 @@ int main(int argc, char** argv) {
               g.flops_fwd() / 1e9);
 
   hw::CostModel cost;
-  const dnn::ConvEstimate est = dnn::estimate_conv(cost, g);
-  auto show = [](const char* dir, const dnn::ConvDirectionEstimate& d) {
-    std::printf("%-18s explicit %8.3f s   implicit %s   -> %s\n", dir,
-                d.explicit_s,
-                d.implicit_ok()
-                    ? (std::to_string(d.implicit_s).substr(0, 8) + " s").c_str()
-                    : "unsupported",
-                d.implicit_wins() ? "IMPLICIT (swDNN direct kernel)"
-                                  : "EXPLICIT (im2col + mesh GEMM)");
-  };
-  show("forward", est.forward);
-  show("weight gradient", est.backward_weight);
-  show("input gradient", est.backward_input);
-  std::printf("\nachieved Gflops (best plan): fwd %.1f, wgrad %.1f, igrad "
+  tune::TuneOptions topts;
+  topts.keep_candidates = true;
+  tune::Tuner tuner(cost, topts);
+  const tune::TunedConvPlan plan = tuner.tune_conv(g, "conv");
+
+  const dnn::ConvDirection dirs[] = {dnn::ConvDirection::kForward,
+                                     dnn::ConvDirection::kBackwardWeight,
+                                     dnn::ConvDirection::kBackwardInput};
+  const tune::DirectionChoice* choices[] = {&plan.forward,
+                                            &plan.backward_weight,
+                                            &plan.backward_input};
+  for (int di = 0; di < 3; ++di) {
+    std::printf("%s — %s\n", direction_name(dirs[di]),
+                describe_choice(*choices[di]).c_str());
+    std::printf("  tuned %.5f s, hand-written default %.5f s%s\n",
+                choices[di]->tuned_s, choices[di]->default_s,
+                choices[di]->implicit_s < 0 ? "  (implicit unsupported)" : "");
+    int shown = 0, illegal = 0;
+    for (const auto& c : plan.candidates) {
+      if (c.direction != dirs[di]) continue;
+      if (!c.legal) {
+        ++illegal;
+        continue;
+      }
+      if (shown < 8) {
+        std::printf("    %-34s %.5f s\n", describe_candidate(c).c_str(),
+                    c.seconds);
+      }
+      ++shown;
+    }
+    if (shown > 8) std::printf("    ... %d more legal candidates\n", shown - 8);
+    if (illegal > 0) {
+      std::printf("    (%d candidates rejected by the check:: rules)\n",
+                  illegal);
+    }
+  }
+
+  const dnn::ConvEstimate est = plan.as_estimate();
+  std::printf("\nachieved Gflops (tuned plan): fwd %.1f, wgrad %.1f, igrad "
               "%.1f (CPE cluster peak: 742.4)\n",
               est.gflops_fwd, est.gflops_bwd_weight, est.gflops_bwd_input);
   std::printf("im2col/col2im transformation costs: %s / %s\n",
               base::format_seconds(dnn::im2col_time(cost, g)).c_str(),
               base::format_seconds(dnn::col2im_time(cost, g)).c_str());
+  std::printf("search: %d candidates enumerated, %d priced, %d rejected\n",
+              plan.space_size, plan.evaluated, plan.rejected);
   if (!dnn::implicit_forward_supported(g)) {
     std::printf("note: implicit forward needs >= 8 input channels "
                 "(Sec. IV-B2 register blocking).\n");

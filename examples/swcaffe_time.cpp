@@ -4,20 +4,27 @@
 //
 // Usage:
 //   swcaffe_time [--model M] [--iterations N] [--batch B]
+//                [--tune] [--plan-cache FILE] [--json OUT]
 //                [--trace=out.json] [--trace-report]
 //   swcaffe_time <net.prototxt | alexnet | vgg16 | vgg19 | resnet50 |
 //                 googlenet> [iterations] [batch]        (legacy positional)
 //
-// --trace writes a Chrome-trace JSON of the simulated timeline (open in
-// ui.perfetto.dev); --trace-report prints the per-layer aggregate table from
-// the same spans. Zoo models run at reduced resolution functionally; the
-// simulated column is computed for the shapes actually instantiated.
+// --tune runs the swtune plan search over every convolution, switches the
+// functional net onto the tuned strategies and adds tuned per-layer columns
+// next to the hand-written defaults; --plan-cache persists the tuned plans
+// across runs. --json writes the headline numbers (host iteration, default
+// and tuned simulated iteration) as a bench_json object. --trace writes a
+// Chrome-trace JSON of the simulated timeline (open in ui.perfetto.dev);
+// --trace-report prints the per-layer aggregate table from the same spans.
+// Zoo models run at reduced resolution functionally; the simulated column is
+// computed for the shapes actually instantiated.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "../bench/bench_json.h"
 #include "base/table.h"
 #include "base/units.h"
 #include "core/models.h"
@@ -28,6 +35,7 @@
 #include "trace/chrome_trace.h"
 #include "trace/report.h"
 #include "trace/tracer.h"
+#include "tune/tuner.h"
 
 using namespace swcaffe;
 
@@ -76,6 +84,8 @@ int main(int argc, char** argv) {
   int batch = 2;
   std::string trace_path;
   bool trace_report = false;
+  bool tune = false;
+  std::string plan_cache;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +98,12 @@ int main(int argc, char** argv) {
       batch = std::atoi(v.c_str());
     } else if (flag_value(argc, argv, i, "--trace", v)) {
       trace_path = v;
+    } else if (flag_value(argc, argv, i, "--plan-cache", v)) {
+      plan_cache = v;
+    } else if (flag_value(argc, argv, i, "--json", v)) {
+      // Value re-parsed by JsonBench; consumed here so it isn't positional.
+    } else if (std::strcmp(argv[i], "--tune") == 0) {
+      tune = true;
     } else if (std::strcmp(argv[i], "--trace-report") == 0) {
       trace_report = true;
     } else if (argv[i][0] == '-') {
@@ -105,6 +121,12 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (!plan_cache.empty() && !tune) {
+    std::fprintf(stderr, "--plan-cache requires --tune\n");
+    return 2;
+  }
+
+  bench::JsonBench bench("swcaffe_time", argc, argv);
 
   core::NetSpec spec = resolve_model(model, batch);
   core::Net net(spec, 1);
@@ -118,6 +140,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<core::LayerDesc> descs = net.describe();
+
+  // swtune: search (or load) the per-conv plans, then switch the functional
+  // net onto the tuned strategies so the host loop runs what the simulated
+  // "tuned" column prices.
+  tune::NetPlan plan;
+  hw::CostModel cost;
+  if (tune) {
+    tune::TuneOptions topts;
+    topts.cache_path = plan_cache;
+    tune::Tuner tuner(cost, topts);
+    plan = tuner.tune_net(descs);
+    std::string cache_error;
+    if (!tuner.save_cache(&cache_error)) {
+      std::fprintf(stderr, "swtune: %s\n", cache_error.c_str());
+    }
+    net.apply_conv_plans(plan.assignments());
+    std::printf("swtune: %zu conv layers tuned (%d cache hits, %lld "
+                "candidates priced)\n\n",
+                plan.convs.size(), tuner.stats().cache_hits,
+                tuner.stats().evaluated);
+  }
+
   // Warm-up pass (plan selection, buffer allocation).
   net.forward_backward();
 
@@ -129,19 +174,47 @@ int main(int argc, char** argv) {
   trace::Tracer tracer;
   tracer.set_track_name(0, "cg0");
 
-  hw::CostModel cost;
   if (tracing) cost.set_tracer(&tracer, 0);
-  base::TablePrinter t({"layer", "type", "SW26010 fwd", "SW26010 bwd"});
+  hw::CostModel untraced_cost;  // default column must not move the clock
+  std::vector<std::string> headers = {"layer", "type", "SW26010 fwd",
+                                      "SW26010 bwd"};
+  if (tune) {
+    headers.push_back("tuned fwd");
+    headers.push_back("tuned bwd");
+  }
+  base::TablePrinter t(headers);
   double sw_total = 0.0;
+  double tuned_total = 0.0;
   bool saw_conv = false;
-  for (const auto& d : net.describe()) {
+  for (const auto& d : descs) {
     const bool first = d.kind == core::LayerKind::kConv && !saw_conv;
     if (d.kind == core::LayerKind::kConv) saw_conv = true;
-    const auto sw = dnn::estimate_layer_sw(cost, d, first);
-    sw_total += sw.total();
-    t.add_row({d.name, core::layer_kind_name(d.kind),
-               base::format_seconds(sw.fwd_s),
-               base::format_seconds(sw.bwd_s)});
+    dnn::ConvEstimate override_storage;
+    const dnn::ConvEstimate* conv_override = nullptr;
+    if (tune && d.kind == core::LayerKind::kConv) {
+      auto it = plan.convs.find(d.name);
+      if (it != plan.convs.end()) {
+        override_storage = it->second.as_estimate();
+        conv_override = &override_storage;
+      }
+    }
+    // The traced/primary pass prices the plans that actually run.
+    const auto sw = dnn::estimate_layer_sw(cost, d, first, conv_override);
+    std::vector<std::string> row = {d.name, core::layer_kind_name(d.kind)};
+    if (tune) {
+      const auto def = dnn::estimate_layer_sw(untraced_cost, d, first);
+      sw_total += def.total();
+      tuned_total += sw.total();
+      row.push_back(base::format_seconds(def.fwd_s));
+      row.push_back(base::format_seconds(def.bwd_s));
+      row.push_back(base::format_seconds(sw.fwd_s));
+      row.push_back(base::format_seconds(sw.bwd_s));
+    } else {
+      sw_total += sw.total();
+      row.push_back(base::format_seconds(sw.fwd_s));
+      row.push_back(base::format_seconds(sw.bwd_s));
+    }
+    t.add_row(row);
   }
   t.print(std::cout);
   std::printf("\nmodel: %s  (batch %d, %d timed iterations)\n",
@@ -149,8 +222,20 @@ int main(int argc, char** argv) {
   std::printf("host functional iteration:      %s\n",
               base::format_seconds(host_iter).c_str());
   std::printf("simulated SW26010 iteration:    %s (one core group at this "
-              "batch)\n",
-              base::format_seconds(sw_total).c_str());
+              "batch%s)\n",
+              base::format_seconds(tune ? tuned_total : sw_total).c_str(),
+              tune ? ", tuned plans" : "");
+  bench.metric("host_iteration_s", host_iter);
+  bench.metric("sim_iteration_default_s", sw_total);
+  if (tune) {
+    std::printf("  hand-written default plans:   %s (tuned is %.2f%% faster)\n",
+                base::format_seconds(sw_total).c_str(),
+                sw_total > 0 ? 100.0 * (sw_total - tuned_total) / sw_total
+                             : 0.0);
+    bench.metric("sim_iteration_tuned_s", tuned_total);
+    bench.metric("tune_speedup",
+                 tuned_total > 0 ? sw_total / tuned_total : 1.0);
+  }
 
   if (tracing) {
     if (trace_report) {

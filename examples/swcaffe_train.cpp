@@ -5,8 +5,14 @@
 //
 // Usage:
 //   swcaffe_train [net.prototxt solver.prototxt] [iterations]
+//                 [--tune] [--plan-cache FILE] [--json OUT]
 //                 [--trace=out.json] [--trace-report]
-// With no (positional) arguments a built-in demo net is used. --trace writes
+// With no (positional) arguments a built-in demo net is used. --tune runs
+// the swtune plan search before training (every core-group replica executes
+// the tuned strategies, and the simulated time is priced at the tuned
+// plans); --plan-cache makes the tuned plans persistent so a second run
+// skips the search. --json writes the headline numbers (final loss, tuned
+// and default compute per iteration) as a bench_json object. --trace writes
 // a Chrome-trace JSON of the simulated run (track "node" plus one track per
 // core group; open in ui.perfetto.dev); --trace-report prints the per-layer
 // aggregate of the traced compute.
@@ -17,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "../bench/bench_json.h"
 #include "base/units.h"
 #include "core/proto.h"
 #include "parallel/trainer.h"
@@ -62,6 +69,8 @@ type: "SGD"
 int main(int argc, char** argv) {
   std::string trace_path;
   bool trace_report = false;
+  bool tune = false;
+  std::string plan_cache;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -70,10 +79,21 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-report") == 0) {
       trace_report = true;
+    } else if (std::strcmp(argv[i], "--tune") == 0) {
+      tune = true;
+    } else if (std::strncmp(argv[i], "--plan-cache=", 13) == 0) {
+      plan_cache = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0 && i + 1 < argc) {
+      plan_cache = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0 ||
+               std::strcmp(argv[i], "--json") == 0) {
+      // Value re-parsed by JsonBench; consume it so it isn't positional.
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) ++i;
     } else {
       positional.push_back(argv[i]);
     }
   }
+  bench::JsonBench bench("swcaffe_train", argc, argv);
 
   core::NetSpec net_spec;
   core::SolverSpec solver_spec;
@@ -102,6 +122,8 @@ int main(int argc, char** argv) {
   options.max_iter = iterations;
   options.display_every = std::max(1, iterations / 10);
   options.test_every = std::max(1, iterations / 3);
+  options.tune = tune;
+  options.plan_cache = plan_cache;
 
   trace::Tracer tracer;
   const bool tracing = !trace_path.empty() || trace_report;
@@ -125,6 +147,24 @@ int main(int argc, char** argv) {
               "(exposed I/O: %s)\n",
               base::format_seconds(stats.simulated_seconds).c_str(),
               base::format_seconds(stats.simulated_io_seconds).c_str());
+  if (tune) {
+    const double def = stats.default_compute_per_iter_seconds;
+    const double tuned = stats.compute_per_iter_seconds;
+    std::printf("swtune compute per iteration: %s tuned vs %s default "
+                "(%.2f%% faster)\n",
+                base::format_seconds(tuned).c_str(),
+                base::format_seconds(def).c_str(),
+                def > 0 ? 100.0 * (def - tuned) / def : 0.0);
+  }
+  bench.metric("final_loss", stats.final_loss);
+  bench.metric("simulated_run_s", stats.simulated_seconds);
+  bench.metric("compute_per_iter_default_s",
+               stats.default_compute_per_iter_seconds);
+  bench.metric("compute_per_iter_s", stats.compute_per_iter_seconds);
+  if (tune && stats.compute_per_iter_seconds > 0) {
+    bench.metric("tune_speedup", stats.default_compute_per_iter_seconds /
+                                     stats.compute_per_iter_seconds);
+  }
 
   if (tracing) {
     if (trace_report) {

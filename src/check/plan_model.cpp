@@ -53,36 +53,50 @@ LdmPlan mesh_gemm_ldm_plan(const hw::HwParams& hp, std::int64_t m,
 }
 
 LdmPlan blocked_gemm_ldm_plan(const hw::HwParams& hp, std::int64_t m,
-                              std::int64_t n, std::int64_t k) {
-  const int panel = std::min(256, gemm::max_mesh_block(hp));
+                              std::int64_t n, std::int64_t k,
+                              const gemm::GemmBlocking& blocking) {
   const int mesh = hp.mesh_rows;
   auto round_up = [mesh](std::int64_t v) {
     return ((v + mesh - 1) / mesh) * mesh;
   };
-  const std::int64_t pm = round_up(std::min<std::int64_t>(m, panel));
-  const std::int64_t pn = round_up(std::min<std::int64_t>(n, panel));
-  const std::int64_t pk = round_up(std::min<std::int64_t>(k, panel));
+  const std::int64_t pm = round_up(std::min<std::int64_t>(m, blocking.block_m));
+  const std::int64_t pn = round_up(std::min<std::int64_t>(n, blocking.block_n));
+  const std::int64_t pk = round_up(std::min<std::int64_t>(k, blocking.block_k));
   const std::size_t bm = static_cast<std::size_t>(pm / mesh);
   const std::size_t bn = static_cast<std::size_t>(pn / mesh);
   const std::size_t bk = static_cast<std::size_t>(pk / mesh);
+  const std::size_t chunk = static_cast<std::size_t>(std::max(1, blocking.bcast_chunk));
   LdmPlan plan;
   plan.kernel = "blocked_mesh_gemm";
-  // A/B panels stream through the k loop (double-buffered in a real kernel);
-  // the C panel stays resident across it.
-  plan.items.push_back({"A panel tile", bm * bk * kLdmElem, true});
-  plan.items.push_back({"B panel tile", bk * bn * kLdmElem, true});
+  // A/B panels stream through the k loop (double-buffered when the candidate
+  // says so); a fused broadcast stages `chunk` tiles at once. The C panel
+  // stays resident across the loop either way.
+  plan.items.push_back(
+      {"A panel tile", bm * bk * chunk * kLdmElem, blocking.double_buffered});
+  plan.items.push_back(
+      {"B panel tile", bk * bn * chunk * kLdmElem, blocking.double_buffered});
   plan.items.push_back({"C panel tile", bm * bn * kLdmElem, false});
   return plan;
 }
 
-DmaPlan blocked_gemm_dma_plan(const hw::CostModel& cost, std::int64_t m,
+LdmPlan blocked_gemm_ldm_plan(const hw::HwParams& hp, std::int64_t m,
                               std::int64_t n, std::int64_t k) {
+  const int panel = std::min(256, gemm::max_mesh_block(hp));
+  gemm::GemmBlocking blocking;
+  blocking.block_m = panel;
+  blocking.block_n = panel;
+  blocking.block_k = panel;
+  return blocked_gemm_ldm_plan(hp, m, n, k, blocking);
+}
+
+DmaPlan blocked_gemm_dma_plan(const hw::CostModel& cost, std::int64_t m,
+                              std::int64_t n, std::int64_t k,
+                              const gemm::GemmBlocking& blocking) {
   const hw::HwParams& hp = cost.params();
   const int mesh = hp.mesh_rows;
-  const std::int64_t panel = 256;  // estimate_gemm's kPanel
-  const std::int64_t bm = std::min(m, panel);
-  const std::int64_t bn = std::min(n, panel);
-  const std::int64_t bk = std::min(k, panel);
+  const std::int64_t bm = std::min<std::int64_t>(m, blocking.block_m);
+  const std::int64_t bn = std::min<std::int64_t>(n, blocking.block_n);
+  const std::int64_t bk = std::min<std::int64_t>(k, blocking.block_k);
   const std::int64_t mb = ceil_div(m, bm);
   const std::int64_t nb = ceil_div(n, bn);
 
@@ -103,9 +117,14 @@ DmaPlan blocked_gemm_dma_plan(const hw::CostModel& cost, std::int64_t m,
   plan.ops.push_back({"C panels", true, run_bytes(bn),
                       static_cast<std::size_t>(n) * kElemBytes,
                       static_cast<double>(m) * n * kElemBytes});
-  plan.charged_bytes =
-      static_cast<double>(gemm::estimate_gemm(cost, m, n, k).dma_bytes);
+  plan.charged_bytes = static_cast<double>(
+      gemm::estimate_gemm_blocked(cost, m, n, k, blocking).dma_bytes);
   return plan;
+}
+
+DmaPlan blocked_gemm_dma_plan(const hw::CostModel& cost, std::int64_t m,
+                              std::int64_t n, std::int64_t k) {
+  return blocked_gemm_dma_plan(cost, m, n, k, gemm::GemmBlocking{});
 }
 
 CommSchedule mesh_gemm_schedule(const hw::HwParams& hp) {
@@ -184,34 +203,42 @@ DmaPlan col2im_dma_plan(const core::ConvGeom& g) {
   return plan;
 }
 
+LdmPlan implicit_conv_ldm_plan(const hw::HwParams& hp, const core::ConvGeom& g,
+                               int channel_block_in, int channel_block_out) {
+  const std::size_t kk = static_cast<std::size_t>(g.kernel) * g.kernel;
+  const std::size_t c = static_cast<std::size_t>(std::max(1, channel_block_in));
+  const std::size_t o =
+      static_cast<std::size_t>(std::max(1, channel_block_out));
+  (void)hp;  // the budget is judged by rules.cpp, not here
+  LdmPlan plan;
+  plan.kernel = "implicit_conv";
+  plan.items.push_back({"filter chunk", o * c * kk * kLdmElem, true});
+  plan.items.push_back(
+      {"input rows",
+       c * g.kernel * static_cast<std::size_t>(g.in_w) * kLdmElem, true});
+  plan.items.push_back(
+      {"output row", static_cast<std::size_t>(g.out_w()) * kLdmElem, false});
+  return plan;
+}
+
 LdmPlan implicit_conv_ldm_plan(const hw::HwParams& hp,
                                const core::ConvGeom& g) {
   const int mesh = hp.mesh_rows;
-  const std::size_t kk = static_cast<std::size_t>(g.kernel) * g.kernel;
   std::size_t cb = static_cast<std::size_t>(std::max(1, g.in_c / mesh));
   std::size_t ob = static_cast<std::size_t>(std::max(1, g.out_c / mesh));
-  auto build = [&](std::size_t c, std::size_t o) {
-    LdmPlan plan;
-    plan.kernel = "implicit_conv";
-    plan.items.push_back({"filter chunk", o * c * kk * kLdmElem, true});
-    plan.items.push_back(
-        {"input rows",
-         c * g.kernel * static_cast<std::size_t>(g.in_w) * kLdmElem, true});
-    plan.items.push_back(
-        {"output row", static_cast<std::size_t>(g.out_w()) * kLdmElem, false});
-    return plan;
-  };
   // The real kernel sub-blocks its channel groups until the working set fits
   // (extra passes cost time, not correctness); report the largest fitting
   // blocking, or the minimal one if even that overflows.
-  LdmPlan plan = build(cb, ob);
+  LdmPlan plan = implicit_conv_ldm_plan(hp, g, static_cast<int>(cb),
+                                        static_cast<int>(ob));
   while (plan.buffered_bytes() > hp.ldm_bytes && (cb > 1 || ob > 1)) {
     if (ob >= cb) {
       ob = (ob + 1) / 2;
     } else {
       cb = (cb + 1) / 2;
     }
-    plan = build(cb, ob);
+    plan = implicit_conv_ldm_plan(hp, g, static_cast<int>(cb),
+                                  static_cast<int>(ob));
   }
   return plan;
 }

@@ -18,6 +18,7 @@
 #include "core/layer_desc.h"
 #include "hw/cost_model.h"
 #include "hw/params.h"
+#include "swgemm/estimate.h"
 
 namespace swcaffe::check {
 
@@ -105,11 +106,26 @@ LdmPlan mesh_gemm_ldm_plan(const hw::HwParams& hp, std::int64_t m,
 LdmPlan blocked_gemm_ldm_plan(const hw::HwParams& hp, std::int64_t m,
                               std::int64_t n, std::int64_t k);
 
+/// Same LDM plan evaluated at an arbitrary candidate blocking (swtune's
+/// legality oracle). Panel edges clamp to the problem dims and round up to
+/// mesh multiples; A/B tiles carry the double-buffer flag of the candidate
+/// and are staged `bcast_chunk` tiles at a time, so a fused broadcast pays
+/// its LDM price here and gets rejected when it cannot fit.
+LdmPlan blocked_gemm_ldm_plan(const hw::HwParams& hp, std::int64_t m,
+                              std::int64_t n, std::int64_t k,
+                              const gemm::GemmBlocking& blocking);
+
 /// DMA plan of the blocked GEMM: A/B/C panel traffic with the per-CPE run
 /// lengths estimate_gemm derates bandwidth by; charged_bytes comes from
 /// gemm::estimate_gemm itself, making byte conservation a cross-module check.
 DmaPlan blocked_gemm_dma_plan(const hw::CostModel& cost, std::int64_t m,
                               std::int64_t n, std::int64_t k);
+
+/// Candidate-blocking variant: charged_bytes comes from
+/// gemm::estimate_gemm_blocked at the same blocking.
+DmaPlan blocked_gemm_dma_plan(const hw::CostModel& cost, std::int64_t m,
+                              std::int64_t n, std::int64_t k,
+                              const gemm::GemmBlocking& blocking);
 
 /// RLC schedule of the 8-step register-communication algorithm (Fig. 3):
 /// per step, A-block row broadcasts + B-block column broadcasts and the 7
@@ -133,6 +149,13 @@ DmaPlan col2im_dma_plan(const core::ConvGeom& g);
 /// minimal (1-channel) blocking cannot fit, which is what makes wide-channel
 /// paper layers (VGG conv4/5) legal.
 LdmPlan implicit_conv_ldm_plan(const hw::HwParams& hp, const core::ConvGeom& g);
+
+/// Same working set at an explicit channel blocking (no shrink loop): the
+/// plan a tuner candidate with `channel_block_in` input channels and
+/// `channel_block_out` output channels per CPE pass would run. Overflow means
+/// that candidate is illegal, full stop.
+LdmPlan implicit_conv_ldm_plan(const hw::HwParams& hp, const core::ConvGeom& g,
+                               int channel_block_in, int channel_block_out);
 
 /// LDM working set of the *functional simulator* (implicit_conv_sim), which
 /// keeps the whole per-CPE filter block resident without sub-blocking. Used

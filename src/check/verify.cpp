@@ -98,6 +98,35 @@ Report verify_gemm(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
   return report;
 }
 
+Report verify_gemm(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const gemm::GemmBlocking& blocking,
+                   const std::string& layer, const Options& opts) {
+  Report report;
+  if (m <= 0 || n <= 0 || k <= 0) {
+    geom_error(&report, layer,
+               "gemm: non-positive dims m=" + std::to_string(m) + " n=" +
+                   std::to_string(n) + " k=" + std::to_string(k));
+    return report;
+  }
+  const int mesh = cost.params().mesh_rows;
+  if (blocking.block_m <= 0 || blocking.block_n <= 0 || blocking.block_k <= 0 ||
+      blocking.bcast_chunk <= 0 || mesh % blocking.bcast_chunk != 0) {
+    geom_error(&report, layer,
+               "gemm blocking: blocks " + std::to_string(blocking.block_m) +
+                   "x" + std::to_string(blocking.block_n) + "x" +
+                   std::to_string(blocking.block_k) +
+                   " must be positive and bcast_chunk " +
+                   std::to_string(blocking.bcast_chunk) +
+                   " must divide the mesh dimension " + std::to_string(mesh));
+    return report;
+  }
+  check_ldm(blocked_gemm_ldm_plan(cost.params(), m, n, k, blocking),
+            cost.params(), opts, layer, &report);
+  check_dma(blocked_gemm_dma_plan(cost, m, n, k, blocking), opts, layer,
+            &report);
+  return report;
+}
+
 Report verify_mesh_gemm(const hw::HwParams& hp, std::int64_t m, std::int64_t n,
                         std::int64_t k, const std::string& layer) {
   Report report;

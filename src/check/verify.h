@@ -21,6 +21,7 @@
 #include "check/rules.h"
 #include "core/layer_desc.h"
 #include "hw/cost_model.h"
+#include "swgemm/estimate.h"
 
 namespace swcaffe::check {
 
@@ -31,6 +32,14 @@ enum class ConvStrategy { kAuto, kExplicit, kImplicit };
 
 Report verify_gemm(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
                    std::int64_t k, const std::string& layer = "gemm",
+                   const Options& opts = {});
+
+/// Candidate-blocking variant: judges the LDM/DMA contracts of the blocked
+/// GEMM at an arbitrary blocking (swtune's legality filter — a candidate is
+/// legal iff the returned report is empty, warnings included).
+Report verify_gemm(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const gemm::GemmBlocking& blocking,
+                   const std::string& layer = "gemm",
                    const Options& opts = {});
 
 /// Contract check of one raw mesh_gemm(m, n, k) launch: mesh divisibility

@@ -80,6 +80,14 @@ void ConvLayer::setup(const std::vector<tensor::Tensor*>& bottoms,
   desc_.param_count = geom_.weight_count() + (spec_.bias ? geom_.out_c : 0);
 }
 
+void ConvLayer::set_plan(const ConvPlanAssignment& assignment) {
+  SWC_CHECK_GT(geom_.batch, 0);  // setup() must have run
+  implicit_fwd_ = assignment.implicit_forward &&
+                  dnn::implicit_forward_supported(geom_.per_group());
+  implicit_bwd_ = assignment.implicit_backward &&
+                  dnn::implicit_backward_supported(geom_.per_group());
+}
+
 void ConvLayer::forward(const std::vector<tensor::Tensor*>& bottoms,
                         const std::vector<tensor::Tensor*>& tops) {
   const float* weight = params_[0]->data_ptr();

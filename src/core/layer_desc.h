@@ -86,6 +86,15 @@ struct ConvGeom {
   }
 };
 
+/// Per-layer strategy assignment a tuner hands to a live network: which
+/// convolution path each pass runs. The functional ConvLayer keeps one
+/// backward flag, so a mixed dW/dX tuning maps to implicit_backward only
+/// when both backward passes choose the implicit kernel.
+struct ConvPlanAssignment {
+  bool implicit_forward = false;
+  bool implicit_backward = false;
+};
+
 /// GEMM dims of an inner-product layer: out(m x n) = in(m x k) * W^T.
 struct FcGeom {
   std::int64_t m = 0;  ///< batch

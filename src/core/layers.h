@@ -26,6 +26,13 @@ class ConvLayer : public Layer {
   bool uses_implicit_forward() const { return implicit_fwd_; }
   bool uses_implicit_backward() const { return implicit_bwd_; }
 
+  /// Switches the layer onto a tuned strategy assignment (swtune). Must be
+  /// called after setup(); requests are clamped by the kernel support
+  /// predicates, so an assignment that asks for an unsupported implicit pass
+  /// silently keeps the explicit path. Scratch buffers resize lazily on the
+  /// next forward/backward, so flipping the plan needs no re-setup.
+  void set_plan(const ConvPlanAssignment& assignment);
+
  private:
   ConvGeom geom_;
   bool implicit_fwd_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "core/layers.h"
 
 namespace swcaffe::core {
 
@@ -220,6 +221,20 @@ std::vector<LayerDesc> Net::describe() const {
   out.reserve(layers_.size());
   for (const auto& l : layers_) out.push_back(l->desc());
   return out;
+}
+
+int Net::apply_conv_plans(
+    const std::map<std::string, ConvPlanAssignment>& assignments) {
+  int applied = 0;
+  for (const auto& l : layers_) {
+    auto* conv = dynamic_cast<ConvLayer*>(l.get());
+    if (!conv) continue;
+    auto it = assignments.find(l->name());
+    if (it == assignments.end()) continue;
+    conv->set_plan(it->second);
+    ++applied;
+  }
+  return applied;
 }
 
 }  // namespace swcaffe::core

@@ -70,6 +70,14 @@ class Net {
   /// Performance descriptors of every layer (for the timing models).
   std::vector<LayerDesc> describe() const;
 
+  /// Switches convolution layers onto tuned strategy assignments (swtune):
+  /// each named conv runs the assigned implicit/explicit path from the next
+  /// forward/backward on. Names not present in the net are ignored (a plan
+  /// cache may carry more layers than this replica instantiates). Returns
+  /// the number of layers switched.
+  int apply_conv_plans(
+      const std::map<std::string, ConvPlanAssignment>& assignments);
+
   const std::string& name() const { return spec_.name; }
 
  private:

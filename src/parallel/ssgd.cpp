@@ -101,8 +101,12 @@ double SsgdTrainer::step(std::span<const float> data,
 std::vector<ScalePoint> scalability_curve(
     const hw::CostModel& cost,
     const std::vector<core::LayerDesc>& descs_per_cg, std::int64_t param_bytes,
-    const SsgdOptions& options, const std::vector<int>& node_counts) {
-  const double comp = dnn::estimate_net_sw(cost, descs_per_cg);
+    const SsgdOptions& options, const std::vector<int>& node_counts,
+    const std::map<std::string, dnn::ConvEstimate>* conv_overrides) {
+  const double comp =
+      conv_overrides
+          ? dnn::estimate_net_sw(cost, descs_per_cg, *conv_overrides)
+          : dnn::estimate_net_sw(cost, descs_per_cg);
   std::vector<ScalePoint> out;
   for (int nodes : node_counts) {
     topo::Topology topo;

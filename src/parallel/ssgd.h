@@ -11,14 +11,17 @@
 // without materializing 1024 replicas.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/models.h"
 #include "core/net.h"
 #include "core/solver.h"
 #include "hw/cost_model.h"
+#include "swdnn/conv_plan.h"
 #include "topo/allreduce.h"
 
 namespace swcaffe::parallel {
@@ -80,10 +83,12 @@ struct ScalePoint {
 
 /// Analytic scalability: `descs_per_cg` describes the net at sub_batch/4
 /// (one core group's share, Algorithm 1); `param_bytes` is the packed
-/// gradient message.
+/// gradient message. `conv_overrides` (optional) prices convolutions at
+/// tuned plans (swtune), so topo scheduling sees the tuned compute time.
 std::vector<ScalePoint> scalability_curve(
     const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs_per_cg,
     std::int64_t param_bytes, const SsgdOptions& options,
-    const std::vector<int>& node_counts);
+    const std::vector<int>& node_counts,
+    const std::map<std::string, dnn::ConvEstimate>* conv_overrides = nullptr);
 
 }  // namespace swcaffe::parallel

@@ -5,6 +5,7 @@
 #include "base/log.h"
 #include "check/verify.h"
 #include "swdnn/layer_estimate.h"
+#include "tune/tuner.h"
 
 namespace swcaffe::parallel {
 
@@ -33,7 +34,33 @@ Trainer::Trainer(const core::NetSpec& spec, const core::SolverSpec& solver,
 #ifndef NDEBUG
   SWC_CHECK_MSG(report.ok(), "swcheck rejected the net: " << report.summary());
 #endif
-  sim_compute_per_iter_ = dnn::estimate_net_sw(cost_, descs_);
+  sim_compute_default_ = dnn::estimate_net_sw(cost_, descs_);
+  sim_compute_per_iter_ = sim_compute_default_;
+  if (options_.tune) {
+    // swtune: search the plan space per conv layer (or hit the cache), then
+    // switch every replica onto the tuned strategies so the functional run
+    // and the timing model agree on what executes.
+    tune::TuneOptions topts;
+    topts.cache_path = options_.plan_cache;
+    topts.tracer = options_.tracer;
+    topts.trace_track = 0;
+    tune::Tuner tuner(cost_, topts);
+    const tune::NetPlan plan = tuner.tune_net(descs_);
+    std::string cache_error;
+    if (!tuner.save_cache(&cache_error)) {
+      SWC_LOG(kWarning, "swtune: " << cache_error);
+    }
+    overrides_ = plan.overrides();
+    const auto assignments = plan.assignments();
+    for (int cg = 0; cg < runner_->num_core_groups(); ++cg) {
+      runner_->replica(cg).apply_conv_plans(assignments);
+    }
+    sim_compute_per_iter_ = dnn::estimate_net_sw(cost_, descs_, overrides_);
+    SWC_LOG(kInfo, "swtune: " << plan.convs.size() << " conv layers, "
+                              << tuner.stats().cache_hits << " cache hits, "
+                              << "compute/iter " << sim_compute_default_
+                              << "s -> " << sim_compute_per_iter_ << "s");
+  }
   if (options_.tracer != nullptr) {
     options_.tracer->set_track_name(0, "node");
     runner_->set_tracer(options_.tracer, sim_compute_per_iter_,
@@ -86,6 +113,8 @@ double Trainer::evaluate(int batches) {
 
 TrainStats Trainer::run() {
   TrainStats stats;
+  stats.compute_per_iter_seconds = sim_compute_per_iter_;
+  stats.default_compute_per_iter_seconds = sim_compute_default_;
   trace::Tracer* const tracer = options_.tracer;
   for (int iter = 0; iter < options_.max_iter; ++iter) {
     const io::Batch batch = prefetcher_->pop();
@@ -104,7 +133,7 @@ TrainStats Trainer::run() {
       tracer->begin_span(0, "compute", "train.phase");
       hw::CostModel traced = cost_;
       traced.set_tracer(tracer, 0);
-      dnn::estimate_net_sw(traced, descs_);
+      dnn::estimate_net_sw(traced, descs_, overrides_);
       const double compute_end = iter_t0 + sim_compute_per_iter_;
       if (compute_end > tracer->now(0)) tracer->set_clock(0, compute_end);
       tracer->end_span(0);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "hw/cost_model.h"
 #include "io/prefetch.h"
 #include "parallel/node_runner.h"
+#include "swdnn/conv_plan.h"
 
 namespace swcaffe::parallel {
 
@@ -32,6 +34,13 @@ struct TrainOptions {
   /// = one "forward_backward" span per core group per iteration). Null costs
   /// nothing and every TrainStats number is bit-identical to an untraced run.
   trace::Tracer* tracer = nullptr;
+  /// Run the swtune autotuner over the net at construction: every replica is
+  /// switched onto the tuned per-layer strategies and the simulated compute
+  /// time per iteration is priced at the tuned plans.
+  bool tune = false;
+  /// Optional persistent plan cache for --tune (loaded before the search,
+  /// written back after; a warm cache skips the search entirely).
+  std::string plan_cache;
 };
 
 struct TrainStats {
@@ -40,6 +49,11 @@ struct TrainStats {
   double final_loss = 0.0;
   double simulated_seconds = 0.0;    ///< SW26010 wall time of the whole run
   double simulated_io_seconds = 0.0; ///< portion that was NOT hidden
+  /// Per-iteration compute at the plans actually run (== default when the
+  /// tuner is off) and at the hand-written defaults, for tuned-vs-default
+  /// reporting in the benches.
+  double compute_per_iter_seconds = 0.0;
+  double default_compute_per_iter_seconds = 0.0;
   int iterations = 0;
 };
 
@@ -67,7 +81,11 @@ class Trainer {
   hw::CostModel cost_;
   io::SyntheticImageNet eval_data_;
   double sim_compute_per_iter_ = 0.0;
+  double sim_compute_default_ = 0.0;
   std::vector<core::LayerDesc> descs_;
+  /// Tuned per-conv estimates (empty when options_.tune is false; an empty
+  /// map makes every estimator call bit-identical to the untuned path).
+  std::map<std::string, dnn::ConvEstimate> overrides_;
 };
 
 }  // namespace swcaffe::parallel

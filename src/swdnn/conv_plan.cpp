@@ -38,16 +38,26 @@ constexpr double kImplicitEffHalfChannel = 70.0;
 constexpr int kImplicitFwdMinInC = 8;
 constexpr int kImplicitBwdMinCh = 128;
 
-/// Blocked mesh GEMM time with the narrow-N / narrow-K compute deratings.
+/// Blocked mesh GEMM time at a candidate blocking with the narrow-N /
+/// narrow-K compute deratings applied on top of the analytic estimate.
 double gemm_time(const hw::CostModel& cost, std::int64_t m, std::int64_t n,
-                 std::int64_t k) {
-  gemm::GemmEstimate est = gemm::estimate_gemm(cost, m, n, k);
+                 std::int64_t k, const gemm::GemmBlocking& blocking) {
+  gemm::GemmEstimate est = gemm::estimate_gemm_blocked(cost, m, n, k, blocking);
   const double util_n = std::min(1.0, static_cast<double>(n) / kGemmNarrowN);
   const double util_k = std::min(1.0, static_cast<double>(k) / kGemmNarrowK);
   const double compute =
       est.compute_seconds / std::max(util_n * util_k * util_k, 1e-3);
-  return std::max(compute, est.dma_seconds) +
-         (est.seconds - std::max(est.compute_seconds, est.dma_seconds));
+  // Re-run the estimator's overlap arithmetic with the derated compute stream
+  // (launch overhead is whatever est.seconds charged beyond the streams).
+  const double streams =
+      blocking.double_buffered
+          ? std::max(est.compute_seconds, est.dma_seconds)
+          : est.compute_seconds + est.dma_seconds;
+  const double launch_s = est.seconds - streams;
+  const double derated = blocking.double_buffered
+                             ? std::max(compute, est.dma_seconds)
+                             : compute + est.dma_seconds;
+  return derated + launch_s;
 }
 
 /// Bytes of the column matrix for one image.
@@ -116,6 +126,79 @@ double col2im_time(const hw::CostModel& cost, const core::ConvGeom& g) {
   return g.batch * bytes / bw;
 }
 
+ConvGemmShape explicit_gemm_shape(const core::ConvGeom& g, ConvDirection dir) {
+  const std::int64_t spatial =
+      static_cast<std::int64_t>(g.out_h()) * g.out_w();
+  const std::int64_t kdim =
+      static_cast<std::int64_t>(g.in_c) * g.kernel * g.kernel;
+  switch (dir) {
+    case ConvDirection::kForward:
+      return {g.out_c, spatial, kdim};
+    case ConvDirection::kBackwardWeight:
+      return {g.out_c, kdim, spatial};
+    case ConvDirection::kBackwardInput:
+      return {kdim, spatial, g.out_c};
+  }
+  return {};
+}
+
+gemm::GemmBlocking default_conv_gemm_blocking(std::int64_t m, std::int64_t n,
+                                              std::int64_t k) {
+  (void)m;
+  (void)k;
+  gemm::GemmBlocking b;
+  // swtune found the square 256^3 panel strictly dominated whenever the
+  // inner dimension exceeds one panel: widening the N-edge to 512 halves
+  // both the A-panel re-reads (a_bytes scales with ceil(n/block_n)) and the
+  // per-panel launch count, and doubles the per-CPE run length of the B/C
+  // streams — while 256x512x256 double-buffered still fills the 64 KB LDM
+  // exactly (16+32+16 KB). On VGG-16 conv3_1 forward (m=256, n=3136,
+  // k=2304) this is the plan the tuner converges to; see EXPERIMENTS.md.
+  if (n > 256) b.block_n = 512;
+  return b;
+}
+
+double explicit_conv_time(const hw::CostModel& cost, const core::ConvGeom& g,
+                          ConvDirection dir,
+                          const gemm::GemmBlocking* blocking) {
+  SWC_CHECK_EQ(g.group, 1);
+  SWC_CHECK_GT(g.batch, 0);
+  SWC_CHECK_GT(g.out_h(), 0);
+  SWC_CHECK_GT(g.out_w(), 0);
+  const ConvGemmShape s = explicit_gemm_shape(g, dir);
+  const gemm::GemmBlocking b =
+      blocking ? *blocking : default_conv_gemm_blocking(s.m, s.n, s.k);
+  const double overhead = g.batch * kExplicitPerImageOverheadS;
+  const double gemm_s = g.batch * gemm_time(cost, s.m, s.n, s.k, b);
+  switch (dir) {
+    case ConvDirection::kForward:
+    case ConvDirection::kBackwardWeight:
+      // im2col feeds both the forward product and the weight-gradient.
+      return im2col_time(cost, g) + gemm_s + overhead;
+    case ConvDirection::kBackwardInput:
+      // col(kdim x OhOw) = W^T * dTop, then scatter-accumulate back.
+      return gemm_s + col2im_time(cost, g) + overhead;
+  }
+  return 0.0;
+}
+
+double implicit_conv_time(const hw::CostModel& cost, const core::ConvGeom& g,
+                          ConvDirection dir) {
+  SWC_CHECK_EQ(g.group, 1);
+  switch (dir) {
+    case ConvDirection::kForward:
+      if (!implicit_forward_supported(g)) return -1.0;
+      return implicit_time(cost, g, g.flops_fwd());
+    case ConvDirection::kBackwardWeight:
+      if (!implicit_backward_supported(g)) return -1.0;
+      return implicit_time(cost, g, g.flops_bwd_weight());
+    case ConvDirection::kBackwardInput:
+      if (!implicit_backward_supported(g)) return -1.0;
+      return implicit_time(cost, g, g.flops_bwd_input());
+  }
+  return -1.0;
+}
+
 ConvEstimate estimate_conv(const hw::CostModel& cost,
                            const core::ConvGeom& g) {
   SWC_CHECK_GT(g.batch, 0);
@@ -140,36 +223,22 @@ ConvEstimate estimate_conv(const hw::CostModel& cost,
     return est;
   }
   ConvEstimate est;
-  const std::int64_t spatial =
-      static_cast<std::int64_t>(g.out_h()) * g.out_w();
-  const std::int64_t kdim =
-      static_cast<std::int64_t>(g.in_c) * g.kernel * g.kernel;
-  const double overhead = g.batch * kExplicitPerImageOverheadS;
 
   // --- Explicit plan (Sec. IV-B1) -------------------------------------------
-  // forward: im2col + C(No x OhOw) = W(No x kdim) * col(kdim x OhOw)
   est.forward.explicit_s =
-      im2col_time(cost, g) +
-      g.batch * gemm_time(cost, g.out_c, spatial, kdim) + overhead;
-  // weight grad: im2col + dW(No x kdim) = dTop(No x OhOw) * col^T
+      explicit_conv_time(cost, g, ConvDirection::kForward);
   est.backward_weight.explicit_s =
-      im2col_time(cost, g) +
-      g.batch * gemm_time(cost, g.out_c, kdim, spatial) + overhead;
-  // input grad: col(kdim x OhOw) = W^T * dTop, then col2im
+      explicit_conv_time(cost, g, ConvDirection::kBackwardWeight);
   est.backward_input.explicit_s =
-      g.batch * gemm_time(cost, kdim, spatial, g.out_c) +
-      col2im_time(cost, g) + overhead;
+      explicit_conv_time(cost, g, ConvDirection::kBackwardInput);
 
   // --- Implicit plan (Sec. IV-B2) -------------------------------------------
-  if (implicit_forward_supported(g)) {
-    est.forward.implicit_s = implicit_time(cost, g, g.flops_fwd());
-  }
-  if (implicit_backward_supported(g)) {
-    est.backward_weight.implicit_s =
-        implicit_time(cost, g, g.flops_bwd_weight());
-    est.backward_input.implicit_s =
-        implicit_time(cost, g, g.flops_bwd_input());
-  }
+  est.forward.implicit_s =
+      implicit_conv_time(cost, g, ConvDirection::kForward);
+  est.backward_weight.implicit_s =
+      implicit_conv_time(cost, g, ConvDirection::kBackwardWeight);
+  est.backward_input.implicit_s =
+      implicit_conv_time(cost, g, ConvDirection::kBackwardInput);
 
   est.gflops_fwd = g.flops_fwd() / est.forward.best() / 1e9;
   est.gflops_bwd_weight =

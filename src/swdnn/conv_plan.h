@@ -16,8 +16,12 @@
 
 #include "core/layer_desc.h"
 #include "hw/cost_model.h"
+#include "swgemm/estimate.h"
 
 namespace swcaffe::dnn {
+
+/// The three passes a conv layer runs per iteration (Table II's columns).
+enum class ConvDirection { kForward, kBackwardWeight, kBackwardInput };
 
 /// One direction's timing under both strategies. A negative value means the
 /// strategy cannot run this configuration (rendered as "-" in Table II).
@@ -54,6 +58,35 @@ struct ConvEstimate {
 /// Whether the implicit kernel supports the given geometry per direction.
 bool implicit_forward_supported(const core::ConvGeom& g);
 bool implicit_backward_supported(const core::ConvGeom& g);
+
+/// GEMM problem of the explicit (im2col) plan in one direction, for a
+/// per-group geometry: forward C(No x OhOw) = W * col, weight-grad
+/// dW(No x kdim) = dTop * col^T, input-grad col(kdim x OhOw) = W^T * dTop.
+struct ConvGemmShape {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+};
+ConvGemmShape explicit_gemm_shape(const core::ConvGeom& g, ConvDirection dir);
+
+/// The hand-written default blocking estimate_conv prices for an explicit
+/// conv GEMM of shape (m, n, k). This is the baseline swtune must beat; when
+/// the tuner proves a shape class strictly dominated, the fix lands here.
+gemm::GemmBlocking default_conv_gemm_blocking(std::int64_t m, std::int64_t n,
+                                              std::int64_t k);
+
+/// Explicit-plan time for one direction of a group==1 convolution, including
+/// the im2col/col2im transformation and per-image overhead. `blocking`
+/// overrides the GEMM blocking (nullptr = default_conv_gemm_blocking); the
+/// caller is responsible for having verified a non-default blocking legal.
+double explicit_conv_time(const hw::CostModel& cost, const core::ConvGeom& g,
+                          ConvDirection dir,
+                          const gemm::GemmBlocking* blocking = nullptr);
+
+/// Implicit-plan time for one direction of a group==1 convolution, or -1
+/// when the kernel does not support the geometry (Table II's "-").
+double implicit_conv_time(const hw::CostModel& cost, const core::ConvGeom& g,
+                          ConvDirection dir);
 
 /// Full per-strategy estimate for one conv layer on one core group.
 ConvEstimate estimate_conv(const hw::CostModel& cost, const core::ConvGeom& g);

@@ -140,12 +140,18 @@ void trace_layer(const hw::CostModel& cost, const core::LayerDesc& d,
 
 LayerTime estimate_layer_sw(const hw::CostModel& cost,
                             const core::LayerDesc& d, bool first_conv) {
+  return estimate_layer_sw(cost, d, first_conv, nullptr);
+}
+
+LayerTime estimate_layer_sw(const hw::CostModel& cost,
+                            const core::LayerDesc& d, bool first_conv,
+                            const ConvEstimate* conv_override) {
   LayerTime t;
   std::optional<ConvEstimate> conv_est;
   bool launch_overhead = true;
   switch (d.kind) {
     case core::LayerKind::kConv: {
-      conv_est = estimate_conv(cost, d.conv);
+      conv_est = conv_override ? *conv_override : estimate_conv(cost, d.conv);
       t.fwd_s = conv_est->forward.best();
       t.bwd_s = conv_est->best_bwd(first_conv);
       break;
@@ -237,12 +243,23 @@ LayerTime estimate_layer_sw(const hw::CostModel& cost,
 
 double estimate_net_sw(const hw::CostModel& cost,
                        const std::vector<core::LayerDesc>& descs) {
+  return estimate_net_sw(cost, descs, {});
+}
+
+double estimate_net_sw(
+    const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs,
+    const std::map<std::string, ConvEstimate>& conv_overrides) {
   double total = 0.0;
   bool saw_conv = false;
   for (const auto& d : descs) {
     const bool first_conv = d.kind == core::LayerKind::kConv && !saw_conv;
     if (d.kind == core::LayerKind::kConv) saw_conv = true;
-    total += estimate_layer_sw(cost, d, first_conv).total();
+    const ConvEstimate* override_est = nullptr;
+    if (d.kind == core::LayerKind::kConv && !conv_overrides.empty()) {
+      auto it = conv_overrides.find(d.name);
+      if (it != conv_overrides.end()) override_est = &it->second;
+    }
+    total += estimate_layer_sw(cost, d, first_conv, override_est).total();
   }
   return total;
 }

@@ -2,10 +2,13 @@
 // core group, used for Figs. 8/9, Table II/III and the scalability model.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/layer_desc.h"
 #include "hw/cost_model.h"
+#include "swdnn/conv_plan.h"
 
 namespace swcaffe::dnn {
 
@@ -22,9 +25,24 @@ LayerTime estimate_layer_sw(const hw::CostModel& cost,
                             const core::LayerDesc& desc,
                             bool first_conv = false);
 
+/// Tuned-plan variant: when `conv_override` is non-null and the layer is a
+/// convolution, its per-direction times come from the override (a swtune
+/// TunedConvPlan rendered as a ConvEstimate) instead of estimate_conv. All
+/// other layer kinds ignore the override.
+LayerTime estimate_layer_sw(const hw::CostModel& cost,
+                            const core::LayerDesc& desc, bool first_conv,
+                            const ConvEstimate* conv_override);
+
 /// Whole-net iteration time on one core group (sum of layer times).
 double estimate_net_sw(const hw::CostModel& cost,
                        const std::vector<core::LayerDesc>& descs);
+
+/// Tuned-plan variant: conv layers whose name appears in `conv_overrides`
+/// are priced at the overridden (tuned) estimate. An empty map is
+/// bit-identical to the 2-argument overload.
+double estimate_net_sw(const hw::CostModel& cost,
+                       const std::vector<core::LayerDesc>& descs,
+                       const std::map<std::string, ConvEstimate>& conv_overrides);
 
 /// Single-node throughput in img/s: the paper's Algorithm 1 splits the
 /// mini-batch over the chip's 4 core groups, so node time equals one core

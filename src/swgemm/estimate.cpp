@@ -18,17 +18,23 @@ std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
 
 GemmEstimate estimate_impl(const hw::CostModel& cost, std::int64_t m,
                            std::int64_t n, std::int64_t k, bool reuse_c,
-                           double dma_multiplier) {
+                           double dma_multiplier,
+                           const GemmBlocking& blocking) {
   SWC_CHECK_GT(m, 0);
   SWC_CHECK_GT(n, 0);
   SWC_CHECK_GT(k, 0);
+  SWC_CHECK_GT(blocking.block_m, 0);
+  SWC_CHECK_GT(blocking.block_n, 0);
+  SWC_CHECK_GT(blocking.block_k, 0);
   const hw::HwParams& hp = cost.params();
   const int mesh = hp.mesh_rows;
+  SWC_CHECK_GT(blocking.bcast_chunk, 0);
+  SWC_CHECK_EQ(mesh % blocking.bcast_chunk, 0);
 
   GemmEstimate est;
-  est.block_m = static_cast<int>(std::min(m, kPanel));
-  est.block_n = static_cast<int>(std::min(n, kPanel));
-  est.block_k = static_cast<int>(std::min(k, kPanel));
+  est.block_m = static_cast<int>(std::min<std::int64_t>(m, blocking.block_m));
+  est.block_n = static_cast<int>(std::min<std::int64_t>(n, blocking.block_n));
+  est.block_k = static_cast<int>(std::min<std::int64_t>(k, blocking.block_k));
   const std::int64_t mb = ceil_div(m, est.block_m);
   const std::int64_t nb = ceil_div(n, est.block_n);
 
@@ -63,12 +69,23 @@ GemmEstimate estimate_impl(const hw::CostModel& cost, std::int64_t m,
   est.compute_seconds =
       cost.compute_time(est.flops, /*single_precision=*/true) / std::max(util, 1e-3);
 
-  // Double-buffered kernel: DMA overlaps compute; the longer stream wins,
-  // plus a per-panel launch latency that matters for tiny problems.
+  // Per-panel launch latency: a DMA startup per streamed buffer (two when
+  // double-buffered) plus the RLC synchronization of the broadcast pipeline.
+  // Fusing bcast_chunk steps into one synchronization removes (chunk-1)
+  // row+column latencies per chunk; at chunk = 1 the RLC term is exactly
+  // zero, which keeps the default blocking's launch cost where the
+  // calibration put it.
   const double launches = static_cast<double>(mb) * nb * ceil_div(k, est.block_k);
-  const double launch_s =
-      launches * 2.0 * hp.dma_latency_cycles * hp.cycle_seconds();
-  est.seconds = std::max(est.compute_seconds, est.dma_seconds) + launch_s;
+  const double launch_cycles = std::max(
+      0.0, hp.dma_latency_cycles * (blocking.double_buffered ? 2.0 : 1.0) +
+               hp.rlc_latency_cycles *
+                   (static_cast<double>(mesh) / blocking.bcast_chunk - mesh));
+  const double launch_s = launches * launch_cycles * hp.cycle_seconds();
+  // Double-buffered kernel: DMA overlaps compute and the longer stream wins.
+  // Single-buffered plans serialize the two streams.
+  est.seconds = blocking.double_buffered
+                    ? std::max(est.compute_seconds, est.dma_seconds) + launch_s
+                    : est.compute_seconds + est.dma_seconds + launch_s;
   est.achieved_gflops = est.flops / est.seconds / 1e9;
   return est;
 }
@@ -77,7 +94,16 @@ GemmEstimate estimate_impl(const hw::CostModel& cost, std::int64_t m,
 
 GemmEstimate estimate_gemm(const hw::CostModel& cost, std::int64_t m,
                            std::int64_t n, std::int64_t k, bool reuse_c) {
-  return estimate_impl(cost, m, n, k, reuse_c, /*dma_multiplier=*/1.0);
+  return estimate_impl(cost, m, n, k, reuse_c, /*dma_multiplier=*/1.0,
+                       GemmBlocking{});
+}
+
+GemmEstimate estimate_gemm_blocked(const hw::CostModel& cost, std::int64_t m,
+                                   std::int64_t n, std::int64_t k,
+                                   const GemmBlocking& blocking,
+                                   bool reuse_c) {
+  return estimate_impl(cost, m, n, k, reuse_c, /*dma_multiplier=*/1.0,
+                       blocking);
 }
 
 GemmEstimate estimate_gemm_no_rlc(const hw::CostModel& cost, std::int64_t m,
@@ -86,7 +112,8 @@ GemmEstimate estimate_gemm_no_rlc(const hw::CostModel& cost, std::int64_t m,
   // the A and B traffic scale by the mesh dimension (8). Modelled as a flat
   // multiplier on the DMA stream (C is still touched once).
   return estimate_impl(cost, m, n, k, /*reuse_c=*/true,
-                       /*dma_multiplier=*/cost.params().mesh_rows);
+                       /*dma_multiplier=*/cost.params().mesh_rows,
+                       GemmBlocking{});
 }
 
 }  // namespace swcaffe::gemm

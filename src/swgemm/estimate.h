@@ -25,12 +25,45 @@ struct GemmEstimate {
   int block_m = 0, block_n = 0, block_k = 0;
 };
 
+/// One candidate blocking of the blocked mesh-GEMM driver — the knobs the
+/// swtune autotuner searches. The default value reproduces the hand-written
+/// plan estimate_gemm() has always priced (256^3 panels, double-buffered A/B
+/// streams, per-step broadcasts), so estimate_gemm_blocked(default) and
+/// estimate_gemm() are bit-identical.
+struct GemmBlocking {
+  int block_m = 256;
+  int block_n = 256;
+  int block_k = 256;
+  /// Double-buffer the streamed A/B panels: DMA overlaps compute at the
+  /// price of twice the LDM footprint per streamed tile. Single-buffered
+  /// plans serialize the two streams but admit larger panels.
+  bool double_buffered = true;
+  /// RLC broadcast granularity: how many of the mesh's pipeline steps share
+  /// one launch synchronization. 1 is the classic per-step broadcast of
+  /// Fig. 3; fusing steps trims per-launch RLC latency but stages that many
+  /// A/B tiles at once in LDM.
+  int bcast_chunk = 1;
+
+  bool operator==(const GemmBlocking&) const = default;
+};
+
 /// Estimates C(m x n) += A(m x k) * B(k x n) with single-precision data in
 /// memory (the DNN default). `reuse_c_in_ldm` skips the C read (fresh
 /// output, beta = 0).
 GemmEstimate estimate_gemm(const hw::CostModel& cost, std::int64_t m,
                            std::int64_t n, std::int64_t k,
                            bool reuse_c_in_ldm = true);
+
+/// Same model evaluated at an arbitrary candidate blocking (swtune's cost
+/// oracle). Panel edges are clamped to the problem dims exactly the way
+/// estimate_gemm clamps its fixed panel; `blocking` must have positive block
+/// edges and a bcast_chunk that divides the mesh dimension. Legality (LDM
+/// budget, DMA contracts) is NOT judged here — candidates go through
+/// check::verify_gemm first.
+GemmEstimate estimate_gemm_blocked(const hw::CostModel& cost, std::int64_t m,
+                                   std::int64_t n, std::int64_t k,
+                                   const GemmBlocking& blocking,
+                                   bool reuse_c_in_ldm = true);
 
 /// Baseline for the ablation bench: same blocking but NO register-level
 /// communication, so every CPE must stream the full A row-panel and B

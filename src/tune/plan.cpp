@@ -1,0 +1,66 @@
+#include "tune/plan.h"
+
+#include <algorithm>
+
+namespace swcaffe::tune {
+
+namespace {
+
+/// One direction of the ConvEstimate rendering. The invariant estimate_conv
+/// consumers rely on: best() == tuned_s and implicit_wins() == implicit.
+dnn::ConvDirectionEstimate render(const DirectionChoice& c) {
+  dnn::ConvDirectionEstimate d;
+  if (c.implicit) {
+    d.implicit_s = c.tuned_s;
+    // The explicit runner-up; the choice rule guarantees it is slower.
+    d.explicit_s = std::max(c.explicit_s, c.tuned_s);
+  } else {
+    d.explicit_s = c.tuned_s;
+    // Keep the implicit column for reporting; clamp so it never "wins" a
+    // pass the tuner gave to the explicit plan.
+    d.implicit_s = c.implicit_s < 0.0 ? -1.0
+                                      : std::max(c.implicit_s, c.tuned_s);
+  }
+  return d;
+}
+
+}  // namespace
+
+dnn::ConvEstimate TunedConvPlan::as_estimate() const {
+  dnn::ConvEstimate est;
+  est.forward = render(forward);
+  est.backward_weight = render(backward_weight);
+  est.backward_input = render(backward_input);
+  est.gflops_fwd = geom.flops_fwd() / est.forward.best() / 1e9;
+  est.gflops_bwd_weight =
+      geom.flops_bwd_weight() / est.backward_weight.best() / 1e9;
+  est.gflops_bwd_input =
+      geom.flops_bwd_input() / est.backward_input.best() / 1e9;
+  return est;
+}
+
+double NetPlan::tuned_total() const {
+  double total = 0.0;
+  for (const auto& [name, plan] : convs) total += plan.tuned_total();
+  return total;
+}
+
+double NetPlan::default_total() const {
+  double total = 0.0;
+  for (const auto& [name, plan] : convs) total += plan.default_total();
+  return total;
+}
+
+std::map<std::string, dnn::ConvEstimate> NetPlan::overrides() const {
+  std::map<std::string, dnn::ConvEstimate> out;
+  for (const auto& [name, plan] : convs) out.emplace(name, plan.as_estimate());
+  return out;
+}
+
+std::map<std::string, core::ConvPlanAssignment> NetPlan::assignments() const {
+  std::map<std::string, core::ConvPlanAssignment> out;
+  for (const auto& [name, plan] : convs) out.emplace(name, plan.assignment());
+  return out;
+}
+
+}  // namespace swcaffe::tune

@@ -1,0 +1,99 @@
+// First-class tuned plans — the currency of the swtune subsystem.
+//
+// A TunedConvPlan records, for one convolution shape, which strategy and
+// which blocking won each of the three passes, what the hand-written default
+// would have cost, and (optionally) every candidate the search priced. It
+// renders itself as a dnn::ConvEstimate so the existing layer/net estimators
+// can consume tuned times without knowing the tuner exists, and as a
+// core::ConvPlanAssignment so a live core::Net can be switched onto the
+// tuned strategy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/layer_desc.h"
+#include "swdnn/conv_plan.h"
+#include "swgemm/estimate.h"
+
+namespace swcaffe::tune {
+
+/// One candidate the search priced (kept only when TuneOptions asks).
+struct Candidate {
+  dnn::ConvDirection direction = dnn::ConvDirection::kForward;
+  bool implicit = false;
+  gemm::GemmBlocking blocking;       ///< explicit candidates only
+  int channel_block_in = 0;          ///< implicit candidates only
+  int channel_block_out = 0;
+  bool legal = false;                ///< passed the check:: rules
+  double seconds = -1.0;             ///< whole-layer time; -1 when illegal
+};
+
+/// The winning plan of one direction plus the baselines it was judged
+/// against. All times are whole-layer (group-scaled) simulated seconds.
+struct DirectionChoice {
+  bool implicit = false;             ///< winning strategy
+  gemm::GemmBlocking blocking;       ///< winning GEMM blocking (explicit)
+  int channel_block_in = 0;          ///< winning channel blocking (implicit)
+  int channel_block_out = 0;
+  double tuned_s = 0.0;              ///< time of the winning plan
+  double default_s = 0.0;            ///< estimate_conv's best() for this pass
+  double explicit_s = -1.0;          ///< best explicit candidate found
+  double implicit_s = -1.0;          ///< implicit time (-1 = unsupported)
+};
+
+struct TunedConvPlan {
+  std::string layer;
+  core::ConvGeom geom;
+  bool first_conv = false;           ///< input-gradient pass dropped
+  int nodes = 1;                     ///< part of the cache key
+  bool from_cache = false;
+
+  DirectionChoice forward;
+  DirectionChoice backward_weight;
+  DirectionChoice backward_input;
+
+  // Search statistics (zero on a cache hit).
+  int space_size = 0;                ///< candidates enumerated
+  int evaluated = 0;                 ///< candidates priced (legal)
+  int rejected = 0;                  ///< candidates the rules refused
+  std::vector<Candidate> candidates; ///< kept when TuneOptions.keep_candidates
+
+  double tuned_total() const {
+    return forward.tuned_s + backward_weight.tuned_s +
+           (first_conv ? 0.0 : backward_input.tuned_s);
+  }
+  double default_total() const {
+    return forward.default_s + backward_weight.default_s +
+           (first_conv ? 0.0 : backward_input.default_s);
+  }
+
+  /// Renders the tuned plan in estimate_conv's vocabulary: best() returns
+  /// the tuned time and implicit_wins() reflects the tuned strategy, so the
+  /// plan can be passed to estimate_layer_sw / estimate_net_sw as a conv
+  /// override.
+  dnn::ConvEstimate as_estimate() const;
+
+  core::ConvPlanAssignment assignment() const {
+    core::ConvPlanAssignment a;
+    a.implicit_forward = forward.implicit;
+    a.implicit_backward = backward_weight.implicit && backward_input.implicit;
+    return a;
+  }
+};
+
+/// Tuned plans for every convolution of one network description.
+struct NetPlan {
+  std::map<std::string, TunedConvPlan> convs;
+
+  double tuned_total() const;
+  double default_total() const;
+
+  /// Conv overrides for dnn::estimate_net_sw (tuned whole-net time).
+  std::map<std::string, dnn::ConvEstimate> overrides() const;
+  /// Strategy switches for core::Net::apply_conv_plans.
+  std::map<std::string, core::ConvPlanAssignment> assignments() const;
+};
+
+}  // namespace swcaffe::tune

@@ -1,0 +1,177 @@
+#include "tune/plan_cache.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace swcaffe::tune {
+
+namespace {
+
+constexpr const char* kMagic = "swtune-plan-cache";
+
+void fnv_mix(std::uint64_t* h, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g;", v);
+  for (const char* p = buf; *p; ++p) {
+    *h ^= static_cast<unsigned char>(*p);
+    *h *= 1099511628211ull;
+  }
+}
+
+std::string format_direction(const DirectionChoice& c, int index) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "dir %d %d %d %d %d %d %d %d %d %.17g %.17g %.17g %.17g",
+                index, c.implicit ? 1 : 0, c.blocking.block_m,
+                c.blocking.block_n, c.blocking.block_k,
+                c.blocking.double_buffered ? 1 : 0, c.blocking.bcast_chunk,
+                c.channel_block_in, c.channel_block_out, c.tuned_s,
+                c.default_s, c.explicit_s, c.implicit_s);
+  return buf;
+}
+
+bool parse_direction(const std::string& line, DirectionChoice* c, int* index) {
+  int implicit = 0, db = 0;
+  const int got = std::sscanf(
+      line.c_str(), "dir %d %d %d %d %d %d %d %d %d %lg %lg %lg %lg", index,
+      &implicit, &c->blocking.block_m, &c->blocking.block_n,
+      &c->blocking.block_k, &db, &c->blocking.bcast_chunk,
+      &c->channel_block_in, &c->channel_block_out, &c->tuned_s, &c->default_s,
+      &c->explicit_s, &c->implicit_s);
+  c->implicit = implicit != 0;
+  c->blocking.double_buffered = db != 0;
+  return got == 13 && *index >= 0 && *index <= 2;
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error) *error = why;
+  return false;
+}
+
+}  // namespace
+
+std::string chip_fingerprint(const hw::HwParams& hp) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  fnv_mix(&h, hp.core_freq_hz);
+  fnv_mix(&h, hp.mesh_rows);
+  fnv_mix(&h, hp.mesh_cols);
+  fnv_mix(&h, static_cast<double>(hp.ldm_bytes));
+  fnv_mix(&h, hp.cpe_cluster_flops);
+  fnv_mix(&h, hp.kernel_efficiency);
+  fnv_mix(&h, hp.sp_convert_overhead);
+  fnv_mix(&h, hp.dma_peak_bw);
+  fnv_mix(&h, hp.dma_per_cpe_bw);
+  fnv_mix(&h, hp.dma_latency_cycles);
+  fnv_mix(&h, hp.dma_stride_setup_cycles);
+  fnv_mix(&h, hp.rlc_latency_cycles);
+  fnv_mix(&h, hp.rlc_p2p_bw);
+  fnv_mix(&h, hp.rlc_bcast_bw);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return buf;
+}
+
+std::string PlanCache::key(const core::ConvGeom& g, bool first_conv,
+                           int nodes) {
+  std::ostringstream os;
+  os << nodes << ' ' << (first_conv ? 1 : 0) << ' ' << g.batch << ' ' << g.in_c
+     << ' ' << g.out_c << ' ' << g.in_h << ' ' << g.in_w << ' ' << g.kernel
+     << ' ' << g.stride << ' ' << g.pad << ' ' << g.group;
+  return os.str();
+}
+
+const TunedConvPlan* PlanCache::find(const core::ConvGeom& g, bool first_conv,
+                                     int nodes) const {
+  auto it = plans_.find(key(g, first_conv, nodes));
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+void PlanCache::put(const TunedConvPlan& plan) {
+  plans_[key(plan.geom, plan.first_conv, plan.nodes)] = plan;
+}
+
+bool PlanCache::save(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return fail(error, "plan cache: cannot write " + path);
+  out << kMagic << ' ' << kFormatVersion << '\n';
+  out << "chip " << chip_ << '\n';
+  for (const auto& [k, plan] : plans_) {
+    out << "plan " << k << '\n';
+    out << format_direction(plan.forward, 0) << '\n';
+    out << format_direction(plan.backward_weight, 1) << '\n';
+    out << format_direction(plan.backward_input, 2) << '\n';
+  }
+  out.flush();
+  if (!out) return fail(error, "plan cache: write to " + path + " failed");
+  return true;
+}
+
+bool PlanCache::load(const std::string& path, std::string* error) {
+  plans_.clear();
+  std::ifstream in(path);
+  if (!in) return fail(error, "plan cache: cannot read " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return fail(error, "plan cache: empty file " + path);
+  }
+  {
+    char magic[64] = {0};
+    int version = -1;
+    if (std::sscanf(line.c_str(), "%63s %d", magic, &version) != 2 ||
+        std::string(magic) != kMagic) {
+      return fail(error, "plan cache: not a swtune cache (bad magic/version "
+                         "line): " + line);
+    }
+    if (version != kFormatVersion) {
+      return fail(error, "plan cache: format version " +
+                             std::to_string(version) + " != expected " +
+                             std::to_string(kFormatVersion));
+    }
+  }
+  if (!std::getline(in, line) || line.rfind("chip ", 0) != 0) {
+    return fail(error, "plan cache: missing chip fingerprint line");
+  }
+  if (line.substr(5) != chip_) {
+    plans_.clear();
+    return fail(error, "plan cache: chip fingerprint " + line.substr(5) +
+                           " does not match this configuration " + chip_);
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("plan ", 0) != 0) {
+      plans_.clear();
+      return fail(error, "plan cache: expected a plan line, got: " + line);
+    }
+    TunedConvPlan plan;
+    plan.from_cache = true;
+    int first = 0;
+    core::ConvGeom& g = plan.geom;
+    if (std::sscanf(line.c_str(), "plan %d %d %d %d %d %d %d %d %d %d %d",
+                    &plan.nodes, &first, &g.batch, &g.in_c, &g.out_c, &g.in_h,
+                    &g.in_w, &g.kernel, &g.stride, &g.pad, &g.group) != 11) {
+      plans_.clear();
+      return fail(error, "plan cache: malformed plan line: " + line);
+    }
+    plan.first_conv = first != 0;
+    DirectionChoice* dirs[3] = {&plan.forward, &plan.backward_weight,
+                                &plan.backward_input};
+    for (int i = 0; i < 3; ++i) {
+      int index = -1;
+      if (!std::getline(in, line) || !parse_direction(line, dirs[i], &index) ||
+          index != i) {
+        plans_.clear();
+        return fail(error, "plan cache: malformed direction line for plan " +
+                               key(g, plan.first_conv, plan.nodes));
+      }
+    }
+    plans_[key(g, plan.first_conv, plan.nodes)] = plan;
+  }
+  return true;
+}
+
+}  // namespace swcaffe::tune

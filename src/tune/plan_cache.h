@@ -1,0 +1,51 @@
+// Persistent plan cache: tuned plans keyed by (conv shape, first-conv flag,
+// node count) under a chip-configuration fingerprint, with a versioned text
+// format on disk. A warm cache lets repeated runs skip the search entirely
+// (asserted by trace span counts in tests/tune_test.cpp); a cache written by
+// a different format version or for a different chip is rejected at load.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hw/params.h"
+#include "tune/plan.h"
+
+namespace swcaffe::tune {
+
+/// FNV-1a fingerprint of every HwParams field the cost model reads. Two
+/// processes tune compatible plans iff their fingerprints match.
+std::string chip_fingerprint(const hw::HwParams& hp);
+
+class PlanCache {
+ public:
+  /// Bump when the on-disk schema changes; old files are rejected.
+  static constexpr int kFormatVersion = 1;
+
+  explicit PlanCache(const hw::HwParams& hp) : chip_(chip_fingerprint(hp)) {}
+
+  /// Loads `path`, replacing the in-memory contents. Returns false (with a
+  /// human-readable reason in *error) on a missing file, a magic/version
+  /// mismatch, a chip fingerprint mismatch, or a malformed entry; the cache
+  /// is left empty in every failure case, which downgrades to a cold run.
+  bool load(const std::string& path, std::string* error = nullptr);
+
+  /// Writes every entry to `path` (atomic enough for single-process use).
+  bool save(const std::string& path, std::string* error = nullptr) const;
+
+  /// nullptr when the shape was never tuned on this chip.
+  const TunedConvPlan* find(const core::ConvGeom& g, bool first_conv,
+                            int nodes) const;
+  void put(const TunedConvPlan& plan);
+
+  std::size_t size() const { return plans_.size(); }
+  const std::string& chip() const { return chip_; }
+
+  static std::string key(const core::ConvGeom& g, bool first_conv, int nodes);
+
+ private:
+  std::string chip_;
+  std::map<std::string, TunedConvPlan> plans_;
+};
+
+}  // namespace swcaffe::tune

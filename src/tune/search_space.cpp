@@ -1,0 +1,92 @@
+#include "tune/search_space.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace swcaffe::tune {
+
+namespace {
+
+/// Block-edge menu: multiples of the 8x8 mesh from one LDM-friendly panel
+/// row up to the largest edge any SW26010 plan can stage. 256 is the
+/// hand-written default; 384/512 trade LDM headroom for fewer panel re-reads
+/// (the A-panel traffic scales with the number of column blocks).
+constexpr int kBlockMenu[] = {64, 128, 256, 384, 512};
+constexpr int kChunkMenu[] = {1, 2, 4, 8};
+
+}  // namespace
+
+std::vector<gemm::GemmBlocking> gemm_blocking_candidates(
+    const hw::HwParams& hp, std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::vector<gemm::GemmBlocking> out;
+  out.push_back(gemm::GemmBlocking{});  // the baseline, always first
+
+  // Dedup by the *effective* plan: block edges clamp to the problem dims
+  // (a 512 edge on a 256-wide problem is the 256 plan), and buffering /
+  // chunking are part of the identity.
+  using EffKey = std::tuple<std::int64_t, std::int64_t, std::int64_t, bool, int>;
+  auto eff_key = [&](const gemm::GemmBlocking& b) {
+    return EffKey{std::min<std::int64_t>(m, b.block_m),
+                  std::min<std::int64_t>(n, b.block_n),
+                  std::min<std::int64_t>(k, b.block_k), b.double_buffered,
+                  b.bcast_chunk};
+  };
+  std::set<EffKey> seen;
+  seen.insert(eff_key(out.front()));
+
+  for (int bm : kBlockMenu) {
+    for (int bn : kBlockMenu) {
+      for (int bk : kBlockMenu) {
+        for (bool db : {true, false}) {
+          for (int chunk : kChunkMenu) {
+            if (hp.mesh_rows % chunk != 0) continue;
+            gemm::GemmBlocking b;
+            b.block_m = bm;
+            b.block_n = bn;
+            b.block_k = bk;
+            b.double_buffered = db;
+            b.bcast_chunk = chunk;
+            if (seen.insert(eff_key(b)).second) out.push_back(b);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ImplicitBlocking> implicit_blocking_candidates(
+    const hw::HwParams& hp, const core::ConvGeom& g) {
+  // The kernel distributes channels over the mesh: each CPE owns
+  // in_c/8 x out_c/8 channel pairs and may sub-block them to fit LDM.
+  const int mesh = hp.mesh_rows;
+  auto halvings = [](int full) {
+    std::vector<int> v;
+    for (int b = std::max(1, full); ; b = (b + 1) / 2) {
+      v.push_back(b);
+      if (b == 1) break;
+    }
+    return v;
+  };
+  std::vector<ImplicitBlocking> out;
+  for (int cb : halvings(g.in_c / mesh)) {
+    for (int ob : halvings(g.out_c / mesh)) {
+      out.push_back({cb, ob});
+    }
+  }
+  // Largest working set first: fewest channel passes when legal.
+  std::sort(out.begin(), out.end(),
+            [](const ImplicitBlocking& a, const ImplicitBlocking& b) {
+              const long long wa = 1ll * a.channel_block_in * a.channel_block_out;
+              const long long wb = 1ll * b.channel_block_in * b.channel_block_out;
+              if (wa != wb) return wa > wb;
+              if (a.channel_block_in != b.channel_block_in) {
+                return a.channel_block_in > b.channel_block_in;
+              }
+              return a.channel_block_out > b.channel_block_out;
+            });
+  return out;
+}
+
+}  // namespace swcaffe::tune

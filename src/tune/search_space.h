@@ -1,0 +1,38 @@
+// Candidate enumeration for the swtune search (the knobs of ISSUE 3):
+// explicit-path GEMM blockings (row/column/reduction block edges, single vs.
+// double buffering, RLC broadcast granularity) and implicit-path CPE channel
+// tilings. Enumeration is shape-aware only to deduplicate: a block edge
+// larger than the problem dimension clamps to it, so menu entries that
+// collapse to the same effective plan are emitted once. Legality is NOT
+// judged here — the tuner filters through check:: rules before pricing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layer_desc.h"
+#include "hw/params.h"
+#include "swgemm/estimate.h"
+
+namespace swcaffe::tune {
+
+/// All distinct GEMM blocking candidates for a (m, n, k) problem. The
+/// hand-written default (GemmBlocking{}) is always the first entry, so a
+/// search that prices candidates in order starts from the baseline and can
+/// only improve on it.
+std::vector<gemm::GemmBlocking> gemm_blocking_candidates(
+    const hw::HwParams& hp, std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// One implicit-kernel channel tiling: input/output channels per CPE pass.
+struct ImplicitBlocking {
+  int channel_block_in = 1;
+  int channel_block_out = 1;
+};
+
+/// Channel tilings for the implicit kernel of a group==1 geometry, largest
+/// working set first (the model's implicit time is blocking-independent, so
+/// the tuner wants the largest tiling the LDM rules accept — fewest passes).
+std::vector<ImplicitBlocking> implicit_blocking_candidates(
+    const hw::HwParams& hp, const core::ConvGeom& g);
+
+}  // namespace swcaffe::tune

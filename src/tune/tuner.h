@@ -1,0 +1,81 @@
+// swtune — cost-model-guided autotuner for SW26010 kernel plan selection.
+//
+// For each convolution shape the tuner enumerates the candidate plan space
+// (implicit vs. explicit im2col path, GEMM block edges, single vs. double
+// buffering, RLC broadcast granularity, implicit channel tiling), filters
+// every candidate through the swcheck rules — an illegal plan is never
+// priced — scores the survivors with the calibrated CostModel and returns
+// the argmin as a TunedConvPlan. The hand-written default plan is always the
+// first candidate priced, so a tuned plan can never cost more than the
+// default under the model (the invariant tests/tune_test.cpp pins).
+//
+// Search activity is visible in traces: each cold search is a "tune.search"
+// span whose duration models the MPE-side closed-form evaluation of the
+// candidates, and each warm lookup is a "tune.cache_hit" instant — so "the
+// warm cache skips the search" is a checkable trace property, not a claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "trace/tracer.h"
+#include "tune/plan.h"
+#include "tune/plan_cache.h"
+
+namespace swcaffe::tune {
+
+struct TuneOptions {
+  /// Cluster size the plans are tuned for (part of the plan-cache key; the
+  /// per-CG shapes already encode the batch split).
+  int nodes = 1;
+  /// When non-empty: load this cache before tuning (silently cold on any
+  /// load failure) and make Tuner::save_cache() write back to it.
+  std::string cache_path;
+  /// Record every candidate priced/rejected in TunedConvPlan::candidates
+  /// (the conv_plan_explorer presentation layer wants the full table).
+  bool keep_candidates = false;
+  /// Optional trace sink for search spans / cache-hit instants.
+  trace::Tracer* tracer = nullptr;
+  int trace_track = 0;
+};
+
+struct TuneStats {
+  int layers_tuned = 0;     ///< cold searches actually run
+  int cache_hits = 0;
+  long long evaluated = 0;  ///< candidates priced across all searches
+  long long rejected = 0;   ///< candidates the check:: rules refused
+};
+
+class Tuner {
+ public:
+  explicit Tuner(const hw::CostModel& cost, TuneOptions options = {});
+
+  /// Tunes one convolution (cache-aware). `name` labels diagnostics and
+  /// trace events only; the cache key is the shape, not the name.
+  TunedConvPlan tune_conv(const core::ConvGeom& g, const std::string& name,
+                          bool first_conv = false);
+
+  /// Tunes every convolution of a network description. first-conv detection
+  /// matches the layer estimators (the first kConv in the list).
+  NetPlan tune_net(const std::vector<core::LayerDesc>& descs);
+
+  /// Writes the cache back to TuneOptions::cache_path (no-op without one).
+  bool save_cache(std::string* error = nullptr) const;
+
+  const TuneStats& stats() const { return stats_; }
+  PlanCache& cache() { return cache_; }
+  const hw::CostModel& cost() const { return cost_; }
+
+ private:
+  DirectionChoice tune_direction(const core::ConvGeom& gpg,
+                                 dnn::ConvDirection dir, int group,
+                                 TunedConvPlan* plan);
+
+  const hw::CostModel& cost_;
+  TuneOptions options_;
+  PlanCache cache_;
+  TuneStats stats_;
+};
+
+}  // namespace swcaffe::tune

@@ -1,0 +1,249 @@
+// swtune invariants: every plan the tuner emits is legal under the swcheck
+// rules and never costs more than the hand-written default under the cost
+// model (the default is always the first candidate priced); the plan cache
+// round-trips bit-exactly, rejects foreign versions/chips, and a warm cache
+// skips the search entirely — asserted by trace span counts, not logging.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/plan_model.h"
+#include "check/rules.h"
+#include "check/verify.h"
+#include "core/models.h"
+#include "hw/cost_model.h"
+#include "swdnn/conv_plan.h"
+#include "swgemm/estimate.h"
+#include "trace/tracer.h"
+#include "tune/plan_cache.h"
+#include "tune/search_space.h"
+#include "tune/tuner.h"
+
+namespace swcaffe::tune {
+namespace {
+
+std::vector<core::LayerDesc> alexnet_descs() {
+  return core::describe_net_spec(core::alexnet_bn(128, 1000, 227));
+}
+
+std::vector<core::LayerDesc> vgg16_descs() {
+  return core::describe_net_spec(core::vgg(16, 128, 1000, 224));
+}
+
+/// Re-derives the legality of one tuned direction from the outside, straight
+/// from the check:: builders (the same oracle the tuner consulted).
+check::Report recheck_direction(const hw::CostModel& cost,
+                                const core::ConvGeom& g,
+                                dnn::ConvDirection dir,
+                                const DirectionChoice& choice,
+                                const std::string& layer) {
+  const core::ConvGeom gpg = g.per_group();
+  if (choice.implicit) {
+    check::Report report;
+    check::check_ldm(
+        check::implicit_conv_ldm_plan(cost.params(), gpg,
+                                      choice.channel_block_in,
+                                      choice.channel_block_out),
+        cost.params(), {}, layer, &report);
+    check::check_dma(check::implicit_conv_dma_plan(gpg), {}, layer, &report);
+    return report;
+  }
+  const dnn::ConvGemmShape s = dnn::explicit_gemm_shape(gpg, dir);
+  return check::verify_gemm(cost, s.m, s.n, s.k, choice.blocking, layer);
+}
+
+int count_spans(const trace::Tracer& tracer, const std::string& category) {
+  int n = 0;
+  for (const auto& s : tracer.spans()) n += s.category == category;
+  return n;
+}
+
+int count_instants(const trace::Tracer& tracer, const std::string& category) {
+  int n = 0;
+  for (const auto& i : tracer.instants()) n += i.category == category;
+  return n;
+}
+
+TEST(TunerTest, EveryPaperPlanLegalAndNotSlowerThanDefault) {
+  hw::CostModel cost;
+  for (const auto& descs : {alexnet_descs(), vgg16_descs()}) {
+    Tuner tuner(cost);
+    const NetPlan plan = tuner.tune_net(descs);
+    ASSERT_FALSE(plan.convs.empty());
+    for (const auto& [name, p] : plan.convs) {
+      struct Dir {
+        dnn::ConvDirection dir;
+        const DirectionChoice* choice;
+      };
+      const Dir dirs[] = {
+          {dnn::ConvDirection::kForward, &p.forward},
+          {dnn::ConvDirection::kBackwardWeight, &p.backward_weight},
+          {dnn::ConvDirection::kBackwardInput, &p.backward_input},
+      };
+      for (const Dir& d : dirs) {
+        if (d.dir == dnn::ConvDirection::kBackwardInput && p.first_conv) {
+          continue;  // data-layer conv never computes dX
+        }
+        EXPECT_LE(d.choice->tuned_s, d.choice->default_s)
+            << name << ": tuned plan slower than the hand-written default";
+        const check::Report report =
+            recheck_direction(cost, p.geom, d.dir, *d.choice, name);
+        EXPECT_TRUE(report.empty())
+            << name << ": tuned plan fails swcheck: " << report.summary();
+      }
+    }
+    EXPECT_LE(plan.tuned_total(), plan.default_total());
+  }
+}
+
+TEST(TunerTest, FindsStrictWinOnVgg16) {
+  // The acceptance bar is a measurable end-to-end improvement, not just
+  // parity: on VGG-16 at the paper batch the search must strictly beat the
+  // defaults somewhere (dW blockings and implicit channel tilings remain
+  // shape-specialized even after the default-blocking fix the tuner drove).
+  hw::CostModel cost;
+  Tuner tuner(cost);
+  const NetPlan plan = tuner.tune_net(vgg16_descs());
+  EXPECT_LT(plan.tuned_total(), plan.default_total());
+}
+
+TEST(TunerTest, DefaultBlockingIsBitIdenticalToUnblockedEstimate) {
+  // estimate_gemm_blocked at the default blocking must reproduce
+  // estimate_gemm exactly — the tuner's baseline candidate IS the legacy
+  // path, so "tuned <= default" is anchored to the calibrated numbers.
+  hw::CostModel cost;
+  const std::int64_t shapes[][3] = {
+      {256, 3136, 2304}, {64, 50176, 576}, {512, 196, 4608}, {7, 9, 11}};
+  for (const auto& s : shapes) {
+    const gemm::GemmEstimate a = gemm::estimate_gemm(cost, s[0], s[1], s[2]);
+    const gemm::GemmEstimate b =
+        gemm::estimate_gemm_blocked(cost, s[0], s[1], s[2], gemm::GemmBlocking{});
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.dma_bytes, b.dma_bytes);
+    EXPECT_EQ(a.compute_seconds, b.compute_seconds);
+    EXPECT_EQ(a.dma_seconds, b.dma_seconds);
+  }
+}
+
+TEST(TunerTest, SearchSpaceLeadsWithTheDefault) {
+  hw::CostModel cost;
+  const auto blockings = gemm_blocking_candidates(cost.params(), 256, 3136, 2304);
+  ASSERT_FALSE(blockings.empty());
+  EXPECT_TRUE(blockings.front() == gemm::GemmBlocking{});
+}
+
+TEST(PlanCacheTest, RoundTripIsExact) {
+  hw::CostModel cost;
+  const std::string path = testing::TempDir() + "/swtune_roundtrip.cache";
+  std::remove(path.c_str());  // TempDir persists across runs; start cold
+
+  TuneOptions opts;
+  opts.cache_path = path;
+  Tuner cold(cost, opts);
+  const NetPlan first = cold.tune_net(alexnet_descs());
+  ASSERT_TRUE(cold.save_cache());
+  EXPECT_EQ(cold.stats().cache_hits, 0);
+  EXPECT_GT(cold.stats().evaluated, 0);
+
+  Tuner warm(cost, opts);
+  const NetPlan second = warm.tune_net(alexnet_descs());
+  EXPECT_EQ(warm.stats().cache_hits, static_cast<int>(first.convs.size()));
+  EXPECT_EQ(warm.stats().evaluated, 0);
+  ASSERT_EQ(second.convs.size(), first.convs.size());
+  for (const auto& [name, p] : first.convs) {
+    const auto it = second.convs.find(name);
+    ASSERT_NE(it, second.convs.end());
+    EXPECT_TRUE(it->second.from_cache);
+    // %.17g round-trips doubles exactly; the cached plan is the tuned plan.
+    EXPECT_EQ(it->second.forward.tuned_s, p.forward.tuned_s);
+    EXPECT_EQ(it->second.backward_weight.tuned_s, p.backward_weight.tuned_s);
+    EXPECT_EQ(it->second.backward_input.tuned_s, p.backward_input.tuned_s);
+    EXPECT_EQ(it->second.forward.implicit, p.forward.implicit);
+    EXPECT_TRUE(it->second.forward.blocking == p.forward.blocking);
+  }
+  EXPECT_EQ(second.tuned_total(), first.tuned_total());
+}
+
+TEST(PlanCacheTest, RejectsVersionMismatch) {
+  hw::CostModel cost;
+  const std::string path = testing::TempDir() + "/swtune_version.cache";
+  PlanCache cache(cost.params());
+  ASSERT_TRUE(cache.save(path));
+
+  // Rewrite the header with a future format version; everything else intact.
+  std::ifstream in(path);
+  std::stringstream rest;
+  std::string header;
+  std::getline(in, header);
+  rest << in.rdbuf();
+  in.close();
+  std::ofstream out(path);
+  out << "swtune-plan-cache " << PlanCache::kFormatVersion + 1 << "\n"
+      << rest.str();
+  out.close();
+
+  PlanCache reader(cost.params());
+  std::string error;
+  EXPECT_FALSE(reader.load(path, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  EXPECT_EQ(reader.size(), 0u);
+}
+
+TEST(PlanCacheTest, RejectsForeignChipAndGarbage) {
+  hw::CostModel cost;
+  const std::string path = testing::TempDir() + "/swtune_chip.cache";
+  PlanCache cache(cost.params());
+  ASSERT_TRUE(cache.save(path));
+
+  hw::HwParams other = cost.params();
+  other.ldm_bytes *= 2;  // a different machine tunes different plans
+  EXPECT_NE(chip_fingerprint(other), chip_fingerprint(cost.params()));
+  PlanCache foreign(other);
+  std::string error;
+  EXPECT_FALSE(foreign.load(path, &error));
+  EXPECT_EQ(foreign.size(), 0u);
+
+  const std::string garbage = testing::TempDir() + "/swtune_garbage.cache";
+  std::ofstream(garbage) << "definitely not a plan cache\n";
+  PlanCache reader(cost.params());
+  EXPECT_FALSE(reader.load(garbage, &error));
+  EXPECT_EQ(reader.size(), 0u);
+}
+
+TEST(PlanCacheTest, WarmCacheSkipsSearchEntirely) {
+  hw::CostModel cost;
+  const std::string path = testing::TempDir() + "/swtune_warm.cache";
+  std::remove(path.c_str());  // TempDir persists across runs; start cold
+  const auto descs = alexnet_descs();
+
+  trace::Tracer cold_trace;
+  TuneOptions opts;
+  opts.cache_path = path;
+  opts.tracer = &cold_trace;
+  Tuner cold(cost, opts);
+  const NetPlan plan = cold.tune_net(descs);
+  ASSERT_TRUE(cold.save_cache());
+  const int convs = static_cast<int>(plan.convs.size());
+  EXPECT_EQ(count_spans(cold_trace, "tune.search"), convs);
+  EXPECT_EQ(count_instants(cold_trace, "tune.cache_hit"), 0);
+  // The search span models MPE-side candidate evaluation: simulated time
+  // advances while tuning, proportionally to the candidates priced.
+  EXPECT_GT(cold_trace.now(0), 0.0);
+
+  trace::Tracer warm_trace;
+  opts.tracer = &warm_trace;
+  Tuner warm(cost, opts);
+  warm.tune_net(descs);
+  EXPECT_EQ(count_spans(warm_trace, "tune.search"), 0);
+  EXPECT_EQ(count_instants(warm_trace, "tune.cache_hit"), convs);
+  EXPECT_EQ(warm.stats().cache_hits, convs);
+  EXPECT_EQ(warm.stats().layers_tuned, 0);
+}
+
+}  // namespace
+}  // namespace swcaffe::tune
