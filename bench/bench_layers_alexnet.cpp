@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_json.h"
+#include "../tests/fixtures.h"
 #include "core/models.h"
 #include "layer_table.h"
 
@@ -13,7 +14,7 @@ int main(int argc, char** argv) {
   bench::JsonBench json("bench_layers_alexnet", argc, argv);
   std::printf("=== Fig. 8: AlexNet-BN per-layer times, batch 256 "
               "(SW column: one CG at batch 64) ===\n\n");
-  const auto descs = core::describe_net_spec(core::alexnet_bn(64));
+  const auto descs = fixtures::alexnet_per_cg_descs();
   const auto [sw_total, gpu_total] = benchutil::print_layer_comparison(descs);
   json.metric("sw_total_s", sw_total);
   json.metric("gpu_total_s", gpu_total);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bench_json.h"
+#include "../tests/fixtures.h"
 #include "core/models.h"
 #include "layer_table.h"
 
@@ -12,7 +13,7 @@ int main(int argc, char** argv) {
   bench::JsonBench json("bench_layers_vgg", argc, argv);
   std::printf("=== Fig. 9: VGG-16 per-layer times, batch 64 "
               "(SW column: one CG at batch 16) ===\n\n");
-  const auto descs = core::describe_net_spec(core::vgg(16, 16));
+  const auto descs = fixtures::vgg_per_cg_descs(16);
   const auto [sw_total, gpu_total] = benchutil::print_layer_comparison(descs);
   json.metric("sw_total_s", sw_total);
   json.metric("gpu_total_s", gpu_total);

@@ -6,6 +6,7 @@
 
 #include "base/table.h"
 #include "bench_json.h"
+#include "../tests/fixtures.h"
 #include "core/models.h"
 #include "hw/cost_model.h"
 #include "perfmodel/device_model.h"
@@ -41,10 +42,16 @@ int main(int argc, char** argv) {
 
   // Paper Table III values for side-by-side reporting.
   NetCfg cfgs[] = {
-      {"AlexNet", core::alexnet_bn(256), core::alexnet_bn(64), 256, 12.01,
+      {"AlexNet", fixtures::alexnet_spec(),
+       fixtures::alexnet_spec(fixtures::kAlexNetBatchPerCg),
+       fixtures::kAlexNetBatch, 12.01,
        79.25, 94.17},
-      {"VGG-16", core::vgg(16, 64), core::vgg(16, 16), 64, 1.06, 13.79, 6.21},
-      {"VGG-19", core::vgg(19, 64), core::vgg(19, 16), 64, 1.07, 11.2, 5.52},
+      {"VGG-16", fixtures::vgg_spec(16),
+       fixtures::vgg_spec(16, fixtures::kVggBatchPerCg), fixtures::kVggBatch,
+       1.06, 13.79, 6.21},
+      {"VGG-19", fixtures::vgg_spec(19),
+       fixtures::vgg_spec(19, fixtures::kVggBatchPerCg), fixtures::kVggBatch,
+       1.07, 11.2, 5.52},
       {"ResNet-50", core::resnet50(32), core::resnet50(8), 32, 1.99, 25.45,
        5.56},
       {"GoogleNet", core::googlenet(128), core::googlenet(32), 128, 4.92,
@@ -59,7 +66,7 @@ int main(int argc, char** argv) {
   for (const auto& c : cfgs) {
     const auto full = core::describe_net_spec(c.full);
     const auto quarter = core::describe_net_spec(c.quarter);
-    const std::int64_t input_bytes = 4LL * c.batch * 3 * 227 * 227;
+    const std::int64_t input_bytes = fixtures::imagenet_input_bytes(c.batch);
     const double cpu_img =
         perfmodel::device_throughput_img_s(cpu, full, c.batch, 0);
     const double gpu_img =
@@ -88,7 +95,7 @@ int main(int argc, char** argv) {
               "ungrouped) vs the original ===\n");
   {
     TablePrinter a({"variant", "params (MB)", "SW img/s", "notes"});
-    const auto refined = core::describe_net_spec(core::alexnet_bn(64));
+    const auto refined = fixtures::alexnet_per_cg_descs();
     const auto original =
         core::describe_net_spec(core::alexnet_original(64));
     auto params_mb = [](const std::vector<core::LayerDesc>& d) {

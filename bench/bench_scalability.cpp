@@ -9,6 +9,7 @@
 #include "base/table.h"
 #include "base/units.h"
 #include "bench_json.h"
+#include "../tests/fixtures.h"
 #include "core/models.h"
 #include "hw/cost_model.h"
 #include "parallel/ssgd.h"
@@ -35,15 +36,15 @@ int main(int argc, char** argv) {
   const std::vector<int> nodes = {1, 2, 8, 32, 128, 512, 1024};
   std::vector<Series> series;
   series.push_back({"AlexNet B=64", core::alexnet_bn(16),
-                    static_cast<std::int64_t>(232.6e6), 409.50, 60.01});
+                    fixtures::kAlexNetGradientBytes, 409.50, 60.01});
   series.push_back({"AlexNet B=128", core::alexnet_bn(32),
-                    static_cast<std::int64_t>(232.6e6), 561.58, 45.15});
+                    fixtures::kAlexNetGradientBytes, 561.58, 45.15});
   series.push_back({"AlexNet B=256", core::alexnet_bn(64),
-                    static_cast<std::int64_t>(232.6e6), 715.45, 30.13});
+                    fixtures::kAlexNetGradientBytes, 715.45, 30.13});
   series.push_back({"ResNet50 B=32", core::resnet50(8),
-                    static_cast<std::int64_t>(97.7e6), 928.15, 10.65});
+                    fixtures::kResNet50GradientBytes, 928.15, 10.65});
   series.push_back({"ResNet50 B=64", core::resnet50(16),
-                    static_cast<std::int64_t>(97.7e6), 828.32, 19.11});
+                    fixtures::kResNet50GradientBytes, 828.32, 19.11});
 
   parallel::SsgdOptions opt;  // binomial + round-robin, q = 256
 
@@ -112,8 +113,8 @@ int main(int argc, char** argv) {
       parallel::SsgdOptions o;
       o.algo = algo;
       const auto c = parallel::scalability_curve(
-          cost, core::describe_net_spec(core::alexnet_bn(64)),
-          static_cast<std::int64_t>(232.6e6), o, {1024});
+          cost, fixtures::alexnet_per_cg_descs(),
+          fixtures::kAlexNetGradientBytes, o, {1024});
       t.add_row({parallel::allreduce_algo_name(algo),
                  base::format_seconds(c[0].comm_s), fmt(c[0].speedup, 1) + "x"});
     }

@@ -74,6 +74,7 @@ void print_codes() {
       Code::kDmaShortRun,      Code::kRlcDeadlock,     Code::kRlcIllegalPair,
       Code::kRlcUnmatched,     Code::kImplicitUnsupported,
       Code::kImplicitDegraded, Code::kPlanInconsistent, Code::kGeomInvalid,
+      Code::kRetryBufferOverflow, Code::kRetryTimeout,
   };
   static const char* kDesc[] = {
       "per-CPE working set exceeds the 64 KB LDM",
@@ -90,6 +91,8 @@ void print_codes() {
       "implicit conv below the 64-channel efficiency knee",
       "auto-tuner choice contradicts the support predicate",
       "invalid geometry (empty output, indivisible groups, ...)",
+      "resilient-send resend buffer cannot hold the round / exceeds LDM",
+      "retry ladder cannot finish before the escalation timeout",
   };
   std::printf("%-22s %s\n", "code", "meaning");
   for (std::size_t i = 0; i < std::size(kAll); ++i) {

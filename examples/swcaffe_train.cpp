@@ -7,6 +7,8 @@
 //   swcaffe_train [net.prototxt solver.prototxt] [iterations]
 //                 [--tune] [--plan-cache FILE] [--json OUT]
 //                 [--trace=out.json] [--trace-report]
+//                 [--faults=SPEC] [--seed N] [--nodes N]
+//                 [--checkpoint-every N] [--checkpoint-prefix PATH]
 // With no (positional) arguments a built-in demo net is used. --tune runs
 // the swtune plan search before training (every core-group replica executes
 // the tuned strategies, and the simulated time is priced at the tuned
@@ -16,6 +18,13 @@
 // a Chrome-trace JSON of the simulated run (track "node" plus one track per
 // core group; open in ui.perfetto.dev); --trace-report prints the per-layer
 // aggregate of the traced compute.
+//
+// --faults switches to the fault-tolerant distributed trainer (swfault):
+// --nodes SSGD replicas train under the seeded fault schedule of SPEC (see
+// src/fault/fault_spec.h for the grammar; "none" for a healthy machine),
+// with retry/backoff on lossy sends, straggler-aware bounded-staleness
+// aggregation, and - with --checkpoint-every - periodic checkpoints that
+// crashed runs restart from. --seed overrides the spec's schedule seed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +35,7 @@
 #include "../bench/bench_json.h"
 #include "base/units.h"
 #include "core/proto.h"
+#include "fault/ft_ssgd.h"
 #include "parallel/trainer.h"
 #include "trace/chrome_trace.h"
 #include "trace/report.h"
@@ -64,6 +74,99 @@ stepsize: 40
 type: "SGD"
 )";
 
+/// Pure function of (iter, index, salt) so a restarted run replays the
+/// identical batch sequence (the crash/restart bit-identity contract).
+float det_uniform(std::uint64_t iter, std::uint64_t idx, std::uint64_t salt) {
+  std::uint64_t x =
+      iter * 0x9e3779b97f4a7c15ULL + idx * 0xbf58476d1ce4e5b9ULL + salt;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<float>(x >> 40) / static_cast<float>(1 << 24);
+}
+
+/// The --faults path: fault-tolerant SSGD over `nodes` replicas under the
+/// seeded schedule of `spec`.
+int run_fault_tolerant(const core::NetSpec& net_spec,
+                       const core::SolverSpec& solver_spec, int iterations,
+                       int nodes, const fault::FaultSpec& spec,
+                       int checkpoint_every, const std::string& ckpt_prefix,
+                       const std::string& trace_path,
+                       bench::JsonBench& bench) {
+  fault::FtOptions opt;
+  opt.faults = spec;
+  opt.checkpoint_every = checkpoint_every;
+  opt.checkpoint_prefix = ckpt_prefix;
+  fault::FtSsgdTrainer trainer(net_spec, nodes, solver_spec, opt);
+
+  trace::Tracer tracer;
+  if (!trace_path.empty()) trainer.set_tracer(&tracer);
+
+  const std::size_t data_per_node =
+      trainer.ssgd().node(0).blob("data")->count();
+  const std::size_t labels_per_node =
+      trainer.ssgd().node(0).blob("label")->count();
+  constexpr int kClasses = 10;  // matches the demo net's score width
+  const auto p = static_cast<std::size_t>(nodes);
+  const fault::BatchFn batch = [&](std::int64_t it, std::vector<float>& data,
+                                   std::vector<float>& labels) {
+    data.resize(data_per_node * p);
+    labels.resize(labels_per_node * p);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = det_uniform(static_cast<std::uint64_t>(it), i, 0x5eedULL);
+    }
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<float>(static_cast<int>(
+          det_uniform(static_cast<std::uint64_t>(it), i, 0x1abe1ULL) *
+          kClasses));
+    }
+  };
+
+  std::printf("fault-tolerant training '%s' on %d nodes for %d iterations "
+              "(faults: %s)\n",
+              net_spec.name.c_str(), nodes, iterations,
+              fault::to_string(spec).c_str());
+  const fault::RunResult run =
+      fault::run_with_restarts(trainer, batch, iterations);
+  const fault::FaultStats& stats = trainer.stats();
+
+  std::printf("\nfinal loss: %.4f after %lld iterations\n", run.final_loss,
+              static_cast<long long>(run.iters));
+  std::printf("simulated cluster time: %s\n",
+              base::format_seconds(run.sim_seconds).c_str());
+  std::printf("faults injected: %lld drops, %lld dups, %lld delays, "
+              "%lld straggler-iters, %lld crashes\n",
+              static_cast<long long>(stats.drops),
+              static_cast<long long>(stats.duplicates),
+              static_cast<long long>(stats.delays),
+              static_cast<long long>(stats.straggler_iters),
+              static_cast<long long>(stats.crashes));
+  std::printf("recovery: %lld retries, %lld escalations, %d restarts\n",
+              static_cast<long long>(stats.retries),
+              static_cast<long long>(stats.escalations), run.restarts);
+  if (!trainer.last_checkpoint().empty()) {
+    std::printf("latest checkpoint: %s\n", trainer.last_checkpoint().c_str());
+  }
+
+  bench.metric("final_loss", run.final_loss);
+  bench.metric("simulated_run_s", run.sim_seconds);
+  bench.metric("fault_drops", static_cast<double>(stats.drops));
+  bench.metric("fault_retries", static_cast<double>(stats.retries));
+  bench.metric("fault_escalations", static_cast<double>(stats.escalations));
+  bench.metric("fault_straggler_iters",
+               static_cast<double>(stats.straggler_iters));
+  bench.metric("fault_restarts", static_cast<double>(run.restarts));
+
+  if (!trace_path.empty()) {
+    trace::save_chrome_trace(tracer, trace_path);
+    std::printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +174,13 @@ int main(int argc, char** argv) {
   bool trace_report = false;
   bool tune = false;
   std::string plan_cache;
+  std::string faults;
+  bool have_faults = false;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  int nodes = 4;
+  int checkpoint_every = 0;
+  std::string checkpoint_prefix = "swcaffe_train.ckpt";
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -85,6 +195,32 @@ int main(int argc, char** argv) {
       plan_cache = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--plan-cache") == 0 && i + 1 < argc) {
       plan_cache = argv[++i];
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      faults = argv[i] + 9;
+      have_faults = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults = argv[++i];
+      have_faults = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      have_seed = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+      have_seed = true;
+    } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      nodes = std::atoi(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      checkpoint_every = std::atoi(argv[i] + 19);
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      checkpoint_every = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--checkpoint-prefix=", 20) == 0) {
+      checkpoint_prefix = argv[i] + 20;
+    } else if (std::strcmp(argv[i], "--checkpoint-prefix") == 0 &&
+               i + 1 < argc) {
+      checkpoint_prefix = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0 ||
                std::strcmp(argv[i], "--json") == 0) {
       // Value re-parsed by JsonBench; consume it so it isn't positional.
@@ -107,6 +243,14 @@ int main(int argc, char** argv) {
     net_spec = core::parse_net_prototxt(kDemoNet);
     solver_spec = core::parse_solver_prototxt(kDemoSolver);
     if (positional.size() == 1) iterations = std::atoi(positional[0]);
+  }
+
+  if (have_faults) {
+    fault::FaultSpec spec = fault::parse_fault_spec(faults);
+    if (have_seed) spec.seed = seed;
+    return run_fault_tolerant(net_spec, solver_spec, iterations, nodes, spec,
+                              checkpoint_every, checkpoint_prefix, trace_path,
+                              bench);
   }
 
   // The dataset must match the net's data blob.

@@ -48,6 +48,10 @@ const char* code_name(Code c) {
       return "plan-inconsistent";
     case Code::kGeomInvalid:
       return "geom-invalid";
+    case Code::kRetryBufferOverflow:
+      return "retry-buffer-overflow";
+    case Code::kRetryTimeout:
+      return "retry-timeout";
   }
   return "?";
 }

@@ -41,6 +41,9 @@ enum class Code {
   kPlanInconsistent,    ///< auto-tuner choice contradicts the support predicate
   // --- Shape sanity --------------------------------------------------------
   kGeomInvalid,      ///< non-positive output dims / indivisible channel groups
+  // --- Fault-tolerance retry plans (swfault) -------------------------------
+  kRetryBufferOverflow, ///< buffered resend round exceeds its LDM budget
+  kRetryTimeout,        ///< retry ladder cannot complete before escalation
 };
 
 /// Stable short identifier, e.g. "ldm-overflow".

@@ -34,6 +34,16 @@ std::size_t LdmPlan::buffered_bytes() const {
   return total;
 }
 
+double RetryPlan::worst_case_seconds() const {
+  // max_attempts sends, each preceded (after the first) by backoff 2^k*base:
+  // sum_{k=0}^{a-2} base*2^k = base*(2^(a-1) - 1).
+  double backoff = 0.0;
+  if (max_attempts > 1 && backoff_base_s > 0.0) {
+    backoff = backoff_base_s * (std::ldexp(1.0, max_attempts - 1) - 1.0);
+  }
+  return max_attempts * round_time_s + backoff;
+}
+
 // --- swgemm -----------------------------------------------------------------
 
 LdmPlan mesh_gemm_ldm_plan(const hw::HwParams& hp, std::int64_t m,

@@ -185,6 +185,26 @@ DmaPlan elementwise_dma_plan(std::int64_t count, double passes);
 /// `inner_run`-element lines plus a dense scatter pass.
 DmaPlan transform_dma_plan(std::int64_t count, int inner_run);
 
+// --- Fault-tolerance retry plans --------------------------------------------
+
+/// The buffering/backoff contract of a resilient send path (swfault's
+/// RetryPolicy viewed as a checkable plan): a dropped message round can only
+/// be re-sent if the round is still buffered, and the retry ladder is only
+/// meaningful if it can finish before the escalation timeout fires.
+struct RetryPlan {
+  std::string name;
+  std::int64_t round_bytes = 0;          ///< largest message round to buffer
+  std::int64_t resend_buffer_bytes = 0;  ///< buffer reserved for re-sends
+  int max_attempts = 1;
+  double backoff_base_s = 0.0;  ///< backoff before retry k is base * 2^k
+  double round_time_s = 0.0;    ///< wire time of one (re-)sent round
+  double timeout_s = 0.0;       ///< escalation deadline
+
+  /// Worst-case time the full ladder needs: max_attempts sends plus the
+  /// geometric backoff series.
+  double worst_case_seconds() const;
+};
+
 // --- Builders: topo all-reduce ----------------------------------------------
 
 /// Send/receive schedule of recursive halving + doubling over `num_nodes`

@@ -249,4 +249,44 @@ void check_schedule(const CommSchedule& sched, const hw::HwParams& hp,
   }
 }
 
+void check_retry(const RetryPlan& plan, const hw::HwParams& hp,
+                 const Options& opts, const std::string& layer,
+                 Report* report) {
+  if (plan.max_attempts < 1 || plan.round_bytes < 0 ||
+      plan.resend_buffer_bytes < 0 || plan.backoff_base_s < 0.0 ||
+      plan.round_time_s < 0.0 || plan.timeout_s < 0.0) {
+    report->add(Code::kGeomInvalid, Severity::kError, layer,
+                plan.name + ": retry plan needs max_attempts >= 1 and "
+                            "non-negative sizes/times");
+    return;
+  }
+  if (plan.round_bytes > plan.resend_buffer_bytes) {
+    report->add(Code::kRetryBufferOverflow, Severity::kError, layer,
+                plan.name + ": buffered round is " +
+                    std::to_string(plan.round_bytes) + " B but only " +
+                    std::to_string(plan.resend_buffer_bytes) +
+                    " B of resend buffer is reserved; a dropped round could "
+                    "not be re-sent");
+  }
+  if (plan.resend_buffer_bytes > static_cast<std::int64_t>(hp.ldm_bytes)) {
+    report->add(Code::kRetryBufferOverflow, Severity::kError, layer,
+                plan.name + ": resend buffer of " +
+                    std::to_string(plan.resend_buffer_bytes) +
+                    " B exceeds the " + std::to_string(hp.ldm_bytes) +
+                    " B CPE scratchpad");
+  }
+  // Retries beyond the escalation deadline are dead code: the reliable
+  // fallback fires first, so the configured ladder silently shrinks.
+  if (plan.timeout_s > 0.0 && plan.max_attempts > 1 &&
+      plan.worst_case_seconds() > plan.timeout_s) {
+    report->add(Code::kRetryTimeout, Severity::kWarning, layer,
+                plan.name + ": full retry ladder needs " +
+                    std::to_string(plan.worst_case_seconds()) +
+                    " s but escalation fires after " +
+                    std::to_string(plan.timeout_s) +
+                    " s; later attempts can never run");
+  }
+  (void)opts;
+}
+
 }  // namespace swcaffe::check

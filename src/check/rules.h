@@ -38,4 +38,13 @@ void check_schedule(const CommSchedule& sched, const hw::HwParams& hp,
                     const Options& opts, const std::string& layer,
                     Report* report);
 
+/// Retry-plan soundness (swfault): the buffered round must fit its resend
+/// buffer, the buffer must fit the CPE scratchpad (retry-buffer-overflow,
+/// error), and the full retry ladder must complete before the escalation
+/// timeout makes it dead code (retry-timeout, warning). Non-positive
+/// attempt counts / negative sizes are kGeomInvalid errors.
+void check_retry(const RetryPlan& plan, const hw::HwParams& hp,
+                 const Options& opts, const std::string& layer,
+                 Report* report);
+
 }  // namespace swcaffe::check

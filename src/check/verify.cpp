@@ -362,4 +362,12 @@ Report verify_allreduce(const std::string& algorithm, int num_nodes,
   return report;
 }
 
+Report verify_retry(const RetryPlan& plan, const Options& opts) {
+  Report report;
+  const hw::HwParams hp;
+  check_retry(plan, hp, opts, plan.name.empty() ? "retry" : plan.name,
+              &report);
+  return report;
+}
+
 }  // namespace swcaffe::check

@@ -71,4 +71,8 @@ Report verify_net(const hw::CostModel& cost,
 Report verify_allreduce(const std::string& algorithm, int num_nodes,
                         const Options& opts = {});
 
+/// Retry-plan check (swfault resilient sends): verifies the plan against
+/// the default SW26010 LDM budget. See check_retry for the rules.
+Report verify_retry(const RetryPlan& plan, const Options& opts = {});
+
 }  // namespace swcaffe::check

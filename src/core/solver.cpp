@@ -97,6 +97,17 @@ void SgdSolver::restore(const std::string& path) {
   SWC_CHECK_MSG(is.good(), "snapshot read failed: " << path);
 }
 
+void SgdSolver::set_state(int iter,
+                          const std::vector<std::vector<float>>& history) {
+  SWC_CHECK_GE(iter, 0);
+  SWC_CHECK_EQ(history.size(), history_.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    SWC_CHECK_EQ(history[i].size(), history_[i].size());
+  }
+  iter_ = iter;
+  history_ = history;
+}
+
 double SgdSolver::step() {
   const double loss = compute_gradients();
   apply_update();

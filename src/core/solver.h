@@ -52,6 +52,12 @@ class SgdSolver {
   void snapshot(const std::string& path) const;
   void restore(const std::string& path);
 
+  /// Momentum-state access for external serializers (swfault checkpoints).
+  const std::vector<std::vector<float>>& history() const { return history_; }
+  /// Restores the iteration counter and momentum buffers; shapes must match
+  /// this solver's net.
+  void set_state(int iter, const std::vector<std::vector<float>>& history);
+
  private:
   Net* net_;
   SolverSpec spec_;

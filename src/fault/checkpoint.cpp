@@ -1,0 +1,98 @@
+#include "fault/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "base/log.h"
+
+namespace swcaffe::fault {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'W', 'F', 'C', 'K', 'P', 'T', '\0'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& is) {
+  std::uint64_t n = 0;
+  read_pod(is, n);
+  SWC_CHECK_MSG(is.good() && n < (1ull << 32),
+                "checkpoint: implausible vector length " << n);
+  std::vector<float> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  std::ofstream os(path, std::ios::binary);
+  SWC_CHECK_MSG(os.is_open(), "checkpoint: cannot open " << path);
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kCheckpointVersion);
+  write_pod(os, ckpt.iter);
+  write_pod(os, ckpt.fault_seed);
+  write_floats(os, ckpt.params);
+  write_pod(os, static_cast<std::uint64_t>(ckpt.history.size()));
+  for (const auto& h : ckpt.history) write_floats(os, h);
+  write_floats(os, ckpt.stale_grad);
+  write_pod(os, ckpt.stale_count);
+  write_pod(os, static_cast<std::uint64_t>(ckpt.plan_cache.size()));
+  os.write(ckpt.plan_cache.data(),
+           static_cast<std::streamsize>(ckpt.plan_cache.size()));
+  SWC_CHECK_MSG(os.good(), "checkpoint: write failed: " << path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SWC_CHECK_MSG(is.is_open(), "checkpoint: cannot open " << path);
+  char magic[sizeof(kMagic)] = {};
+  is.read(magic, sizeof(magic));
+  SWC_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "checkpoint: " << path << " is not a swfault checkpoint");
+  std::uint32_t version = 0;
+  read_pod(is, version);
+  SWC_CHECK_MSG(version >= 1 && version <= kCheckpointVersion,
+                "checkpoint: " << path << " has version " << version
+                               << ", this build reads <= "
+                               << kCheckpointVersion);
+  Checkpoint ckpt;
+  read_pod(is, ckpt.iter);
+  read_pod(is, ckpt.fault_seed);
+  ckpt.params = read_floats(is);
+  std::uint64_t n_hist = 0;
+  read_pod(is, n_hist);
+  SWC_CHECK_MSG(is.good() && n_hist < (1ull << 20),
+                "checkpoint: implausible history count " << n_hist);
+  ckpt.history.reserve(n_hist);
+  for (std::uint64_t i = 0; i < n_hist; ++i) {
+    ckpt.history.push_back(read_floats(is));
+  }
+  ckpt.stale_grad = read_floats(is);
+  read_pod(is, ckpt.stale_count);
+  std::uint64_t len = 0;
+  read_pod(is, len);
+  SWC_CHECK_MSG(is.good() && len < (1ull << 20),
+                "checkpoint: implausible plan-cache path length " << len);
+  ckpt.plan_cache.resize(len);
+  is.read(ckpt.plan_cache.data(), static_cast<std::streamsize>(len));
+  SWC_CHECK_MSG(is.good(), "checkpoint: truncated file: " << path);
+  return ckpt;
+}
+
+}  // namespace swcaffe::fault

@@ -1,0 +1,38 @@
+// swfault: versioned checkpoint of full trainer state.
+//
+// A checkpoint captures everything a crashed SSGD run needs to resume
+// bit-identically: the Solver iteration counter, packed parameters, the
+// per-parameter momentum buffers, the bounded-staleness carry-over gradient
+// (if one was pending) and the plan-cache reference, plus the fault seed so
+// a restarted run replays the identical fault schedule. The on-disk format
+// is magic + version; loading rejects unknown magics and future versions
+// with a diagnostic instead of misreading them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swcaffe::fault {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+struct Checkpoint {
+  std::int64_t iter = 0;
+  std::uint64_t fault_seed = 0;
+  std::vector<float> params;                 ///< packed net parameters
+  std::vector<std::vector<float>> history;   ///< solver momentum per param
+  std::vector<float> stale_grad;  ///< pending bounded-staleness gradient
+  std::int64_t stale_count = 0;   ///< nodes whose gradients are in stale_grad
+  std::string plan_cache;         ///< swtune plan-cache path ("" = none)
+};
+
+/// Writes `ckpt` to `path` (binary, versioned). Throws base::CheckError on
+/// I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Reads a checkpoint back. Throws base::CheckError on I/O failure, bad
+/// magic, or an unsupported version.
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace swcaffe::fault

@@ -1,0 +1,144 @@
+#include "fault/fault_spec.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "base/log.h"
+
+namespace swcaffe::fault {
+
+bool FaultSpec::network_enabled() const {
+  return drop_p > 0.0 || dup_p > 0.0 || delay_p > 0.0 || link_degrade > 1.0;
+}
+
+bool FaultSpec::dma_enabled() const {
+  return dma_fail_p > 0.0 || dma_degrade > 1.0;
+}
+
+bool FaultSpec::enabled() const {
+  return network_enabled() || dma_enabled() || !stragglers.empty() ||
+         crash_enabled();
+}
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  SWC_CHECK_MSG(end != value.c_str() && *end == '\0',
+                "fault spec: bad value \"" << value << "\" for " << key);
+  return v;
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  const double p = parse_double(key, value);
+  SWC_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                "fault spec: " << key << "=" << p << " is not a probability");
+  return p;
+}
+
+double parse_factor(const std::string& key, const std::string& value) {
+  const double f = parse_double(key, value);
+  SWC_CHECK_MSG(f >= 1.0, "fault spec: " << key << "=" << f
+                                         << " must be a slowdown >= 1");
+  return f;
+}
+
+void parse_clause(FaultSpec& spec, const std::string& clause) {
+  const std::size_t eq = clause.find('=');
+  SWC_CHECK_MSG(eq != std::string::npos,
+                "fault spec: clause \"" << clause << "\" is not key=value");
+  const std::string key = clause.substr(0, eq);
+  const std::string value = clause.substr(eq + 1);
+  if (key == "seed") {
+    spec.seed = static_cast<std::uint64_t>(
+        std::strtoull(value.c_str(), nullptr, 10));
+  } else if (key == "drop") {
+    spec.drop_p = parse_probability(key, value);
+  } else if (key == "dup") {
+    spec.dup_p = parse_probability(key, value);
+  } else if (key == "delay") {
+    spec.delay_p = parse_probability(key, value);
+  } else if (key == "delay_s") {
+    spec.delay_s = parse_double(key, value);
+    SWC_CHECK_MSG(spec.delay_s >= 0.0, "fault spec: delay_s must be >= 0");
+  } else if (key == "link") {
+    spec.link_degrade = parse_factor(key, value);
+  } else if (key == "dma") {
+    spec.dma_fail_p = parse_probability(key, value);
+  } else if (key == "dma_slow") {
+    spec.dma_degrade = parse_factor(key, value);
+  } else if (key == "straggler") {
+    const std::size_t x = value.find('x');
+    SWC_CHECK_MSG(x != std::string::npos,
+                  "fault spec: straggler wants NODExFACTOR, got \"" << value
+                                                                   << "\"");
+    StragglerSpec s;
+    s.node = std::atoi(value.substr(0, x).c_str());
+    s.factor = parse_factor("straggler", value.substr(x + 1));
+    SWC_CHECK_MSG(s.node >= 0, "fault spec: straggler node must be >= 0");
+    spec.stragglers.push_back(s);
+  } else if (key == "crash") {
+    const std::size_t at = value.find('@');
+    SWC_CHECK_MSG(at != std::string::npos,
+                  "fault spec: crash wants NODE@ITER, got \"" << value << "\"");
+    spec.crash_node = std::atoi(value.substr(0, at).c_str());
+    spec.crash_iter = std::atoi(value.substr(at + 1).c_str());
+    SWC_CHECK_MSG(spec.crash_node >= 0 && spec.crash_iter >= 0,
+                  "fault spec: crash node/iter must be >= 0");
+  } else {
+    SWC_CHECK_MSG(false, "fault spec: unknown key \"" << key << "\"");
+  }
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  if (spec.empty() || spec == "none") return out;
+  std::string clause;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ';' || spec[i] == ',') {
+      if (!clause.empty()) parse_clause(out, clause);
+      clause.clear();
+    } else if (spec[i] != ' ') {
+      clause += spec[i];
+    }
+  }
+  return out;
+}
+
+std::string to_string(const FaultSpec& spec) {
+  if (!spec.enabled()) return "none";
+  std::ostringstream os;
+  const char* sep = "";
+  auto clause = [&](const std::string& text) {
+    os << sep << text;
+    sep = ";";
+  };
+  auto num = [](double v) {
+    std::ostringstream s;
+    s << v;
+    return s.str();
+  };
+  if (spec.drop_p > 0) clause("drop=" + num(spec.drop_p));
+  if (spec.dup_p > 0) clause("dup=" + num(spec.dup_p));
+  if (spec.delay_p > 0) {
+    clause("delay=" + num(spec.delay_p));
+    clause("delay_s=" + num(spec.delay_s));
+  }
+  if (spec.link_degrade > 1.0) clause("link=" + num(spec.link_degrade));
+  if (spec.dma_fail_p > 0) clause("dma=" + num(spec.dma_fail_p));
+  if (spec.dma_degrade > 1.0) clause("dma_slow=" + num(spec.dma_degrade));
+  for (const StragglerSpec& s : spec.stragglers) {
+    clause("straggler=" + std::to_string(s.node) + "x" + num(s.factor));
+  }
+  if (spec.crash_enabled()) {
+    clause("crash=" + std::to_string(spec.crash_node) + "@" +
+           std::to_string(spec.crash_iter));
+  }
+  clause("seed=" + std::to_string(spec.seed));
+  return os.str();
+}
+
+}  // namespace swcaffe::fault

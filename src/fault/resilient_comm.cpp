@@ -1,0 +1,64 @@
+#include "fault/resilient_comm.h"
+
+#include "base/log.h"
+
+namespace swcaffe::fault {
+
+RecoveryCost charge_recovery(const topo::CostBreakdown& base,
+                             std::int64_t iter, FaultInjector& injector,
+                             const RetryPolicy& policy) {
+  SWC_CHECK_GT(policy.max_attempts, 0);
+  RecoveryCost out;
+  const FaultSpec& spec = injector.spec();
+  if (!spec.network_enabled() || base.alpha_terms == 0) return out;
+
+  // The base collective already charged alpha_terms rounds at healthy-link
+  // rates; recovery prices what the schedule adds on top.
+  const double per_round = base.seconds / base.alpha_terms;
+  // A degraded link stretches every round, including the first send.
+  if (spec.link_degrade > 1.0) {
+    out.seconds += base.seconds * (spec.link_degrade - 1.0);
+  }
+
+  FaultStats& stats = injector.stats();
+  for (int round = 0; round < base.alpha_terms; ++round) {
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+      stats.messages += 1;
+      const MessageFate fate = injector.message_fate(iter, round, attempt);
+      if (fate.delay_s > 0.0) {
+        out.seconds += fate.delay_s;
+        out.delays += 1;
+        stats.delays += 1;
+        injector.trace_inject("fault.delay");
+      }
+      if (fate.duplicated) {
+        // Receiver discards the copy; the wire still carried it.
+        out.seconds += per_round * spec.link_degrade;
+        out.duplicates += 1;
+        stats.duplicates += 1;
+        injector.trace_inject("fault.dup");
+      }
+      if (!fate.dropped) break;  // delivered
+      stats.drops += 1;
+      injector.trace_inject("fault.drop");
+      if (attempt + 1 == policy.max_attempts) {
+        // Out of retries: escalate to the reliable (acked, rendezvous)
+        // fallback, which always delivers but eats the full timeout.
+        out.seconds += policy.timeout_s;
+        out.escalations += 1;
+        stats.escalations += 1;
+        injector.trace_retry("fault.escalate");
+        break;
+      }
+      // Exponential backoff, then re-send the buffered round.
+      out.seconds += policy.backoff_base_s * static_cast<double>(1 << attempt) +
+                     per_round * spec.link_degrade;
+      out.retries += 1;
+      stats.retries += 1;
+      injector.trace_retry("fault.drop");
+    }
+  }
+  return out;
+}
+
+}  // namespace swcaffe::fault

@@ -1,0 +1,49 @@
+// swfault: resilient message delivery over the cost-model network.
+//
+// The functional all-reduce always produces the correct sums — what a lossy
+// network changes is *when* they arrive and how much wire time recovery
+// burns. charge_recovery() replays a collective's message rounds against
+// the fault schedule: dropped rounds are retried with exponential backoff
+// (priced at cost-model rates), duplicated rounds pay the wire twice,
+// delayed rounds add their latency, and a round that exhausts its retry
+// budget escalates to a reliable fallback that charges the full timeout.
+// Because escalation always delivers, every schedule is eventual-delivery:
+// faults change simulated time, never the reduced values.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/injector.h"
+#include "topo/allreduce.h"
+
+namespace swcaffe::fault {
+
+/// Retry discipline of the resilient send path.
+struct RetryPolicy {
+  int max_attempts = 6;          ///< sends per round before escalating
+  double backoff_base_s = 20e-6; ///< backoff before retry k is base * 2^k
+  double timeout_s = 0.5;        ///< charged when a round escalates
+  /// LDM resend-buffer budget per round; swcheck's retry rule verifies the
+  /// buffered round fits (see check::RetryPlan).
+  std::int64_t resend_buffer_bytes = 64 * 1024;
+};
+
+/// Extra simulated time a collective spent on fault recovery.
+struct RecoveryCost {
+  double seconds = 0.0;  ///< backoff + re-sends + delays + escalations
+  int retries = 0;
+  int escalations = 0;
+  int duplicates = 0;
+  int delays = 0;
+};
+
+/// Replays `base`'s alpha_terms message rounds of iteration `iter` against
+/// the injector's schedule and prices the recovery actions. Updates
+/// injector stats and emits "fault.inject" / "fault.retry" instants through
+/// the injector's tracer. Deterministic: depends only on (spec, iter,
+/// round, attempt).
+RecoveryCost charge_recovery(const topo::CostBreakdown& base,
+                             std::int64_t iter, FaultInjector& injector,
+                             const RetryPolicy& policy);
+
+}  // namespace swcaffe::fault

@@ -32,10 +32,11 @@ void DmaEngine::get(std::span<const double> src, std::span<double> dst,
   SWC_CHECK_EQ(src.size(), dst.size());
   std::copy(src.begin(), src.end(), dst.begin());
   const std::size_t bytes = src.size() * sizeof(double);
-  const double seconds = cost_->dma_time(bytes, n_cpes);
-  ledger_.dma_get_bytes += bytes;
+  const std::size_t n = static_cast<std::size_t>(issues(bytes));
+  const double seconds = degrade(cost_->dma_time(bytes, n_cpes)) * n;
+  ledger_.dma_get_bytes += bytes * n;
   ledger_.elapsed_s += seconds;
-  trace_transfer(*cost_, "dma.get", /*is_get=*/true, bytes, seconds);
+  trace_transfer(*cost_, "dma.get", /*is_get=*/true, bytes * n, seconds);
 }
 
 void DmaEngine::put(std::span<const double> src, std::span<double> dst,
@@ -43,10 +44,11 @@ void DmaEngine::put(std::span<const double> src, std::span<double> dst,
   SWC_CHECK_EQ(src.size(), dst.size());
   std::copy(src.begin(), src.end(), dst.begin());
   const std::size_t bytes = src.size() * sizeof(double);
-  const double seconds = cost_->dma_time(bytes, n_cpes);
-  ledger_.dma_put_bytes += bytes;
+  const std::size_t n = static_cast<std::size_t>(issues(bytes));
+  const double seconds = degrade(cost_->dma_time(bytes, n_cpes)) * n;
+  ledger_.dma_put_bytes += bytes * n;
   ledger_.elapsed_s += seconds;
-  trace_transfer(*cost_, "dma.put", /*is_get=*/false, bytes, seconds);
+  trace_transfer(*cost_, "dma.put", /*is_get=*/false, bytes * n, seconds);
 }
 
 void DmaEngine::get_strided(std::span<const double> src,
@@ -61,11 +63,15 @@ void DmaEngine::get_strided(std::span<const double> src,
                 dst.data() + b * block_len);
   }
   const std::size_t bytes = block_len * blocks * sizeof(double);
+  const std::size_t n = static_cast<std::size_t>(issues(bytes));
   const double seconds =
-      cost_->dma_strided_time(bytes, block_len * sizeof(double), n_cpes);
-  ledger_.dma_get_bytes += bytes;
+      degrade(cost_->dma_strided_time(bytes, block_len * sizeof(double),
+                                      n_cpes)) *
+      n;
+  ledger_.dma_get_bytes += bytes * n;
   ledger_.elapsed_s += seconds;
-  trace_transfer(*cost_, "dma.get_strided", /*is_get=*/true, bytes, seconds);
+  trace_transfer(*cost_, "dma.get_strided", /*is_get=*/true, bytes * n,
+                 seconds);
 }
 
 void DmaEngine::put_strided(std::span<const double> src, std::span<double> dst,
@@ -79,11 +85,15 @@ void DmaEngine::put_strided(std::span<const double> src, std::span<double> dst,
                 dst.data() + b * dst_stride);
   }
   const std::size_t bytes = block_len * blocks * sizeof(double);
+  const std::size_t n = static_cast<std::size_t>(issues(bytes));
   const double seconds =
-      cost_->dma_strided_time(bytes, block_len * sizeof(double), n_cpes);
-  ledger_.dma_put_bytes += bytes;
+      degrade(cost_->dma_strided_time(bytes, block_len * sizeof(double),
+                                      n_cpes)) *
+      n;
+  ledger_.dma_put_bytes += bytes * n;
   ledger_.elapsed_s += seconds;
-  trace_transfer(*cost_, "dma.put_strided", /*is_get=*/false, bytes, seconds);
+  trace_transfer(*cost_, "dma.put_strided", /*is_get=*/false, bytes * n,
+                 seconds);
 }
 
 }  // namespace swcaffe::hw

@@ -12,12 +12,30 @@
 
 namespace swcaffe::hw {
 
+/// Fault-injection hook for the DMA engine (implemented by swfault). A hook
+/// can declare a transfer transiently failed — the engine then re-issues it,
+/// charging the transfer cost and ledger bytes once per issue — and degrade
+/// throughput by a constant factor. With no hook installed every code path
+/// is bit-identical to the fault-free engine.
+class DmaFaultHook {
+ public:
+  virtual ~DmaFaultHook() = default;
+  /// Total issues (>= 1) this transfer needs; issues beyond the first are
+  /// re-issues after a transient failure.
+  virtual int attempts(std::size_t bytes) = 0;
+  /// Throughput degradation multiplier (>= 1) applied to every transfer.
+  virtual double slowdown() const { return 1.0; }
+};
+
 /// DMA engine of one core group. Transfers are described per CPE; `n_cpes`
 /// says how many CPEs issue the same-shaped transfer concurrently, which
 /// determines the achieved bandwidth (Fig. 2).
 class DmaEngine {
  public:
   explicit DmaEngine(const CostModel& cost) : cost_(&cost) {}
+
+  /// Installs (or clears, with nullptr) the fault hook.
+  void set_fault_hook(DmaFaultHook* hook) { fault_ = hook; }
 
   /// Contiguous main-memory -> LDM get of one CPE's block.
   void get(std::span<const double> src, std::span<double> dst, int n_cpes);
@@ -41,8 +59,17 @@ class DmaEngine {
   void reset_ledger() { ledger_ = TrafficLedger{}; }
 
  private:
+  /// Charged issues (>= 1) and degraded per-issue time for one transfer.
+  int issues(std::size_t bytes) {
+    return fault_ != nullptr ? fault_->attempts(bytes) : 1;
+  }
+  double degrade(double seconds) const {
+    return fault_ != nullptr ? seconds * fault_->slowdown() : seconds;
+  }
+
   const CostModel* cost_;
   TrafficLedger ledger_;
+  DmaFaultHook* fault_ = nullptr;
 };
 
 }  // namespace swcaffe::hw

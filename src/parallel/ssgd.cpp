@@ -39,15 +39,25 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
 
 double SsgdTrainer::step(std::span<const float> data,
                          std::span<const float> labels) {
+  std::vector<std::vector<float>> grads(num_nodes());
+  const double loss = forward_backward_packed(data, labels, grads);
+  allreduce(grads);
+  apply(grads);
+  return loss;
+}
+
+double SsgdTrainer::forward_backward_packed(
+    std::span<const float> data, std::span<const float> labels,
+    std::vector<std::vector<float>>& grads) {
   const int p = num_nodes();
   const std::size_t data_per_node = nets_[0]->blob("data")->count();
   const std::size_t labels_per_node = nets_[0]->blob("label")->count();
   SWC_CHECK_EQ(data.size(), data_per_node * p);
   SWC_CHECK_EQ(labels.size(), labels_per_node * p);
+  SWC_CHECK_EQ(grads.size(), static_cast<std::size_t>(p));
 
   double loss = 0.0;
   const std::size_t n = nets_[0]->param_count();
-  std::vector<std::vector<float>> grads(p);
   for (int r = 0; r < p; ++r) {
     core::Net& net = *nets_[r];
     auto d = net.blob("data")->data();
@@ -61,7 +71,11 @@ double SsgdTrainer::step(std::span<const float> data,
     grads[r].resize(n);
     net.pack_param_diffs(grads[r]);
   }
+  return loss / p;
+}
 
+const topo::CostBreakdown& SsgdTrainer::allreduce(
+    std::vector<std::vector<float>>& grads) {
   switch (options_.algo) {
     case AllreduceAlgo::kRhdAdjacent:
       last_comm_ = topo::allreduce_rhd(grads, topo_, options_.net,
@@ -84,7 +98,12 @@ double SsgdTrainer::step(std::span<const float> data,
                                                 tracer_, trace_track_);
       break;
   }
+  return last_comm_;
+}
 
+void SsgdTrainer::apply(std::vector<std::vector<float>>& grads) {
+  const int p = num_nodes();
+  SWC_CHECK_EQ(grads.size(), static_cast<std::size_t>(p));
   if (options_.average) {
     const float inv = 1.0f / p;
     for (auto& g : grads) {
@@ -95,7 +114,14 @@ double SsgdTrainer::step(std::span<const float> data,
     nets_[r]->unpack_param_diffs(grads[r]);
     solvers_[r]->apply_update();
   }
-  return loss / p;
+}
+
+void SsgdTrainer::apply_aggregate(std::span<const float> grad) {
+  SWC_CHECK_EQ(grad.size(), nets_[0]->param_count());
+  for (int r = 0; r < num_nodes(); ++r) {
+    nets_[r]->unpack_param_diffs(grad);
+    solvers_[r]->apply_update();
+  }
 }
 
 std::vector<ScalePoint> scalability_curve(

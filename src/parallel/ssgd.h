@@ -50,7 +50,29 @@ class SsgdTrainer {
   /// Returns the mean loss across nodes.
   double step(std::span<const float> data, std::span<const float> labels);
 
+  // --- Split-phase API (step() == the three phases in order; the
+  // fault-tolerant trainer interposes recovery between them) ----------------
+
+  /// Forward/backward on every replica; packs each node's gradients into
+  /// `grads[r]`. Returns the mean loss across nodes.
+  double forward_backward_packed(std::span<const float> data,
+                                 std::span<const float> labels,
+                                 std::vector<std::vector<float>>& grads);
+
+  /// In-place all-reduce of the packed per-node gradients with the
+  /// configured algorithm; also stored as last_comm().
+  const topo::CostBreakdown& allreduce(std::vector<std::vector<float>>& grads);
+
+  /// Scales (when averaging), unpacks and applies the SGD update per node.
+  void apply(std::vector<std::vector<float>>& grads);
+
+  /// Applies one already-combined gradient verbatim to every node (the
+  /// bounded-staleness path, where aggregation happened upstream).
+  void apply_aggregate(std::span<const float> grad);
+
   core::Net& node(int i) { return *nets_[i]; }
+  core::SgdSolver& solver(int i) { return *solvers_[i]; }
+  const SsgdOptions& options() const { return options_; }
   int num_nodes() const { return static_cast<int>(nets_.size()); }
   const topo::CostBreakdown& last_comm() const { return last_comm_; }
   int iter() const { return solvers_[0]->iter(); }

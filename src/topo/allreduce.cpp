@@ -73,6 +73,26 @@ void charge_fold(CostBreakdown& cost, const Topology& topo,
 
 }  // namespace
 
+namespace {
+
+/// Payload sanity shared by every cost path: negative byte counts are a
+/// caller bug (a silently wrapped size would price the collective at garbage
+/// rates), zero bytes is a degenerate-but-legal collective that costs
+/// nothing. Returns true when the payload is empty and the cost should
+/// clamp to the zero breakdown.
+bool clamp_empty_payload(const char* algorithm, std::int64_t bytes) {
+  SWC_CHECK_MSG(bytes >= 0, algorithm << ": negative payload (" << bytes
+                                      << " bytes); message sizes must be >= 0");
+  if (bytes == 0) {
+    SWC_LOG(kWarning,
+            algorithm << ": zero-byte payload, charging an empty collective");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 void trace_allreduce(trace::Tracer* tracer, int track, const char* algorithm,
                      const CostBreakdown& breakdown) {
   if (!tracer) return;
@@ -93,6 +113,7 @@ CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
                        trace::Tracer* tracer, int trace_track) {
   const int p = topo.num_nodes;
   CostBreakdown cost;
+  if (clamp_empty_payload("allreduce.rhd", bytes)) return cost;
   if (p == 1) return cost;
   if (!is_pow2(p)) {
     const int p2 = pow2_floor(p);
@@ -205,6 +226,7 @@ CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
                         trace::Tracer* tracer, int trace_track) {
   const int p = topo.num_nodes;
   CostBreakdown cost;
+  if (clamp_empty_payload("allreduce.ring", bytes)) return cost;
   if (p == 1) return cost;
   const double chunk = static_cast<double>(bytes) / p;
   double alpha = net.alpha + net.alpha_collective;
@@ -278,6 +300,7 @@ CostBreakdown cost_param_server(std::int64_t bytes, const Topology& topo,
   SWC_CHECK_GT(servers, 0);
   CostBreakdown cost;
   const int p = topo.num_nodes;
+  if (clamp_empty_payload("allreduce.param_server", bytes)) return cost;
   if (p == 1) return cost;
   // Every worker pushes its shard set; each server's single network port
   // serializes p incoming shards of bytes/servers (Sec. V-A: "receiving

@@ -13,6 +13,7 @@
 #include "check/rules.h"
 #include "check/verify.h"
 #include "core/models.h"
+#include "fixtures.h"
 #include "hw/chip.h"
 #include "hw/cost_model.h"
 #include "hw/ldm.h"
@@ -315,20 +316,20 @@ TEST(Agreement, BlockedImplicitPlanFitsWherePaperLayersNeedIt) {
 // --- Whole-net silence on the paper configurations ---------------------------
 
 TEST(NetCheck, PaperAlexNetIsSilent) {
-  const auto descs = core::describe_net_spec(core::alexnet_bn(256, 1000, 227));
+  const auto descs = fixtures::alexnet_descs();
   const Report report = verify_net(kCost, descs);
   EXPECT_TRUE(report.diagnostics().empty()) << report.summary();
 }
 
 TEST(NetCheck, PaperVgg16IsSilent) {
-  const auto descs = core::describe_net_spec(core::vgg(16, 128, 1000, 224));
+  const auto descs = fixtures::vgg_descs(16, 128);
   const Report report = verify_net(kCost, descs);
   EXPECT_TRUE(report.diagnostics().empty()) << report.summary();
 }
 
 TEST(NetCheck, EveryPaperLayerIsIndividuallySilent) {
   for (const auto& spec :
-       {core::alexnet_bn(256, 1000, 227), core::vgg(16, 128, 1000, 224)}) {
+       {fixtures::alexnet_spec(), fixtures::vgg_spec(16, 128)}) {
     bool saw_conv = false;
     for (const core::LayerDesc& d : core::describe_net_spec(spec)) {
       const bool first = d.kind == core::LayerKind::kConv && !saw_conv;
@@ -384,6 +385,72 @@ TEST(LdmStorage, CoreGroupResetRestoresEmptyInvariant) {
       EXPECT_TRUE(cg.ldm(i, j).empty());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Retry plans (swfault resilient send)
+
+RetryPlan sane_retry_plan() {
+  RetryPlan p;
+  p.name = "allreduce.resend";
+  p.round_bytes = 16 << 10;
+  p.resend_buffer_bytes = 32 << 10;
+  p.max_attempts = 4;
+  p.backoff_base_s = 20e-6;
+  p.round_time_s = 50e-6;
+  p.timeout_s = 0.5;
+  return p;
+}
+
+TEST(RetryRuleTest, SanePlanIsSilent) {
+  const Report report = verify_retry(sane_retry_plan());
+  EXPECT_TRUE(report.diagnostics().empty()) << report.summary();
+}
+
+TEST(RetryRuleTest, RoundLargerThanResendBufferIsAnError) {
+  RetryPlan p = sane_retry_plan();
+  p.round_bytes = p.resend_buffer_bytes + 1;
+  const Report report = verify_retry(p);
+  EXPECT_TRUE(report.has(Code::kRetryBufferOverflow)) << report.summary();
+}
+
+TEST(RetryRuleTest, ResendBufferBeyondLdmIsAnError) {
+  // The resend buffer is staged in the 64 KB CPE scratchpad; reserving more
+  // than the LDM can hold is a plan bug even if the round itself fits.
+  RetryPlan p = sane_retry_plan();
+  p.resend_buffer_bytes = static_cast<std::int64_t>(kHp.ldm_bytes) + 1;
+  p.round_bytes = 1 << 10;
+  const Report report = verify_retry(p);
+  EXPECT_TRUE(report.has(Code::kRetryBufferOverflow)) << report.summary();
+}
+
+TEST(RetryRuleTest, LadderSlowerThanEscalationIsAWarning) {
+  RetryPlan p = sane_retry_plan();
+  p.timeout_s = 1e-6;  // escalation fires before even the second attempt
+  const Report report = verify_retry(p);
+  EXPECT_TRUE(report.has(Code::kRetryTimeout)) << report.summary();
+  EXPECT_FALSE(report.has(Code::kRetryBufferOverflow));
+}
+
+TEST(RetryRuleTest, DegenerateGeometryIsInvalid) {
+  RetryPlan p = sane_retry_plan();
+  p.max_attempts = 0;
+  EXPECT_TRUE(verify_retry(p).has(Code::kGeomInvalid));
+  p = sane_retry_plan();
+  p.round_bytes = -1;
+  EXPECT_TRUE(verify_retry(p).has(Code::kGeomInvalid));
+  p = sane_retry_plan();
+  p.backoff_base_s = -1.0;
+  EXPECT_TRUE(verify_retry(p).has(Code::kGeomInvalid));
+}
+
+TEST(RetryRuleTest, WorstCaseSumsAttemptsAndGeometricBackoff) {
+  RetryPlan p = sane_retry_plan();
+  p.max_attempts = 3;
+  p.round_time_s = 1.0;
+  p.backoff_base_s = 0.5;
+  // 3 sends + backoff 0.5*(2^0 + 2^1) between them.
+  EXPECT_DOUBLE_EQ(p.worst_case_seconds(), 3.0 + 0.5 * 3.0);
 }
 
 }  // namespace

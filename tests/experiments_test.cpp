@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/models.h"
+#include "fixtures.h"
 #include "hw/cost_model.h"
 #include "parallel/ssgd.h"
 #include "perfmodel/device_model.h"
@@ -24,7 +25,7 @@ double sw_node_img_s(const core::NetSpec& quarter_spec, int full_batch) {
 double gpu_img_s(const core::NetSpec& spec, int batch) {
   const auto descs = core::describe_net_spec(spec);
   return perfmodel::device_throughput_img_s(perfmodel::k40m(), descs, batch,
-                                            4LL * batch * 3 * 227 * 227);
+                                            fixtures::imagenet_input_bytes(batch));
 }
 
 double cpu_img_s(const core::NetSpec& spec, int batch) {
@@ -148,8 +149,8 @@ TEST(Fig10, SpeedupBandsMatchPaper) {
                                                    opt, {1024});
     return curve[0].speedup;
   };
-  const std::int64_t alex_bytes = static_cast<std::int64_t>(232.6e6);
-  const std::int64_t resnet_bytes = static_cast<std::int64_t>(97.7e6);
+  const std::int64_t alex_bytes = fixtures::kAlexNetGradientBytes;
+  const std::int64_t resnet_bytes = fixtures::kResNet50GradientBytes;
   const double alex256 = speedup_at_1024(core::alexnet_bn(64), alex_bytes);
   const double alex64 = speedup_at_1024(core::alexnet_bn(16), alex_bytes);
   const double resnet32 = speedup_at_1024(core::resnet50(8), resnet_bytes);
@@ -169,9 +170,9 @@ TEST(Fig11, CommunicationFractionsMatchPaper) {
         cost, core::describe_net_spec(quarter), bytes, opt, {1024});
     return curve[0].comm_fraction;
   };
-  const double alex64 = frac(core::alexnet_bn(16), 232600000);
-  const double alex256 = frac(core::alexnet_bn(64), 232600000);
-  const double resnet32 = frac(core::resnet50(8), 97700000);
+  const double alex64 = frac(core::alexnet_bn(16), fixtures::kAlexNetGradientBytes);
+  const double alex256 = frac(core::alexnet_bn(64), fixtures::kAlexNetGradientBytes);
+  const double resnet32 = frac(core::resnet50(8), fixtures::kResNet50GradientBytes);
   EXPECT_GT(alex64, alex256);
   EXPECT_GT(alex256, resnet32);
   EXPECT_NEAR(alex64, 0.60, 0.22);
@@ -246,9 +247,9 @@ TEST(Fig7Ablation, RoundRobinBeatsAdjacentAtScale) {
   parallel::SsgdOptions adj, rr;
   adj.algo = parallel::AllreduceAlgo::kRhdAdjacent;
   rr.algo = parallel::AllreduceAlgo::kRhdRoundRobin;
-  const auto c_adj = parallel::scalability_curve(cost, descs, 232600000, adj,
+  const auto c_adj = parallel::scalability_curve(cost, descs, fixtures::kAlexNetGradientBytes, adj,
                                                  {1024});
-  const auto c_rr = parallel::scalability_curve(cost, descs, 232600000, rr,
+  const auto c_rr = parallel::scalability_curve(cost, descs, fixtures::kAlexNetGradientBytes, rr,
                                                 {1024});
   EXPECT_GT(c_rr[0].speedup, 1.5 * c_adj[0].speedup);
 }

@@ -8,6 +8,7 @@
 
 #include "base/rng.h"
 #include "core/models.h"
+#include "fixtures.h"
 #include "parallel/node_runner.h"
 #include "parallel/ssgd.h"
 #include "topo/allreduce.h"
@@ -309,10 +310,10 @@ TEST(FullStackTest, NodeRunnerSsgdMatchesBigBatchTraining) {
 
 TEST(ScalabilityTest, SpeedupGrowsAndCommFractionRises) {
   hw::CostModel cost;
-  const auto descs = core::describe_net_spec(core::alexnet_bn(64));  // B/4
+  const auto descs = fixtures::alexnet_per_cg_descs();  // B/4
   SsgdOptions opt;
-  const auto curve = scalability_curve(
-      cost, descs, 233 << 20, opt, {1, 4, 16, 64, 256, 1024});
+  const auto curve = scalability_curve(cost, descs, fixtures::kAlexNetGradientBytes,
+                                       opt, {1, 4, 16, 64, 256, 1024});
   ASSERT_EQ(curve.size(), 6u);
   for (std::size_t i = 1; i < curve.size(); ++i) {
     EXPECT_GT(curve[i].speedup, curve[i - 1].speedup);

@@ -2,12 +2,15 @@
 #include <gtest/gtest.h>
 
 #include "core/models.h"
+#include "fixtures.h"
 #include "perfmodel/device_model.h"
 
 namespace swcaffe::perfmodel {
 namespace {
 
-std::int64_t input_bytes(int batch) { return 4LL * batch * 3 * 227 * 227; }
+std::int64_t input_bytes(int batch) {
+  return fixtures::imagenet_input_bytes(batch);
+}
 
 TEST(DeviceModelTest, TableOneSpecs) {
   EXPECT_NEAR(k40m().peak_sp_flops, 4.29e12, 1e9);
@@ -22,8 +25,8 @@ TEST(DeviceModelTest, GpuBeatsCpuOnEveryNetwork) {
     core::NetSpec spec;
     int batch;
   };
-  const Cfg cfgs[] = {{core::alexnet_bn(256), 256},
-                      {core::vgg(16, 64), 64},
+  const Cfg cfgs[] = {{fixtures::alexnet_spec(), 256},
+                      {fixtures::vgg_spec(16), 64},
                       {core::resnet50(32), 32},
                       {core::googlenet(128), 128}};
   for (const auto& c : cfgs) {
@@ -39,7 +42,7 @@ TEST(DeviceModelTest, GpuBeatsCpuOnEveryNetwork) {
 TEST(DeviceModelTest, AlexNetGpuThroughputNearPaper) {
   // Table III: K40m AlexNet = 79.25 img/s; we accept the right decade and
   // a tight-ish band since this column is directly calibrated.
-  const auto descs = core::describe_net_spec(core::alexnet_bn(256));
+  const auto descs = core::describe_net_spec(fixtures::alexnet_spec());
   const double img_s =
       device_throughput_img_s(k40m(), descs, 256, input_bytes(256));
   EXPECT_NEAR(img_s, 79.25, 30.0);
@@ -48,7 +51,7 @@ TEST(DeviceModelTest, AlexNetGpuThroughputNearPaper) {
 TEST(DeviceModelTest, AlexNetGpuInputPipelineDominance) {
   // Sec. VI-B: "data reading ... accounts for over 40% of time" on AlexNet.
   const DeviceModel gpu = k40m();
-  const auto descs = core::describe_net_spec(core::alexnet_bn(256));
+  const auto descs = core::describe_net_spec(fixtures::alexnet_spec());
   double compute = 0.0;
   bool saw_conv = false;
   for (const auto& d : descs) {
@@ -64,25 +67,25 @@ TEST(DeviceModelTest, AlexNetGpuInputPipelineDominance) {
 TEST(DeviceModelTest, VggGpuSlowerThanAlexNetPerImage) {
   const DeviceModel gpu = k40m();
   const double alex = device_throughput_img_s(
-      gpu, core::describe_net_spec(core::alexnet_bn(256)), 256,
+      gpu, core::describe_net_spec(fixtures::alexnet_spec()), 256,
       input_bytes(256));
   const double vgg16 = device_throughput_img_s(
-      gpu, core::describe_net_spec(core::vgg(16, 64)), 64, input_bytes(64));
+      gpu, core::describe_net_spec(fixtures::vgg_spec(16)), 64, input_bytes(64));
   EXPECT_GT(alex, 3.0 * vgg16);  // Table III: 79.25 vs 13.79
 }
 
 TEST(DeviceModelTest, Vgg19SlowerThanVgg16) {
   const DeviceModel gpu = k40m();
   const double v16 = device_throughput_img_s(
-      gpu, core::describe_net_spec(core::vgg(16, 64)), 64, input_bytes(64));
+      gpu, core::describe_net_spec(fixtures::vgg_spec(16)), 64, input_bytes(64));
   const double v19 = device_throughput_img_s(
-      gpu, core::describe_net_spec(core::vgg(19, 64)), 64, input_bytes(64));
+      gpu, core::describe_net_spec(fixtures::vgg_spec(19)), 64, input_bytes(64));
   EXPECT_GT(v16, v19);
 }
 
 TEST(DeviceModelTest, CpuAlexNetNearPaper) {
   // Table III: CPU AlexNet = 12.01 img/s.
-  const auto descs = core::describe_net_spec(core::alexnet_bn(256));
+  const auto descs = core::describe_net_spec(fixtures::alexnet_spec());
   const double img_s = device_throughput_img_s(xeon_e5_2680v3(), descs, 256,
                                                input_bytes(256));
   EXPECT_NEAR(img_s, 12.01, 6.0);
@@ -92,7 +95,7 @@ TEST(DeviceModelTest, KnlSitsBetweenCpuAndGpuOnConvNets) {
   // The paper never benchmarks KNL, but Table I's specs put it above the
   // K40m in raw flops while Intel-Caffe efficiencies were below cuDNN's —
   // the model should land it between the Xeon and the K40m on VGG.
-  const auto descs = core::describe_net_spec(core::vgg(16, 64));
+  const auto descs = core::describe_net_spec(fixtures::vgg_spec(16));
   const double knl = device_throughput_img_s(knl_7250(), descs, 64, 0);
   const double cpu = device_throughput_img_s(xeon_e5_2680v3(), descs, 64, 0);
   const double gpu =

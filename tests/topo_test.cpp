@@ -2,13 +2,16 @@
 // exact Fig. 7 cost-coefficient invariants of the paper's contribution.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "base/log.h"
 #include "base/rng.h"
 #include "topo/allreduce.h"
 #include "topo/network_model.h"
 #include "topo/topology.h"
+#include "trace/tracer.h"
 
 namespace swcaffe::topo {
 namespace {
@@ -258,6 +261,113 @@ TEST(AllreduceCostTest, SingleNodeIsFree) {
   const auto expected = data[0];
   allreduce_rhd(data, topo, sunway_network(), Placement::kAdjacent);
   EXPECT_EQ(data[0], expected);
+}
+
+// --- Algorithm-agreement edge cases -----------------------------------------------
+
+TEST(AllreduceEdgeTest, RingAndRhdAgreeAtOneNode) {
+  // Both algorithms must degenerate to a free no-op on a single rank: no
+  // time, no traffic, payload untouched bit-for-bit.
+  Topology topo{1, 256};
+  const NetParams net = sunway_network();
+  using AllreduceFn = CostBreakdown (*)(std::vector<std::vector<float>>&,
+                                        const Topology&, const NetParams&,
+                                        Placement, trace::Tracer*, int);
+  const AllreduceFn fns[] = {&allreduce_ring, &allreduce_rhd};
+  for (AllreduceFn fn : fns) {
+    auto data = random_data(1, 23, 77);
+    const auto expected = data[0];
+    const CostBreakdown c = fn(data, topo, net, Placement::kAdjacent,
+                               nullptr, 0);
+    EXPECT_EQ(c.seconds, 0.0);
+    EXPECT_EQ(c.alpha_terms, 0);
+    EXPECT_EQ(c.beta1_bytes + c.beta2_bytes + c.gamma_bytes, 0.0);
+    EXPECT_EQ(data[0], expected);
+  }
+  EXPECT_EQ(cost_ring(1 << 20, topo, net, Placement::kAdjacent).seconds, 0.0);
+}
+
+TEST(AllreduceEdgeTest, RingAndRhdAgreeOnNonPowerOfTwoSums) {
+  // The fold/unfold path of RHD and the linear ring must compute the same
+  // elementwise sum for awkward rank counts (non-power-of-two, prime).
+  const NetParams net = sunway_network();
+  for (int p : {3, 5, 6, 7, 12, 13}) {
+    Topology topo{p, 4};
+    auto ring_data = random_data(p, 41, 9000 + p);
+    auto rhd_data = ring_data;  // identical inputs
+    const auto expected = column_sums(ring_data);
+    allreduce_ring(ring_data, topo, net, Placement::kAdjacent);
+    allreduce_rhd(rhd_data, topo, net, Placement::kAdjacent);
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(ring_data[r][i], expected[i], 1e-4) << "ring p=" << p;
+        ASSERT_NEAR(rhd_data[r][i], expected[i], 1e-4) << "rhd p=" << p;
+      }
+    }
+  }
+}
+
+TEST(AllreduceEdgeTest, NonPowerOfTwoCostsStayFiniteAndOrdered) {
+  // Analytic costs at awkward counts: positive, finite, and more ranks of
+  // the same message never make the ring cheaper (its latency is linear).
+  const NetParams net = sunway_network();
+  double prev_ring = 0.0;
+  for (int p : {3, 5, 6, 7, 12, 13}) {
+    Topology topo{p, 4};
+    const auto ring = cost_ring(1 << 20, topo, net, Placement::kAdjacent);
+    const auto rhd = cost_rhd(1 << 20, topo, net, Placement::kAdjacent);
+    EXPECT_GT(ring.seconds, 0.0) << p;
+    EXPECT_GT(rhd.seconds, 0.0) << p;
+    EXPECT_EQ(ring.alpha_terms, 2 * (p - 1)) << p;
+    EXPECT_GT(ring.seconds, prev_ring) << p;
+    prev_ring = ring.seconds;
+  }
+}
+
+// --- Degenerate payload handling --------------------------------------------------
+
+TEST(AllreducePayloadTest, ZeroBytePayloadIsClampedToEmptyBreakdown) {
+  Topology topo{8, 4};
+  const NetParams net = sunway_network();
+  for (const CostBreakdown& c :
+       {cost_ring(0, topo, net, Placement::kAdjacent),
+        cost_rhd(0, topo, net, Placement::kAdjacent),
+        cost_param_server(0, topo, net, 2)}) {
+    EXPECT_EQ(c.seconds, 0.0);
+    EXPECT_EQ(c.alpha_terms, 0);
+    EXPECT_EQ(c.beta1_bytes, 0.0);
+    EXPECT_EQ(c.beta2_bytes, 0.0);
+    EXPECT_EQ(c.gamma_bytes, 0.0);
+  }
+}
+
+TEST(AllreducePayloadTest, ZeroBytePayloadEmitsNoTraceSpan) {
+  // Consistent with the p==1 early-out: a degenerate collective must not
+  // fabricate a "comm.allreduce" span of zero duration.
+  Topology topo{8, 4};
+  const NetParams net = sunway_network();
+  trace::Tracer tracer;
+  cost_ring(0, topo, net, Placement::kAdjacent, &tracer, 0);
+  cost_rhd(0, topo, net, Placement::kAdjacent, &tracer, 0);
+  cost_param_server(0, topo, net, 2, &tracer, 0);
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(AllreducePayloadTest, NegativePayloadIsRejectedWithDiagnostic) {
+  Topology topo{8, 4};
+  const NetParams net = sunway_network();
+  EXPECT_THROW(cost_ring(-1, topo, net, Placement::kAdjacent),
+               base::CheckError);
+  EXPECT_THROW(cost_rhd(-4096, topo, net, Placement::kAdjacent),
+               base::CheckError);
+  EXPECT_THROW(cost_param_server(-1, topo, net, 2), base::CheckError);
+  try {
+    cost_ring(-7, topo, net, Placement::kAdjacent);
+    FAIL() << "negative payload must throw";
+  } catch (const base::CheckError& e) {
+    // The diagnostic names the offending size so the caller can find it.
+    EXPECT_NE(std::string(e.what()).find("-7"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "base/log.h"
 #include "core/models.h"
 #include "core/spec.h"
+#include "fixtures.h"
 #include "hw/chip.h"
 #include "hw/cost_model.h"
 #include "hw/dma.h"
@@ -327,7 +328,7 @@ TEST(TraceHwTest, MeshGemmNumbersBitIdenticalWithTracing) {
 // Layer estimates
 
 TEST(TraceLayerTest, EstimatesBitIdenticalWithTracing) {
-  const auto descs = core::describe_net_spec(core::alexnet_bn(2));
+  const auto descs = fixtures::alexnet_descs(2);
   hw::CostModel plain;
   trace::Tracer tracer;
   hw::CostModel traced;
@@ -346,7 +347,7 @@ TEST(TraceLayerTest, EstimatesBitIdenticalWithTracing) {
 }
 
 TEST(TraceLayerTest, ReportAggregatesMatchCostModelTable) {
-  const auto descs = core::describe_net_spec(core::alexnet_bn(2));
+  const auto descs = fixtures::alexnet_descs(2);
   trace::Tracer tracer;
   hw::CostModel cost;
   cost.set_tracer(&tracer, 0);

@@ -16,6 +16,7 @@
 #include "check/rules.h"
 #include "check/verify.h"
 #include "core/models.h"
+#include "fixtures.h"
 #include "hw/cost_model.h"
 #include "swdnn/conv_plan.h"
 #include "swgemm/estimate.h"
@@ -28,12 +29,10 @@ namespace swcaffe::tune {
 namespace {
 
 std::vector<core::LayerDesc> alexnet_descs() {
-  return core::describe_net_spec(core::alexnet_bn(128, 1000, 227));
+  return fixtures::alexnet_descs(128);
 }
 
-std::vector<core::LayerDesc> vgg16_descs() {
-  return core::describe_net_spec(core::vgg(16, 128, 1000, 224));
-}
+std::vector<core::LayerDesc> vgg16_descs() { return fixtures::vgg_descs(16, 128); }
 
 /// Re-derives the legality of one tuned direction from the outside, straight
 /// from the check:: builders (the same oracle the tuner consulted).
