@@ -1,0 +1,245 @@
+// Overlapped bucketed all-reduce vs the paper's serialized packed message.
+//
+// The paper (Sec. V-A) packs all gradients into one message and all-reduces
+// it after the whole backward pass — communication fully exposed. This
+// bench prices the bucketed alternative: tune_buckets searches the bucket
+// count per (net, node count), schedule_overlap hides each bucket's
+// collective under the remaining backward work, and the tables report how
+// much of the Fig. 10/11 communication share the overlap removes.
+//
+// Gate (CI perf-smoke): the overlapped VGG-16 B=128 iteration at 16 nodes
+// must be strictly faster than the serial one, or the bench exits 1.
+//
+// A wall-clock section exercises the multithreaded replica execution of
+// parallel::SsgdTrainer (8 functional replicas, serial vs a worker pool):
+// results must be bit-identical; the speedup gate only arms when the host
+// actually has cores to parallelize over.
+//
+//   bench_overlap [--json OUT] [--trace=out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "../tests/fixtures.h"
+#include "base/table.h"
+#include "base/units.h"
+#include "bench_json.h"
+#include "core/models.h"
+#include "hw/cost_model.h"
+#include "parallel/ssgd.h"
+#include "swdnn/layer_estimate.h"
+#include "topo/overlap.h"
+#include "trace/chrome_trace.h"
+#include "trace/tracer.h"
+#include "tune/bucket_tune.h"
+
+using namespace swcaffe;
+using base::TablePrinter;
+using base::fmt;
+
+namespace {
+
+struct Series {
+  const char* name;
+  core::NetSpec quarter;  ///< per-core-group spec (sub_batch / 4)
+  std::int64_t param_bytes;
+  bool gate;  ///< the CI perf gate runs on this series
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonBench json("bench_overlap", argc, argv);
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+
+  hw::CostModel cost;
+  const std::vector<int> nodes = {4, 16, 64, 256, 1024};
+  constexpr int kGateNodes = 16;
+
+  std::vector<Series> series;
+  series.push_back({"AlexNet B=256", core::alexnet_bn(64),
+                    fixtures::kAlexNetGradientBytes, false});
+  {
+    // VGG-16 B=128: the packed message is the spec's own parameter volume
+    // (the reduced-resolution zoo net; per-layer proportions are what the
+    // overlap schedule cares about).
+    core::NetSpec vgg = core::vgg(16, 32);
+    const std::int64_t bytes =
+        core::total_param_bytes(core::describe_net_spec(vgg));
+    series.push_back({"VGG-16 B=128", std::move(vgg), bytes, true});
+  }
+  series.push_back({"ResNet50 B=64", core::resnet50(16),
+                    fixtures::kResNet50GradientBytes, false});
+
+  const parallel::SsgdOptions opt;  // binomial RHD, round-robin, q = 256
+  bool gate_ok = true;
+  trace::Tracer tracer;
+
+  std::printf("=== Overlapped bucketed all-reduce vs serialized packed "
+              "message (tuned bucket count) ===\n");
+  for (const auto& s : series) {
+    const std::vector<core::LayerDesc> descs =
+        core::describe_net_spec(s.quarter);
+    const dnn::NetTimeline tl = dnn::estimate_net_timeline(cost, descs);
+    std::vector<std::int64_t> layer_bytes;
+    layer_bytes.reserve(descs.size());
+    for (const auto& d : descs) layer_bytes.push_back(d.param_bytes());
+    layer_bytes = topo::scale_layer_bytes(layer_bytes, s.param_bytes);
+
+    std::printf("\n--- %s (compute %s/iter, %.1f MB gradients) ---\n", s.name,
+                base::format_seconds(tl.total_s).c_str(),
+                static_cast<double>(s.param_bytes) / 1e6);
+    TablePrinter t({"nodes", "serial iter", "overlap iter", "buckets",
+                    "exposed comm", "comm hidden", "gain"});
+    for (int n : nodes) {
+      topo::Topology topo;
+      topo.num_nodes = n;
+      topo.supernode_size = opt.supernode_size;
+      const auto bucket_cost = [&](std::int64_t b) {
+        return topo::cost_rhd(b, topo, opt.net, topo::Placement::kRoundRobin);
+      };
+      tune::BucketTuneOptions bopts;
+      bopts.eager_limit = opt.net.eager_limit;
+      const tune::BucketChoice choice = tune::tune_buckets(
+          layer_bytes, tl.bwd_s, tl.total_s, bucket_cost, bopts);
+
+      const double serial_comm = choice.serial_s - tl.total_s;
+      const double hidden =
+          serial_comm > 0
+              ? 1.0 - choice.exposed_comm_s / serial_comm
+              : 1.0;
+      t.add_row({std::to_string(n),
+                 base::format_seconds(choice.serial_s),
+                 base::format_seconds(choice.overlapped_s),
+                 std::to_string(choice.buckets),
+                 base::format_seconds(choice.exposed_comm_s),
+                 fmt(100.0 * hidden, 1) + "%",
+                 fmt(choice.serial_s / choice.overlapped_s, 2) + "x"});
+
+      const std::string key =
+          bench::metric_key(s.name) + "_" + std::to_string(n) + "nodes";
+      json.metric(key + "_serial_s", choice.serial_s);
+      json.metric(key + "_overlap_s", choice.overlapped_s);
+      json.metric(key + "_buckets", choice.buckets);
+      json.metric(key + "_exposed_comm_s", choice.exposed_comm_s);
+      json.metric(key + "_exposed_fraction",
+                  choice.exposed_comm_s / choice.overlapped_s);
+      json.metric(key + "_overlap_gain",
+                  choice.serial_s / choice.overlapped_s);
+
+      if (s.gate && n == kGateNodes) {
+        if (!(choice.overlapped_s < choice.serial_s)) {
+          std::fprintf(stderr,
+                       "GATE FAILED: %s at %d nodes: overlapped %.6g s is "
+                       "not faster than serial %.6g s\n",
+                       s.name, n, choice.overlapped_s, choice.serial_s);
+          gate_ok = false;
+        }
+        json.metric("gate_overlap_s", choice.overlapped_s);
+        json.metric("gate_serial_s", choice.serial_s);
+
+        // Render the gate configuration as a Perfetto timeline: compute on
+        // track 0, the tuned bucket schedule on track 1 — the bucket spans
+        // visibly overlap the compute span.
+        const auto layout =
+            topo::make_buckets(layer_bytes, choice.buckets);
+        const topo::OverlapTimeline otl =
+            topo::schedule_overlap(layout, tl.bwd_s, tl.total_s, bucket_cost);
+        tracer.set_track_name(0, "node0 compute");
+        tracer.set_track_name(1, "network (bucketed all-reduce)");
+        tracer.set_clock(0, 0.0);
+        tracer.begin_span(0, s.name + std::string(" fwd+bwd"), "compute");
+        tracer.end_span(0, otl.compute_s);
+        topo::trace_overlap(&tracer, 1, otl);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  // --- Wall-clock: multithreaded replica execution --------------------------
+  {
+    constexpr int kReplicas = 8;
+    constexpr int kIters = 2;
+    const int threads = parallel::ThreadPool::hardware_threads();
+    const core::NetSpec spec = core::alexnet_bn(2, 10, 67);
+    core::SolverSpec solver;
+    parallel::SsgdOptions so;
+    so.threads = 1;
+    parallel::SsgdTrainer serial(spec, kReplicas, solver, so, 7);
+    so.threads = threads;
+    parallel::SsgdTrainer threaded(spec, kReplicas, solver, so, 7);
+
+    const std::size_t dpn = serial.node(0).blob("data")->count();
+    const std::size_t lpn = serial.node(0).blob("label")->count();
+    std::vector<float> data(dpn * kReplicas), labels(lpn * kReplicas);
+    base::Rng rng(11);
+    for (auto& v : data) v = rng.gaussian(0.0f, 1.0f);
+    for (auto& v : labels) v = static_cast<float>(rng.uniform_int(0, 9));
+
+    std::vector<std::vector<float>> g1(kReplicas), g2(kReplicas);
+    serial.forward_backward_packed(data, labels, g1);  // warm-up
+    threaded.forward_backward_packed(data, labels, g2);
+    double serial_s = 0.0, threaded_s = 0.0, loss1 = 0.0, loss2 = 0.0;
+    for (int i = 0; i < kIters; ++i) {
+      double t0 = now_s();
+      loss1 = serial.forward_backward_packed(data, labels, g1);
+      serial_s += now_s() - t0;
+      t0 = now_s();
+      loss2 = threaded.forward_backward_packed(data, labels, g2);
+      threaded_s += now_s() - t0;
+    }
+    serial_s /= kIters;
+    threaded_s /= kIters;
+    const double speedup = threaded_s > 0 ? serial_s / threaded_s : 1.0;
+    const bool identical = loss1 == loss2 && g1 == g2;
+    std::printf("\n=== Wall-clock: %d replicas, serial vs %d host threads "
+                "===\n",
+                kReplicas, threads);
+    std::printf("serial %s/iter, threaded %s/iter (%.2fx), results %s\n",
+                base::format_seconds(serial_s).c_str(),
+                base::format_seconds(threaded_s).c_str(), speedup,
+                identical ? "bit-identical" : "DIVERGED");
+    json.metric("wallclock_serial_s", serial_s);
+    json.metric("wallclock_threaded_s", threaded_s);
+    json.metric("wallclock_thread_speedup", speedup);
+    json.metric("wallclock_threads", threads);
+    if (!identical) {
+      std::fprintf(stderr, "GATE FAILED: threaded replica execution "
+                           "diverged from serial\n");
+      gate_ok = false;
+    }
+    // The 2x gate needs hardware: only arm it when the host has >= 8 cores
+    // (one per replica); containers pinned to 1 CPU still check identity.
+    if (threads >= kReplicas && speedup < 2.0) {
+      std::fprintf(stderr,
+                   "GATE FAILED: %d-thread speedup %.2fx < 2x on a "
+                   "%d-core host\n",
+                   threads, speedup, threads);
+      gate_ok = false;
+    }
+  }
+
+  if (!trace_path.empty()) {
+    trace::save_chrome_trace(tracer, trace_path);
+    std::printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  std::printf("\n%s\n", gate_ok ? "overlap gate: PASS" : "overlap gate: FAIL");
+  return gate_ok ? 0 : 1;
+}

@@ -102,6 +102,38 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  std::printf("\n=== Overlapped series: bucketed all-reduce hides comm "
+              "under backward (8 buckets) ===\n");
+  {
+    parallel::SsgdOptions oopt;  // same algo/topology, bucketed
+    oopt.buckets = 8;
+    std::vector<std::string> header{"nodes"};
+    for (const auto& s : series) header.push_back(s.name);
+    TablePrinter t(header);
+    std::vector<std::vector<parallel::ScalePoint>> curves;
+    for (const auto& s : series) {
+      curves.push_back(parallel::scalability_curve(
+          cost, core::describe_net_spec(s.quarter), s.param_bytes, oopt,
+          nodes));
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::vector<std::string> row{std::to_string(nodes[i])};
+      for (const auto& c : curves) {
+        row.push_back(fmt(c[i].overlap_speedup, 1) + "x");
+      }
+      t.add_row(row);
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        const std::string key = bench::metric_key(series[s].name) + "_" +
+                                std::to_string(nodes[i]) + "nodes";
+        json.metric(key + "_overlap_speedup", curves[s][i].overlap_speedup);
+        json.metric(key + "_exposed_comm_s", curves[s][i].exposed_comm_s);
+      }
+    }
+    t.print(std::cout);
+    std::printf("(serial Fig. 10 speedups above; the overlapped series can "
+                "only match or beat them)\n");
+  }
+
   std::printf("\n=== Ablation: placement and algorithm at 1024 nodes "
               "(AlexNet B=256) ===\n");
   {

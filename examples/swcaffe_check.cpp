@@ -75,6 +75,7 @@ void print_codes() {
       Code::kRlcUnmatched,     Code::kImplicitUnsupported,
       Code::kImplicitDegraded, Code::kPlanInconsistent, Code::kGeomInvalid,
       Code::kRetryBufferOverflow, Code::kRetryTimeout,
+      Code::kBucketOrder,      Code::kBucketResendOverflow,
   };
   static const char* kDesc[] = {
       "per-CPE working set exceeds the 64 KB LDM",
@@ -93,6 +94,8 @@ void print_codes() {
       "invalid geometry (empty output, indivisible groups, ...)",
       "resilient-send resend buffer cannot hold the round / exceeds LDM",
       "retry ladder cannot finish before the escalation timeout",
+      "all-reduce buckets do not tile the layers in order / lose bytes",
+      "a bucket's buffered round exceeds the resend buffer / LDM",
   };
   std::printf("%-22s %s\n", "code", "meaning");
   for (std::size_t i = 0; i < std::size(kAll); ++i) {

@@ -5,6 +5,7 @@
 // Usage:
 //   swcaffe_time [--model M] [--iterations N] [--batch B]
 //                [--tune] [--plan-cache FILE] [--json OUT]
+//                [--threads N] [--replicas R]
 //                [--trace=out.json] [--trace-report]
 //   swcaffe_time <net.prototxt | alexnet | vgg16 | vgg19 | resnet50 |
 //                 googlenet> [iterations] [batch]        (legacy positional)
@@ -18,6 +19,12 @@
 // --trace-report prints the per-layer aggregate table from the same spans.
 // Zoo models run at reduced resolution functionally; the simulated column is
 // computed for the shapes actually instantiated.
+//
+// --threads N adds a wall-clock section: R model replicas (--replicas,
+// default 8) run their forward/backward serially and then on N host worker
+// threads; the replica losses must match bitwise and the section reports
+// the measured speedup. This is the multithreaded replica execution the
+// distributed trainer uses, measured in isolation.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +38,7 @@
 #include "core/net.h"
 #include "core/proto.h"
 #include "hw/cost_model.h"
+#include "parallel/ssgd.h"
 #include "swdnn/layer_estimate.h"
 #include "trace/chrome_trace.h"
 #include "trace/report.h"
@@ -86,6 +94,8 @@ int main(int argc, char** argv) {
   bool trace_report = false;
   bool tune = false;
   std::string plan_cache;
+  int threads = 1;
+  int replicas = 8;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +110,10 @@ int main(int argc, char** argv) {
       trace_path = v;
     } else if (flag_value(argc, argv, i, "--plan-cache", v)) {
       plan_cache = v;
+    } else if (flag_value(argc, argv, i, "--threads", v)) {
+      threads = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--replicas", v)) {
+      replicas = std::atoi(v.c_str());
     } else if (flag_value(argc, argv, i, "--json", v)) {
       // Value re-parsed by JsonBench; consumed here so it isn't positional.
     } else if (std::strcmp(argv[i], "--tune") == 0) {
@@ -246,6 +260,57 @@ int main(int argc, char** argv) {
       trace::save_chrome_trace(tracer, trace_path);
       std::printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n",
                   trace_path.c_str());
+    }
+  }
+
+  // --- Multithreaded replica section (--threads) ---------------------------
+  if (threads > 1) {
+    core::SolverSpec solver;
+    parallel::SsgdOptions so;
+    so.threads = 1;
+    parallel::SsgdTrainer serial(spec, replicas, solver, so, 7);
+    so.threads = threads;
+    parallel::SsgdTrainer threaded(spec, replicas, solver, so, 7);
+
+    const std::size_t dpn = serial.node(0).blob("data")->count();
+    const std::size_t lpn = serial.node(0).blob("label")->count();
+    std::vector<float> data(dpn * replicas), labels(lpn * replicas);
+    base::Rng brng(11);
+    for (auto& v : data) v = brng.gaussian(0.0f, 1.0f);
+    for (auto& v : labels) v = static_cast<float>(brng.uniform_int(0, 9));
+
+    std::vector<std::vector<float>> g1(replicas), g2(replicas);
+    // Warm-up (buffer allocation, pool spin-up), then timed passes.
+    serial.forward_backward_packed(data, labels, g1);
+    threaded.forward_backward_packed(data, labels, g2);
+    double serial_s = 0.0, threaded_s = 0.0, loss1 = 0.0, loss2 = 0.0;
+    for (int i = 0; i < iterations; ++i) {
+      double t = now_s();
+      loss1 = serial.forward_backward_packed(data, labels, g1);
+      serial_s += now_s() - t;
+      t = now_s();
+      loss2 = threaded.forward_backward_packed(data, labels, g2);
+      threaded_s += now_s() - t;
+    }
+    serial_s /= iterations;
+    threaded_s /= iterations;
+    const bool identical = loss1 == loss2 && g1 == g2;
+    std::printf("\n%d replicas, forward/backward per iteration:\n", replicas);
+    std::printf("  serial:            %s\n",
+                base::format_seconds(serial_s).c_str());
+    std::printf("  %2d host threads:   %s (%.2fx, results %s)\n", threads,
+                base::format_seconds(threaded_s).c_str(),
+                threaded_s > 0 ? serial_s / threaded_s : 1.0,
+                identical ? "bit-identical" : "DIVERGED");
+    bench.metric("replica_serial_s", serial_s);
+    bench.metric("replica_threaded_s", threaded_s);
+    bench.metric("thread_speedup",
+                 threaded_s > 0 ? serial_s / threaded_s : 1.0);
+    bench.metric("threads", static_cast<double>(threads));
+    if (!identical) {
+      std::fprintf(stderr,
+                   "threaded replica results diverged from serial\n");
+      return 1;
     }
   }
   return 0;

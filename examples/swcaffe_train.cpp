@@ -8,6 +8,7 @@
 //                 [--tune] [--plan-cache FILE] [--json OUT]
 //                 [--trace=out.json] [--trace-report]
 //                 [--faults=SPEC] [--seed N] [--nodes N]
+//                 [--buckets N] [--threads N]
 //                 [--checkpoint-every N] [--checkpoint-prefix PATH]
 // With no (positional) arguments a built-in demo net is used. --tune runs
 // the swtune plan search before training (every core-group replica executes
@@ -25,6 +26,11 @@
 // with retry/backoff on lossy sends, straggler-aware bounded-staleness
 // aggregation, and - with --checkpoint-every - periodic checkpoints that
 // crashed runs restart from. --seed overrides the spec's schedule seed.
+// --buckets splits the packed gradient into N layer-aligned all-reduce
+// buckets (bit-identical weights for any N; the overlap model prices the
+// hidden communication) and --threads runs the replica forward/backward
+// loop on N host threads (wall-clock only, bit-identical results); both
+// apply to the --faults distributed path.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,12 +97,15 @@ float det_uniform(std::uint64_t iter, std::uint64_t idx, std::uint64_t salt) {
 /// seeded schedule of `spec`.
 int run_fault_tolerant(const core::NetSpec& net_spec,
                        const core::SolverSpec& solver_spec, int iterations,
-                       int nodes, const fault::FaultSpec& spec,
-                       int checkpoint_every, const std::string& ckpt_prefix,
+                       int nodes, int buckets, int threads,
+                       const fault::FaultSpec& spec, int checkpoint_every,
+                       const std::string& ckpt_prefix,
                        const std::string& trace_path,
                        bench::JsonBench& bench) {
   fault::FtOptions opt;
   opt.faults = spec;
+  opt.ssgd.buckets = buckets;
+  opt.ssgd.threads = threads;
   opt.checkpoint_every = checkpoint_every;
   opt.checkpoint_prefix = ckpt_prefix;
   fault::FtSsgdTrainer trainer(net_spec, nodes, solver_spec, opt);
@@ -179,6 +188,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool have_seed = false;
   int nodes = 4;
+  int buckets = 1;
+  int threads = 1;
   int checkpoint_every = 0;
   std::string checkpoint_prefix = "swcaffe_train.ckpt";
   std::vector<char*> positional;
@@ -211,6 +222,14 @@ int main(int argc, char** argv) {
       nodes = std::atoi(argv[i] + 8);
     } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       nodes = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--buckets=", 10) == 0) {
+      buckets = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--buckets") == 0 && i + 1 < argc) {
+      buckets = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
       checkpoint_every = std::atoi(argv[i] + 19);
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
@@ -248,9 +267,9 @@ int main(int argc, char** argv) {
   if (have_faults) {
     fault::FaultSpec spec = fault::parse_fault_spec(faults);
     if (have_seed) spec.seed = seed;
-    return run_fault_tolerant(net_spec, solver_spec, iterations, nodes, spec,
-                              checkpoint_every, checkpoint_prefix, trace_path,
-                              bench);
+    return run_fault_tolerant(net_spec, solver_spec, iterations, nodes,
+                              buckets, threads, spec, checkpoint_every,
+                              checkpoint_prefix, trace_path, bench);
   }
 
   // The dataset must match the net's data blob.

@@ -52,6 +52,10 @@ const char* code_name(Code c) {
       return "retry-buffer-overflow";
     case Code::kRetryTimeout:
       return "retry-timeout";
+    case Code::kBucketOrder:
+      return "bucket-order";
+    case Code::kBucketResendOverflow:
+      return "bucket-resend-overflow";
   }
   return "?";
 }

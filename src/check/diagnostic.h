@@ -44,6 +44,11 @@ enum class Code {
   // --- Fault-tolerance retry plans (swfault) -------------------------------
   kRetryBufferOverflow, ///< buffered resend round exceeds its LDM budget
   kRetryTimeout,        ///< retry ladder cannot complete before escalation
+  // --- Bucketed all-reduce plans (topo/overlap) ----------------------------
+  kBucketOrder,          ///< buckets do not tile the layers in order, or an
+                         ///< empty bucket / byte-conservation violation
+  kBucketResendOverflow, ///< a bucket's buffered round exceeds the resend
+                         ///< buffer of the resilient send path
 };
 
 /// Stable short identifier, e.g. "ldm-overflow".

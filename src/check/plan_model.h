@@ -205,6 +205,34 @@ struct RetryPlan {
   double worst_case_seconds() const;
 };
 
+// --- Bucketed all-reduce plans ----------------------------------------------
+
+/// One layer-aligned bucket of a bucketed gradient all-reduce (the overlap
+/// schedule of topo/overlap.h viewed as checkable data).
+struct BucketSpan {
+  int first_layer = 0;
+  int last_layer = 0;      ///< inclusive
+  std::int64_t bytes = 0;  ///< gradient bytes the bucket's collective moves
+};
+
+/// A bucketed gradient all-reduce plan: buckets must tile the net's layers
+/// in order (contiguous, non-overlapping, covering [0, num_layers)), carry
+/// positive byte volumes that conserve the packed-message total, and — when
+/// the plan composes with a resilient send path — each bucket's buffered
+/// round must fit the resend buffer.
+struct BucketPlan {
+  std::string name;
+  int num_layers = 0;
+  std::vector<BucketSpan> buckets;
+  std::int64_t total_bytes = 0;  ///< packed message size (0 = don't check)
+  /// Eager-protocol cutoff: a bucket's buffered round is
+  /// min(bucket bytes, eager_limit) — larger rounds go rendezvous and
+  /// re-send from the source buffer. 0 means every round is fully buffered.
+  std::int64_t eager_limit = 0;
+  /// Resend buffer the rounds must fit (0 = no resilient path, skip rule).
+  std::int64_t resend_buffer_bytes = 0;
+};
+
 // --- Builders: topo all-reduce ----------------------------------------------
 
 /// Send/receive schedule of recursive halving + doubling over `num_nodes`

@@ -289,4 +289,85 @@ void check_retry(const RetryPlan& plan, const hw::HwParams& hp,
   (void)opts;
 }
 
+void check_buckets(const BucketPlan& plan, const hw::HwParams& hp,
+                   const Options& opts, const std::string& layer,
+                   Report* report) {
+  if (plan.num_layers <= 0 || plan.buckets.empty() || plan.eager_limit < 0 ||
+      plan.resend_buffer_bytes < 0) {
+    report->add(Code::kGeomInvalid, Severity::kError, layer,
+                plan.name + ": bucket plan needs num_layers >= 1, at least "
+                            "one bucket and non-negative buffer sizes");
+    return;
+  }
+  int expect = 0;  // next layer a bucket must start at
+  std::int64_t sum_bytes = 0;
+  for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
+    const BucketSpan& s = plan.buckets[b];
+    const std::string tag = plan.name + ": bucket " + std::to_string(b);
+    if (s.first_layer != expect || s.last_layer < s.first_layer ||
+        s.last_layer >= plan.num_layers) {
+      report->add(Code::kBucketOrder, Severity::kError, layer,
+                  tag + " spans layers [" + std::to_string(s.first_layer) +
+                      ", " + std::to_string(s.last_layer) +
+                      "] but must start at layer " + std::to_string(expect) +
+                      "; buckets have to tile the net in layer order "
+                      "(gradients of a layer belong to exactly one bucket)");
+      return;  // later order checks would cascade off a broken boundary
+    }
+    // A zero-byte bucket is an empty collective (pure alpha waste) — but a
+    // parameterless net (total_bytes == 0) legitimately degenerates to one
+    // empty bucket, so only a plan that HAS bytes to distribute is held to
+    // the non-empty rule.
+    if (s.bytes < 0 || (s.bytes == 0 && plan.total_bytes > 0)) {
+      report->add(Code::kBucketOrder, Severity::kError, layer,
+                  tag + " carries " + std::to_string(s.bytes) +
+                      " gradient bytes; an empty bucket is a zero-byte "
+                      "collective and must be merged with a neighbour");
+    }
+    sum_bytes += s.bytes;
+    expect = s.last_layer + 1;
+  }
+  if (expect != plan.num_layers) {
+    report->add(Code::kBucketOrder, Severity::kError, layer,
+                plan.name + ": buckets cover layers [0, " +
+                    std::to_string(expect) + ") of " +
+                    std::to_string(plan.num_layers) +
+                    "; every layer's gradient needs a bucket");
+  }
+  if (plan.total_bytes > 0 && sum_bytes != plan.total_bytes) {
+    report->add(Code::kBucketOrder, Severity::kError, layer,
+                plan.name + ": buckets sum to " + std::to_string(sum_bytes) +
+                    " B but the packed message is " +
+                    std::to_string(plan.total_bytes) +
+                    " B; bucketing must conserve gradient bytes");
+  }
+  if (plan.resend_buffer_bytes > 0) {
+    // Composition with the resilient send path: what must stay buffered per
+    // round is the eager slice of the LARGEST bucket (bigger rounds go
+    // rendezvous and re-send from the source buffer, same as check_retry).
+    for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
+      const std::int64_t round =
+          plan.eager_limit > 0
+              ? std::min(plan.buckets[b].bytes, plan.eager_limit)
+              : plan.buckets[b].bytes;
+      if (round > plan.resend_buffer_bytes) {
+        report->add(Code::kBucketResendOverflow, Severity::kError, layer,
+                    plan.name + ": bucket " + std::to_string(b) +
+                        " buffers a " + std::to_string(round) +
+                        " B round but the resend buffer holds " +
+                        std::to_string(plan.resend_buffer_bytes) +
+                        " B; a dropped bucket round could not be re-sent");
+      }
+    }
+    if (plan.resend_buffer_bytes > static_cast<std::int64_t>(hp.ldm_bytes)) {
+      report->add(Code::kBucketResendOverflow, Severity::kError, layer,
+                  plan.name + ": resend buffer of " +
+                      std::to_string(plan.resend_buffer_bytes) +
+                      " B exceeds the " + std::to_string(hp.ldm_bytes) +
+                      " B CPE scratchpad");
+    }
+  }
+  (void)opts;
+}
+
 }  // namespace swcaffe::check

@@ -47,4 +47,15 @@ void check_retry(const RetryPlan& plan, const hw::HwParams& hp,
                  const Options& opts, const std::string& layer,
                  Report* report);
 
+/// Bucketed all-reduce soundness (topo/overlap): buckets must tile the
+/// net's layers in order — contiguous, non-overlapping, covering exactly
+/// [0, num_layers) — with positive byte volumes that sum to the packed
+/// message (bucket-order, error). When the plan composes with a resilient
+/// send path (resend_buffer_bytes > 0), each bucket's buffered round
+/// min(bytes, eager_limit) must fit the resend buffer and the buffer must
+/// fit the CPE scratchpad (bucket-resend-overflow, error).
+void check_buckets(const BucketPlan& plan, const hw::HwParams& hp,
+                   const Options& opts, const std::string& layer,
+                   Report* report);
+
 }  // namespace swcaffe::check

@@ -370,4 +370,12 @@ Report verify_retry(const RetryPlan& plan, const Options& opts) {
   return report;
 }
 
+Report verify_buckets(const BucketPlan& plan, const Options& opts) {
+  Report report;
+  const hw::HwParams hp;
+  check_buckets(plan, hp, opts, plan.name.empty() ? "buckets" : plan.name,
+                &report);
+  return report;
+}
+
 }  // namespace swcaffe::check

@@ -75,4 +75,8 @@ Report verify_allreduce(const std::string& algorithm, int num_nodes,
 /// the default SW26010 LDM budget. See check_retry for the rules.
 Report verify_retry(const RetryPlan& plan, const Options& opts = {});
 
+/// Bucketed all-reduce plan check (topo/overlap bucket layouts): verifies
+/// against the default SW26010 LDM budget. See check_buckets for the rules.
+Report verify_buckets(const BucketPlan& plan, const Options& opts = {});
+
 }  // namespace swcaffe::check

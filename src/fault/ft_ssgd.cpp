@@ -64,6 +64,24 @@ FtSsgdTrainer::FtSsgdTrainer(const core::NetSpec& spec, int num_nodes,
   if (report.warning_count() > 0) {
     SWC_LOG(kWarning, "swcheck: " << report.summary());
   }
+
+  // The trainer already verified its bucket layout geometrically; re-verify
+  // here WITH the resend buffer so a bucket whose buffered round cannot be
+  // staged for retry is rejected before any iteration runs.
+  check::BucketPlan bplan;
+  bplan.name = "ft-buckets";
+  bplan.num_layers = 0;
+  for (const auto& b : ssgd_.bucket_layout()) {
+    bplan.num_layers = std::max(bplan.num_layers, b.last_layer + 1);
+    bplan.buckets.push_back({b.first_layer, b.last_layer, b.bytes});
+  }
+  bplan.total_bytes = msg_bytes;
+  bplan.eager_limit = net.eager_limit;
+  bplan.resend_buffer_bytes = options_.retry.resend_buffer_bytes;
+  const check::Report breport = check::verify_buckets(bplan);
+  SWC_CHECK_MSG(breport.ok(),
+                "swcheck rejected the bucket plan: " << breport.summary());
+
   initial_ = capture();
 }
 
@@ -162,10 +180,25 @@ StepResult FtSsgdTrainer::step(std::span<const float> data,
   if (late.empty()) {
     // --- Synchronous path (the common case) --------------------------------
     // The REAL functional all-reduce runs, so float-summation order — and
-    // therefore every weight bit — matches the fault-free trainer.
-    const topo::CostBreakdown& comm = ssgd_.allreduce(grads);
-    const RecoveryCost rec = charge_recovery(comm, it, injector_,
-                                             options_.retry);
+    // therefore every weight bit — matches the fault-free trainer. With
+    // buckets the collective is replayed bucket by bucket in network service
+    // order, each against its own slice of the fault schedule (cumulative
+    // round offsets keep the coordinates distinct); one bucket reproduces
+    // the unbucketed recovery bit-for-bit.
+    RecoveryCost rec;
+    int round_offset = 0;
+    for (int b = ssgd_.num_buckets() - 1; b >= 0; --b) {
+      const topo::CostBreakdown& bc = ssgd_.allreduce_bucket(grads, b);
+      const RecoveryCost r =
+          charge_recovery(bc, it, injector_, options_.retry, round_offset);
+      rec.seconds += r.seconds;
+      rec.retries += r.retries;
+      rec.escalations += r.escalations;
+      rec.duplicates += r.duplicates;
+      rec.delays += r.delays;
+      round_offset += bc.alpha_terms;
+    }
+    const topo::CostBreakdown& comm = ssgd_.last_comm();
     res.recovery_s = rec.seconds;
     res.retries = rec.retries;
     res.sim_seconds = slowest + comm.seconds + rec.seconds;

@@ -6,8 +6,9 @@ namespace swcaffe::fault {
 
 RecoveryCost charge_recovery(const topo::CostBreakdown& base,
                              std::int64_t iter, FaultInjector& injector,
-                             const RetryPolicy& policy) {
+                             const RetryPolicy& policy, int round_offset) {
   SWC_CHECK_GT(policy.max_attempts, 0);
+  SWC_CHECK_GE(round_offset, 0);
   RecoveryCost out;
   const FaultSpec& spec = injector.spec();
   if (!spec.network_enabled() || base.alpha_terms == 0) return out;
@@ -24,7 +25,8 @@ RecoveryCost charge_recovery(const topo::CostBreakdown& base,
   for (int round = 0; round < base.alpha_terms; ++round) {
     for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
       stats.messages += 1;
-      const MessageFate fate = injector.message_fate(iter, round, attempt);
+      const MessageFate fate =
+          injector.message_fate(iter, round_offset + round, attempt);
       if (fate.delay_s > 0.0) {
         out.seconds += fate.delay_s;
         out.delays += 1;

@@ -41,9 +41,13 @@ struct RecoveryCost {
 /// the injector's schedule and prices the recovery actions. Updates
 /// injector stats and emits "fault.inject" / "fault.retry" instants through
 /// the injector's tracer. Deterministic: depends only on (spec, iter,
-/// round, attempt).
+/// round, attempt). `round_offset` shifts the round coordinate — callers
+/// replaying one collective as several bucketed sub-collectives pass each
+/// bucket's cumulative starting round so no two buckets share a coordinate
+/// (with offset 0 and a single collective this is the classic behavior,
+/// bit-identical to before the parameter existed).
 RecoveryCost charge_recovery(const topo::CostBreakdown& base,
                              std::int64_t iter, FaultInjector& injector,
-                             const RetryPolicy& policy);
+                             const RetryPolicy& policy, int round_offset = 0);
 
 }  // namespace swcaffe::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "check/verify.h"
 #include "swdnn/layer_estimate.h"
 
 namespace swcaffe::parallel {
@@ -26,14 +27,67 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
                          const SsgdOptions& options, std::uint64_t seed)
     : options_(options) {
   SWC_CHECK_GT(num_nodes, 0);
+  SWC_CHECK_GT(options.buckets, 0);
+  SWC_CHECK_GT(options.threads, 0);
   topo_.num_nodes = num_nodes;
   topo_.supernode_size = options.supernode_size;
+  // Topology placement depends only on the configured algorithm; computed
+  // once here and reused by every allreduce() call.
+  switch (options_.algo) {
+    case AllreduceAlgo::kRhdAdjacent:
+    case AllreduceAlgo::kRing:
+    case AllreduceAlgo::kParamServer:
+      placement_ = topo::Placement::kAdjacent;
+      break;
+    case AllreduceAlgo::kRhdRoundRobin:
+      placement_ = topo::Placement::kRoundRobin;
+      break;
+  }
   for (int i = 0; i < num_nodes; ++i) {
     nets_.push_back(std::make_unique<core::Net>(spec, seed));
   }
   for (int i = 1; i < num_nodes; ++i) nets_[i]->copy_params_from(*nets_[0]);
   for (int i = 0; i < num_nodes; ++i) {
     solvers_.push_back(std::make_unique<core::SgdSolver>(*nets_[i], solver));
+  }
+
+  // Bucket layout over the replica's LIVE layers (pack_param_diffs packs in
+  // layer order, so cumulative per-layer counts are exactly the bucket
+  // offsets into the packed message).
+  std::vector<std::int64_t> layer_bytes;
+  std::vector<std::size_t> layer_offset;  // float offset of each layer
+  std::size_t off = 0;
+  for (const auto& l : nets_[0]->layers()) {
+    std::int64_t count = 0;
+    for (const auto& p : l->params()) count += p->count();
+    layer_offset.push_back(off);
+    layer_bytes.push_back(count * 4);
+    off += static_cast<std::size_t>(count);
+  }
+  SWC_CHECK_EQ(off, nets_[0]->param_count());
+  buckets_ = topo::make_buckets(layer_bytes, options_.buckets);
+  for (const auto& b : buckets_) {
+    bucket_offset_.push_back(layer_offset[b.first_layer]);
+  }
+  last_comm_buckets_.resize(buckets_.size());
+
+  // swcheck: the layout must tile the layers in order and conserve the
+  // packed-message bytes (a broken layout would silently corrupt slices).
+  check::BucketPlan plan;
+  plan.name = "ssgd-buckets";
+  plan.num_layers = static_cast<int>(layer_bytes.size());
+  plan.total_bytes = static_cast<std::int64_t>(nets_[0]->param_count()) * 4;
+  plan.eager_limit = options_.net.eager_limit;
+  for (const auto& b : buckets_) {
+    plan.buckets.push_back({b.first_layer, b.last_layer, b.bytes});
+  }
+  const check::Report report = check::verify_buckets(plan);
+  SWC_CHECK_MSG(report.ok(),
+                "swcheck rejected the bucket layout: " << report.summary());
+
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min(options_.threads, num_nodes));
   }
 }
 
@@ -56,49 +110,88 @@ double SsgdTrainer::forward_backward_packed(
   SWC_CHECK_EQ(labels.size(), labels_per_node * p);
   SWC_CHECK_EQ(grads.size(), static_cast<std::size_t>(p));
 
-  double loss = 0.0;
   const std::size_t n = nets_[0]->param_count();
-  for (int r = 0; r < p; ++r) {
+  // Replicas are independent (each body touches only replica r's net and
+  // buffers), so the loop runs on the worker pool when configured. Losses
+  // land in per-replica slots and are summed in index order after the join,
+  // so the result is bit-identical to the serial loop for any thread count.
+  std::vector<double> losses(p, 0.0);
+  auto body = [&](int r) {
     core::Net& net = *nets_[r];
     auto d = net.blob("data")->data();
     auto l = net.blob("label")->data();
     std::copy_n(data.begin() + r * data_per_node, data_per_node, d.begin());
     std::copy_n(labels.begin() + r * labels_per_node, labels_per_node,
                 l.begin());
-    loss += net.forward_backward();
+    losses[r] = net.forward_backward();
     // Pack ALL layers' gradients into one message (Sec. V-A: per-layer
     // messages waste both network and memory bandwidth on small layers).
     grads[r].resize(n);
     net.pack_param_diffs(grads[r]);
+  };
+  if (pool_) {
+    pool_->parallel_for(0, p, body);
+  } else {
+    for (int r = 0; r < p; ++r) body(r);
   }
+  double loss = 0.0;
+  for (int r = 0; r < p; ++r) loss += losses[r];
   return loss / p;
 }
 
 const topo::CostBreakdown& SsgdTrainer::allreduce(
     std::vector<std::vector<float>>& grads) {
+  // Network service order: backward produces the highest layers' gradients
+  // first, so the last bucket goes on the wire first (matches the analytic
+  // schedule in topo::schedule_overlap).
+  for (int b = num_buckets() - 1; b >= 0; --b) allreduce_bucket(grads, b);
+  return last_comm_;
+}
+
+const topo::CostBreakdown& SsgdTrainer::allreduce_bucket(
+    std::vector<std::vector<float>>& grads, int b) {
+  const int p = num_nodes();
+  SWC_CHECK_EQ(grads.size(), static_cast<std::size_t>(p));
+  SWC_CHECK_GE(b, 0);
+  SWC_CHECK_LT(b, num_buckets());
+  const std::size_t offset = bucket_offset_[b];
+  const std::size_t count =
+      static_cast<std::size_t>(buckets_[b].bytes) / sizeof(float);
+  std::vector<std::span<float>> slices;
+  slices.reserve(p);
+  for (int r = 0; r < p; ++r) {
+    SWC_CHECK_EQ(grads[r].size(), nets_[0]->param_count());
+    slices.push_back(std::span<float>(grads[r]).subspan(offset, count));
+  }
+  topo::CostBreakdown& slot = last_comm_buckets_[b];
   switch (options_.algo) {
     case AllreduceAlgo::kRhdAdjacent:
-      last_comm_ = topo::allreduce_rhd(grads, topo_, options_.net,
-                                       topo::Placement::kAdjacent, tracer_,
-                                       trace_track_);
-      break;
     case AllreduceAlgo::kRhdRoundRobin:
-      last_comm_ = topo::allreduce_rhd(grads, topo_, options_.net,
-                                       topo::Placement::kRoundRobin, tracer_,
-                                       trace_track_);
+      slot = topo::allreduce_rhd(slices, topo_, options_.net, placement_,
+                                 tracer_, trace_track_);
       break;
     case AllreduceAlgo::kRing:
-      last_comm_ = topo::allreduce_ring(grads, topo_, options_.net,
-                                        topo::Placement::kAdjacent, tracer_,
-                                        trace_track_);
+      slot = topo::allreduce_ring(slices, topo_, options_.net, placement_,
+                                  tracer_, trace_track_);
       break;
     case AllreduceAlgo::kParamServer:
-      last_comm_ = topo::allreduce_param_server(grads, topo_, options_.net,
-                                                options_.param_servers,
-                                                tracer_, trace_track_);
+      slot = topo::allreduce_param_server(slices, topo_, options_.net,
+                                          options_.param_servers, tracer_,
+                                          trace_track_);
       break;
   }
-  return last_comm_;
+  // Iteration totals: every bucket's collective is identical across
+  // iterations, so summing the per-bucket slots is correct even when the
+  // caller reduces buckets one at a time.
+  last_comm_ = topo::CostBreakdown{};
+  for (const auto& c : last_comm_buckets_) {
+    last_comm_.seconds += c.seconds;
+    last_comm_.alpha_terms += c.alpha_terms;
+    last_comm_.beta1_bytes += c.beta1_bytes;
+    last_comm_.beta2_bytes += c.beta2_bytes;
+    last_comm_.gamma_bytes += c.gamma_bytes;
+  }
+  return slot;
 }
 
 void SsgdTrainer::apply(std::vector<std::vector<float>>& grads) {
@@ -129,40 +222,56 @@ std::vector<ScalePoint> scalability_curve(
     const std::vector<core::LayerDesc>& descs_per_cg, std::int64_t param_bytes,
     const SsgdOptions& options, const std::vector<int>& node_counts,
     const std::map<std::string, dnn::ConvEstimate>* conv_overrides) {
-  const double comp =
-      conv_overrides
-          ? dnn::estimate_net_sw(cost, descs_per_cg, *conv_overrides)
-          : dnn::estimate_net_sw(cost, descs_per_cg);
+  static const std::map<std::string, dnn::ConvEstimate> kNoOverrides;
+  const dnn::NetTimeline tl = dnn::estimate_net_timeline(
+      cost, descs_per_cg, conv_overrides ? *conv_overrides : kNoOverrides);
+  const double comp = tl.total_s;
+
+  // Bucket the packed message along the descriptors' parameter layout; the
+  // descriptors may describe a sub-batch replica of the same architecture,
+  // so the per-layer bytes are rescaled to sum exactly to `param_bytes`.
+  std::vector<std::int64_t> layer_bytes;
+  layer_bytes.reserve(descs_per_cg.size());
+  for (const auto& d : descs_per_cg) layer_bytes.push_back(d.param_bytes());
+  layer_bytes = topo::scale_layer_bytes(layer_bytes, param_bytes);
+  const std::vector<topo::GradientBucket> buckets =
+      topo::make_buckets(layer_bytes, options.buckets);
+
   std::vector<ScalePoint> out;
   for (int nodes : node_counts) {
     topo::Topology topo;
     topo.num_nodes = nodes;
     topo.supernode_size = options.supernode_size;
-    topo::CostBreakdown comm;
-    switch (options.algo) {
-      case AllreduceAlgo::kRhdAdjacent:
-        comm = topo::cost_rhd(param_bytes, topo, options.net,
-                              topo::Placement::kAdjacent);
-        break;
-      case AllreduceAlgo::kRhdRoundRobin:
-        comm = topo::cost_rhd(param_bytes, topo, options.net,
-                              topo::Placement::kRoundRobin);
-        break;
-      case AllreduceAlgo::kRing:
-        comm = topo::cost_ring(param_bytes, topo, options.net,
-                               topo::Placement::kAdjacent);
-        break;
-      case AllreduceAlgo::kParamServer:
-        comm = topo::cost_param_server(param_bytes, topo, options.net,
-                                       options.param_servers);
-        break;
-    }
+    const auto bucket_cost = [&](std::int64_t bytes) -> topo::CostBreakdown {
+      switch (options.algo) {
+        case AllreduceAlgo::kRhdAdjacent:
+          return topo::cost_rhd(bytes, topo, options.net,
+                                topo::Placement::kAdjacent);
+        case AllreduceAlgo::kRhdRoundRobin:
+          return topo::cost_rhd(bytes, topo, options.net,
+                                topo::Placement::kRoundRobin);
+        case AllreduceAlgo::kRing:
+          return topo::cost_ring(bytes, topo, options.net,
+                                 topo::Placement::kAdjacent);
+        case AllreduceAlgo::kParamServer:
+          return topo::cost_param_server(bytes, topo, options.net,
+                                         options.param_servers);
+      }
+      return {};
+    };
+    const topo::CostBreakdown comm = bucket_cost(param_bytes);
+    const topo::OverlapTimeline overlap =
+        topo::schedule_overlap(buckets, tl.bwd_s, comp, bucket_cost);
     ScalePoint pt;
     pt.nodes = nodes;
     pt.comp_s = comp;
     pt.comm_s = comm.seconds;
     pt.speedup = nodes * comp / (comp + comm.seconds);
     pt.comm_fraction = comm.seconds / (comp + comm.seconds);
+    pt.overlap_s = overlap.finish_s;
+    pt.exposed_comm_s = overlap.exposed_comm_s;
+    pt.overlap_speedup = nodes * comp / overlap.finish_s;
+    pt.buckets = static_cast<int>(buckets.size());
     out.push_back(pt);
   }
   return out;

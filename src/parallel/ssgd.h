@@ -21,8 +21,10 @@
 #include "core/net.h"
 #include "core/solver.h"
 #include "hw/cost_model.h"
+#include "parallel/thread_pool.h"
 #include "swdnn/conv_plan.h"
 #include "topo/allreduce.h"
+#include "topo/overlap.h"
 
 namespace swcaffe::parallel {
 
@@ -37,6 +39,15 @@ struct SsgdOptions {
   int param_servers = 1;
   /// Average (true, the paper's SSGD) or plain-sum gradients.
   bool average = true;
+  /// Layer-aligned gradient buckets of the all-reduce (topo/overlap). 1 =
+  /// the paper's single packed message. More buckets let the analytic
+  /// overlap schedule hide collectives under backward; the functional
+  /// reduction is elementwise and therefore bit-identical for any count.
+  /// Clamps to the number of parameterized layers.
+  int buckets = 1;
+  /// Host worker threads for the replica forward/backward loop (wall-clock
+  /// only; results are bit-identical to serial for any value). 1 = serial.
+  int threads = 1;
 };
 
 class SsgdTrainer {
@@ -60,8 +71,18 @@ class SsgdTrainer {
                                  std::vector<std::vector<float>>& grads);
 
   /// In-place all-reduce of the packed per-node gradients with the
-  /// configured algorithm; also stored as last_comm().
+  /// configured algorithm; also stored as last_comm(). With buckets > 1
+  /// this reduces bucket by bucket in network service order (reverse layer
+  /// order) — elementwise identical to the single-message reduction.
   const topo::CostBreakdown& allreduce(std::vector<std::vector<float>>& grads);
+
+  /// Per-bucket variant of the all-reduce phase: reduces only bucket `b`'s
+  /// slice of every node's packed gradient and returns that bucket's own
+  /// cost breakdown (the fault-tolerant trainer interposes per-bucket
+  /// retry/replay between calls). Callers must reduce every bucket exactly
+  /// once per iteration; allreduce() is the loop over all of them.
+  const topo::CostBreakdown& allreduce_bucket(
+      std::vector<std::vector<float>>& grads, int b);
 
   /// Scales (when averaging), unpacks and applies the SGD update per node.
   void apply(std::vector<std::vector<float>>& grads);
@@ -77,6 +98,18 @@ class SsgdTrainer {
   const topo::CostBreakdown& last_comm() const { return last_comm_; }
   int iter() const { return solvers_[0]->iter(); }
 
+  /// The layer-aligned bucket layout (built in the constructor from the
+  /// replica's live per-layer parameter counts, verified by swcheck).
+  const std::vector<topo::GradientBucket>& bucket_layout() const {
+    return buckets_;
+  }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  /// Per-bucket breakdowns of the latest iteration, indexed like
+  /// bucket_layout() (layer order, not service order).
+  const std::vector<topo::CostBreakdown>& last_comm_buckets() const {
+    return last_comm_buckets_;
+  }
+
   /// Attaches an optional tracer: each step()'s all-reduce is recorded as a
   /// "comm.allreduce" span with alpha/beta/gamma counters on `track`.
   void set_tracer(trace::Tracer* tracer, int track = 0) {
@@ -87,9 +120,16 @@ class SsgdTrainer {
  private:
   SsgdOptions options_;
   topo::Topology topo_;
+  /// Topology placement of the configured algorithm; computed once here
+  /// instead of per allreduce() call.
+  topo::Placement placement_ = topo::Placement::kRoundRobin;
   std::vector<std::unique_ptr<core::Net>> nets_;
   std::vector<std::unique_ptr<core::SgdSolver>> solvers_;
+  std::vector<topo::GradientBucket> buckets_;
+  std::vector<std::size_t> bucket_offset_;  ///< float offset of each bucket
+  std::vector<topo::CostBreakdown> last_comm_buckets_;
   topo::CostBreakdown last_comm_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when options_.threads <= 1
   trace::Tracer* tracer_ = nullptr;
   int trace_track_ = 0;
 };
@@ -98,15 +138,25 @@ class SsgdTrainer {
 struct ScalePoint {
   int nodes = 1;
   double comp_s = 0.0;       ///< per-iteration compute (node, 4 CGs)
-  double comm_s = 0.0;       ///< per-iteration all-reduce
+  double comm_s = 0.0;       ///< per-iteration all-reduce (serial model)
   double speedup = 1.0;      ///< throughput(N) / throughput(1)
   double comm_fraction = 0;  ///< comm / (comp + comm)
+  // Overlapped (bucketed) series at SsgdOptions::buckets. With buckets == 1
+  // these reproduce the serial model bit-for-bit (overlap_s == comp + comm).
+  double overlap_s = 0.0;         ///< overlapped iteration time
+  double exposed_comm_s = 0.0;    ///< comm tail sticking out past compute
+  double overlap_speedup = 1.0;   ///< nodes * comp / overlap_s
+  int buckets = 1;                ///< effective bucket count (post-clamp)
 };
 
 /// Analytic scalability: `descs_per_cg` describes the net at sub_batch/4
 /// (one core group's share, Algorithm 1); `param_bytes` is the packed
 /// gradient message. `conv_overrides` (optional) prices convolutions at
 /// tuned plans (swtune), so topo scheduling sees the tuned compute time.
+/// `options.buckets` > 1 additionally fills the overlapped series: per-layer
+/// descriptor bytes are rescaled to sum to `param_bytes`, bucketed with
+/// topo::make_buckets and scheduled with topo::schedule_overlap against the
+/// per-layer backward times.
 std::vector<ScalePoint> scalability_curve(
     const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs_per_cg,
     std::int64_t param_bytes, const SsgdOptions& options,

@@ -1,0 +1,71 @@
+#include "parallel/thread_pool.h"
+
+#include "base/log.h"
+
+namespace swcaffe::parallel {
+
+ThreadPool::ThreadPool(int threads) {
+  SWC_CHECK_GT(threads, 0);
+  workers_.reserve(threads - 1);
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(int begin, int end,
+                              const std::function<void(int)>& fn) {
+  if (end <= begin) return;
+  if (workers_.empty()) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  SWC_CHECK_MSG(fn_ == nullptr, "ThreadPool::parallel_for is not reentrant");
+  fn_ = &fn;
+  next_ = begin;
+  end_ = end;
+  pending_ = end - begin;
+  ++generation_;
+  work_cv_.notify_all();
+  // The calling thread is a lane too: claim indices until none remain.
+  while (next_ < end_) {
+    const int i = next_++;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    --pending_;
+  }
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::int64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (fn_ != nullptr && generation_ != seen && next_ < end_);
+    });
+    if (stop_) return;
+    seen = generation_;
+    while (fn_ != nullptr && next_ < end_) {
+      const int i = next_++;
+      const auto* fn = fn_;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace swcaffe::parallel

@@ -264,6 +264,31 @@ double estimate_net_sw(
   return total;
 }
 
+NetTimeline estimate_net_timeline(
+    const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs,
+    const std::map<std::string, ConvEstimate>& conv_overrides) {
+  // Mirrors estimate_net_sw layer by layer; total_s accumulates t.total()
+  // in the same order so the two stay bit-identical.
+  NetTimeline tl;
+  tl.fwd_s.reserve(descs.size());
+  tl.bwd_s.reserve(descs.size());
+  bool saw_conv = false;
+  for (const auto& d : descs) {
+    const bool first_conv = d.kind == core::LayerKind::kConv && !saw_conv;
+    if (d.kind == core::LayerKind::kConv) saw_conv = true;
+    const ConvEstimate* override_est = nullptr;
+    if (d.kind == core::LayerKind::kConv && !conv_overrides.empty()) {
+      auto it = conv_overrides.find(d.name);
+      if (it != conv_overrides.end()) override_est = &it->second;
+    }
+    const LayerTime t = estimate_layer_sw(cost, d, first_conv, override_est);
+    tl.fwd_s.push_back(t.fwd_s);
+    tl.bwd_s.push_back(t.bwd_s);
+    tl.total_s += t.total();
+  }
+  return tl;
+}
+
 double node_throughput_img_s(const hw::CostModel& cost,
                              const std::vector<core::LayerDesc>& descs_quarter,
                              int full_batch) {

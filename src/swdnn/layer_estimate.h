@@ -44,6 +44,19 @@ double estimate_net_sw(const hw::CostModel& cost,
                        const std::vector<core::LayerDesc>& descs,
                        const std::map<std::string, ConvEstimate>& conv_overrides);
 
+/// Per-layer forward/backward times plus their sum, accumulated in the
+/// exact order of estimate_net_sw — total_s is bit-identical to it (the
+/// degenerate-equivalence contract the overlap scheduler builds on).
+struct NetTimeline {
+  double total_s = 0.0;
+  std::vector<double> fwd_s;  ///< one entry per descriptor
+  std::vector<double> bwd_s;
+};
+
+NetTimeline estimate_net_timeline(
+    const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs,
+    const std::map<std::string, ConvEstimate>& conv_overrides = {});
+
 /// Single-node throughput in img/s: the paper's Algorithm 1 splits the
 /// mini-batch over the chip's 4 core groups, so node time equals one core
 /// group processing batch/4 (descriptors must be built at batch/4).

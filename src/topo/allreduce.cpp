@@ -143,7 +143,28 @@ CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
   return cost;
 }
 
+namespace {
+
+/// Views each rank's full vector as a span (the vector overloads delegate to
+/// the span implementations over the whole buffer).
+std::vector<std::span<float>> as_spans(std::vector<std::vector<float>>& data) {
+  std::vector<std::span<float>> spans;
+  spans.reserve(data.size());
+  for (auto& v : data) spans.emplace_back(v);
+  return spans;
+}
+
+}  // namespace
+
 CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
+                            const Topology& topo, const NetParams& net,
+                            Placement placement, trace::Tracer* tracer,
+                            int trace_track) {
+  return allreduce_rhd(as_spans(data), topo, net, placement, tracer,
+                       trace_track);
+}
+
+CostBreakdown allreduce_rhd(const std::vector<std::span<float>>& data,
                             const Topology& topo, const NetParams& net,
                             Placement placement, trace::Tracer* tracer,
                             int trace_track) {
@@ -179,8 +200,8 @@ CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
       SWC_CHECK_EQ(lo[r], lo[partner]);
       SWC_CHECK_EQ(hi[r], hi[partner]);
       const std::size_t mid = (lo[r] + hi[r]) / 2;
-      auto& mine = data[ids[r]];
-      auto& theirs = data[ids[partner]];
+      const auto& mine = data[ids[r]];
+      const auto& theirs = data[ids[partner]];
       // Lower slot keeps [lo, mid) and receives the partner's copy of it;
       // the partner keeps [mid, hi) and receives the lower slot's copy.
       for (std::size_t i = lo[r]; i < mid; ++i) mine[i] += theirs[i];
@@ -196,8 +217,8 @@ CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
     for (int r = 0; r < p2; ++r) {
       const int partner = r ^ d;
       if (partner < r) continue;
-      auto& mine = data[ids[r]];
-      auto& theirs = data[ids[partner]];
+      const auto& mine = data[ids[r]];
+      const auto& theirs = data[ids[partner]];
       // The pair's ranges are the two halves they split at forward step s.
       for (std::size_t i = lo[partner]; i < hi[partner]; ++i) {
         mine[i] = theirs[i];
@@ -216,7 +237,9 @@ CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
     SWC_CHECK_EQ(hi[r], n);
   }
   // Unfold: the sidelined odd ranks receive the finished result.
-  for (int i = 0; i < extra; ++i) data[2 * i + 1] = data[2 * i];
+  for (int i = 0; i < extra; ++i) {
+    std::copy(data[2 * i].begin(), data[2 * i].end(), data[2 * i + 1].begin());
+  }
   return cost_rhd(static_cast<std::int64_t>(n) * 4, topo, net, placement,
                   tracer, trace_track);
 }
@@ -246,6 +269,14 @@ CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
 }
 
 CostBreakdown allreduce_ring(std::vector<std::vector<float>>& data,
+                             const Topology& topo, const NetParams& net,
+                             Placement placement, trace::Tracer* tracer,
+                             int trace_track) {
+  return allreduce_ring(as_spans(data), topo, net, placement, tracer,
+                        trace_track);
+}
+
+CostBreakdown allreduce_ring(const std::vector<std::span<float>>& data,
                              const Topology& topo, const NetParams& net,
                              Placement placement, trace::Tracer* tracer,
                              int trace_track) {
@@ -322,6 +353,14 @@ CostBreakdown allreduce_param_server(std::vector<std::vector<float>>& data,
                                      const Topology& topo,
                                      const NetParams& net, int servers,
                                      trace::Tracer* tracer, int trace_track) {
+  return allreduce_param_server(as_spans(data), topo, net, servers, tracer,
+                                trace_track);
+}
+
+CostBreakdown allreduce_param_server(const std::vector<std::span<float>>& data,
+                                     const Topology& topo,
+                                     const NetParams& net, int servers,
+                                     trace::Tracer* tracer, int trace_track) {
   const int p = static_cast<int>(data.size());
   SWC_CHECK_EQ(p, topo.num_nodes);
   const std::size_t n = data[0].size();
@@ -329,7 +368,7 @@ CostBreakdown allreduce_param_server(std::vector<std::vector<float>>& data,
   for (const auto& v : data) {
     for (std::size_t i = 0; i < n; ++i) sum[i] += v[i];
   }
-  for (auto& v : data) v = sum;
+  for (const auto& v : data) std::copy(sum.begin(), sum.end(), v.begin());
   return cost_param_server(static_cast<std::int64_t>(n) * 4, topo, net,
                            servers, tracer, trace_track);
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "topo/network_model.h"
@@ -51,6 +52,16 @@ CostBreakdown allreduce_rhd(std::vector<std::vector<float>>& data,
                             trace::Tracer* tracer = nullptr,
                             int trace_track = 0);
 
+/// Span variant: reduces `data[r]` in place where each span views rank r's
+/// slice of a larger buffer (the bucketed all-reduce reduces one
+/// layer-aligned bucket per call). Identical arithmetic and identical cost
+/// to the vector variant over the same elements.
+CostBreakdown allreduce_rhd(const std::vector<std::span<float>>& data,
+                            const Topology& topo, const NetParams& net,
+                            Placement placement,
+                            trace::Tracer* tracer = nullptr,
+                            int trace_track = 0);
+
 /// Analytic cost of the same algorithm for arbitrary message size (used at
 /// 1024-node scale where functional buffers would not fit).
 CostBreakdown cost_rhd(std::int64_t bytes, const Topology& topo,
@@ -63,6 +74,11 @@ CostBreakdown allreduce_ring(std::vector<std::vector<float>>& data,
                              Placement placement,
                              trace::Tracer* tracer = nullptr,
                              int trace_track = 0);
+CostBreakdown allreduce_ring(const std::vector<std::span<float>>& data,
+                             const Topology& topo, const NetParams& net,
+                             Placement placement,
+                             trace::Tracer* tracer = nullptr,
+                             int trace_track = 0);
 CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
                         const NetParams& net, Placement placement,
                         trace::Tracer* tracer = nullptr, int trace_track = 0);
@@ -71,6 +87,11 @@ CostBreakdown cost_ring(std::int64_t bytes, const Topology& topo,
 /// shards, servers reduce and broadcast back. Functional result equals the
 /// all-reduce sum on every rank.
 CostBreakdown allreduce_param_server(std::vector<std::vector<float>>& data,
+                                     const Topology& topo,
+                                     const NetParams& net, int servers,
+                                     trace::Tracer* tracer = nullptr,
+                                     int trace_track = 0);
+CostBreakdown allreduce_param_server(const std::vector<std::span<float>>& data,
                                      const Topology& topo,
                                      const NetParams& net, int servers,
                                      trace::Tracer* tracer = nullptr,

@@ -1,0 +1,175 @@
+#include "topo/overlap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "base/log.h"
+
+namespace swcaffe::topo {
+
+std::vector<GradientBucket> make_buckets(
+    const std::vector<std::int64_t>& layer_bytes, int num_buckets) {
+  const int n = static_cast<int>(layer_bytes.size());
+  SWC_CHECK_GT(n, 0);
+  SWC_CHECK_GT(num_buckets, 0);
+  std::int64_t total = 0;
+  int nonzero = 0;
+  for (const std::int64_t b : layer_bytes) {
+    SWC_CHECK_GE(b, 0);
+    total += b;
+    if (b > 0) ++nonzero;
+  }
+  // Every bucket must carry at least one parameterized layer (a zero-byte
+  // bucket would be an empty collective), so the count clamps to the number
+  // of layers that actually have gradients.
+  const int k = std::max(1, std::min(num_buckets, std::max(1, nonzero)));
+
+  // Built back-to-front: backward produces the HIGHEST layers' gradients
+  // first, so the quota walk runs in that service order. This way a
+  // dominant late layer (AlexNet's fc6 holds 60% of the bytes) gets its own
+  // early-ready bucket, and the one bucket that must wait for the entire
+  // backward pass — the one containing layer 0 — is the leftover front
+  // slice, typically the smallest.
+  std::vector<GradientBucket> out;
+  out.reserve(k);
+  int last = n - 1;
+  std::int64_t cum = 0;          // bytes of all closed buckets + current one
+  std::int64_t bucket_bytes = 0; // bytes of the open bucket
+  int nonzero_left = nonzero;    // parameterized layers not yet swallowed
+  for (int i = n - 1; i >= 0; --i) {
+    // Close BEFORE swallowing a layer that would overshoot the per-bucket
+    // share worse than the current undershoot (2*bucket + layer > 2*share).
+    // This is what splits off a dominant EARLY layer: walking back-to-front
+    // its bytes arrive last, the quota below would never fire before it, and
+    // without this check the whole net would collapse into one bucket.
+    if (static_cast<int>(out.size()) < k - 1 && bucket_bytes > 0 &&
+        layer_bytes[i] > 0 &&
+        (2 * bucket_bytes + layer_bytes[i]) * k > 2 * total) {
+      out.push_back({i + 1, last, bucket_bytes});
+      last = i;
+      bucket_bytes = 0;
+    }
+    cum += layer_bytes[i];
+    bucket_bytes += layer_bytes[i];
+    if (layer_bytes[i] > 0) --nonzero_left;
+    const int b = static_cast<int>(out.size());
+    if (i == 0) {
+      out.push_back({0, last, bucket_bytes});
+      break;
+    }
+    if (b == k - 1) continue;  // the final bucket takes everything left
+    // Close the bucket once it holds its share of the volume — but only if
+    // it is non-empty and a parameterized layer remains for the rest (a
+    // giant layer may eat several shares; that just yields fewer buckets).
+    const bool quota_met = cum * k >= total * (b + 1);
+    if (quota_met && bucket_bytes > 0 && nonzero_left >= 1) {
+      out.push_back({i, last, bucket_bytes});
+      last = i - 1;
+      bucket_bytes = 0;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  SWC_CHECK_LE(static_cast<int>(out.size()), k);
+  SWC_CHECK_EQ(out.front().first_layer, 0);
+  SWC_CHECK_EQ(out.back().last_layer, n - 1);
+  return out;
+}
+
+std::vector<std::int64_t> scale_layer_bytes(
+    const std::vector<std::int64_t>& layer_bytes, std::int64_t total_bytes) {
+  SWC_CHECK_GE(total_bytes, 0);
+  SWC_CHECK(!layer_bytes.empty());
+  std::int64_t src_total = 0;
+  for (const std::int64_t b : layer_bytes) src_total += b;
+  std::vector<std::int64_t> out(layer_bytes.size(), 0);
+  if (src_total == 0) {
+    out.back() = total_bytes;
+    return out;
+  }
+  // Cumulative rounding: out[i] = round(cum_src * scale) - already_assigned,
+  // so per-layer rounding errors cancel and the sum is exactly total_bytes.
+  std::int64_t cum_src = 0;
+  std::int64_t cum_dst = 0;
+  const double scale = static_cast<double>(total_bytes) /
+                       static_cast<double>(src_total);
+  for (std::size_t i = 0; i < layer_bytes.size(); ++i) {
+    cum_src += layer_bytes[i];
+    const std::int64_t target =
+        i + 1 == layer_bytes.size()
+            ? total_bytes
+            : static_cast<std::int64_t>(
+                  std::llround(static_cast<double>(cum_src) * scale));
+    out[i] = target - cum_dst;
+    SWC_CHECK_GE(out[i], 0);
+    cum_dst = target;
+  }
+  return out;
+}
+
+OverlapTimeline schedule_overlap(const std::vector<GradientBucket>& buckets,
+                                 const std::vector<double>& layer_bwd_s,
+                                 double compute_s,
+                                 const BucketCostFn& bucket_cost) {
+  SWC_CHECK(!buckets.empty());
+  const int n = static_cast<int>(layer_bwd_s.size());
+  SWC_CHECK_GT(n, 0);
+  SWC_CHECK_EQ(buckets.back().last_layer, n - 1);
+  // prefix[i] = backward time of layers 0..i-1, i.e. the backward work still
+  // pending when layer i's own backward completes.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + layer_bwd_s[i];
+  SWC_CHECK_GE(compute_s, prefix[n] - 1e-12);
+
+  OverlapTimeline tl;
+  tl.compute_s = compute_s;
+  double busy_until = 0.0;
+  // Service in reverse layer order: backward produces the highest layers'
+  // gradients first. ready = compute_s - prefix[first_layer] is exact (no
+  // re-accumulation drift): the bucket starting at layer 0 is ready at
+  // exactly compute_s, which is what makes the single-bucket schedule
+  // reproduce the serial model bit-for-bit.
+  for (int b = static_cast<int>(buckets.size()) - 1; b >= 0; --b) {
+    const GradientBucket& bucket = buckets[b];
+    SWC_CHECK_GE(bucket.first_layer, 0);
+    SWC_CHECK_LE(bucket.first_layer, bucket.last_layer);
+    SWC_CHECK_LT(bucket.last_layer, n);
+    BucketTiming t;
+    t.bucket = bucket;
+    t.ready_s = compute_s - prefix[bucket.first_layer];
+    t.cost = bucket_cost(bucket.bytes);
+    t.start_s = std::max(t.ready_s, busy_until);
+    t.end_s = t.start_s + t.cost.seconds;
+    busy_until = t.end_s;
+    tl.comm_s += t.cost.seconds;
+    tl.alpha_terms += t.cost.alpha_terms;
+    tl.buckets.push_back(t);
+  }
+  tl.finish_s = std::max(compute_s, busy_until);
+  tl.exposed_comm_s = std::max(0.0, tl.finish_s - compute_s);
+  return tl;
+}
+
+void trace_overlap(trace::Tracer* tracer, int track,
+                   const OverlapTimeline& timeline) {
+  if (!tracer) return;
+  for (std::size_t i = 0; i < timeline.buckets.size(); ++i) {
+    const BucketTiming& t = timeline.buckets[i];
+    tracer->set_clock(track, t.start_s);
+    const std::string name = "bucket" + std::to_string(i) + "[" +
+                             std::to_string(t.bucket.first_layer) + ".." +
+                             std::to_string(t.bucket.last_layer) + "]";
+    tracer->begin_span(track, name, "comm.allreduce");
+    trace::TrafficCounters c;
+    c.net_bytes =
+        static_cast<std::size_t>(t.cost.beta1_bytes + t.cost.beta2_bytes);
+    tracer->charge(track, c);
+    tracer->counter(track, trace::kCounterAlphaTerms, t.cost.alpha_terms);
+    tracer->counter(track, trace::kCounterBeta1Bytes, t.cost.beta1_bytes);
+    tracer->counter(track, trace::kCounterBeta2Bytes, t.cost.beta2_bytes);
+    tracer->counter(track, trace::kCounterGammaBytes, t.cost.gamma_bytes);
+    tracer->end_span(track, t.end_s - t.start_s);
+  }
+}
+
+}  // namespace swcaffe::topo

@@ -1,0 +1,76 @@
+#include "tune/bucket_tune.h"
+
+#include <numeric>
+
+#include "base/log.h"
+#include "check/verify.h"
+#include "tune/search_space.h"
+
+namespace swcaffe::tune {
+
+BucketChoice tune_buckets(const std::vector<std::int64_t>& layer_bytes,
+                          const std::vector<double>& layer_bwd_s,
+                          double compute_s,
+                          const topo::BucketCostFn& bucket_cost,
+                          const BucketTuneOptions& options) {
+  SWC_CHECK_GT(options.max_buckets, 0);
+  SWC_CHECK_EQ(layer_bytes.size(), layer_bwd_s.size());
+  const std::int64_t total_bytes =
+      std::accumulate(layer_bytes.begin(), layer_bytes.end(),
+                      static_cast<std::int64_t>(0));
+
+  BucketChoice choice;
+  int seen_effective = 0;  // layout sizes grow with k; skip repeats
+  for (int k : bucket_count_candidates(options.max_buckets)) {
+    const std::vector<topo::GradientBucket> layout =
+        topo::make_buckets(layer_bytes, k);
+    const int effective = static_cast<int>(layout.size());
+    if (effective == seen_effective) continue;  // clamp collapsed this k
+    seen_effective = effective;
+
+    BucketCandidate cand;
+    cand.requested = k;
+    cand.buckets = effective;
+
+    check::BucketPlan plan;
+    plan.name = "tune-buckets";
+    plan.num_layers = static_cast<int>(layer_bytes.size());
+    plan.total_bytes = total_bytes;
+    plan.eager_limit = options.eager_limit;
+    plan.resend_buffer_bytes = options.resend_buffer_bytes;
+    for (const auto& b : layout) {
+      plan.buckets.push_back({b.first_layer, b.last_layer, b.bytes});
+    }
+    if (!check::verify_buckets(plan).ok()) {
+      cand.legal = false;
+      choice.candidates.push_back(cand);
+      continue;
+    }
+
+    const topo::OverlapTimeline tl =
+        topo::schedule_overlap(layout, layer_bwd_s, compute_s, bucket_cost);
+    cand.finish_s = tl.finish_s;
+    cand.exposed_comm_s = tl.exposed_comm_s;
+    choice.candidates.push_back(cand);
+
+    if (k == 1) {
+      // The baseline is always legal (one bucket == the packed message the
+      // trainer already sends) and seeds the argmin.
+      choice.serial_s = tl.finish_s;
+      choice.buckets = effective;
+      choice.overlapped_s = tl.finish_s;
+      choice.exposed_comm_s = tl.exposed_comm_s;
+    } else if (tl.finish_s < choice.overlapped_s) {
+      choice.buckets = effective;
+      choice.overlapped_s = tl.finish_s;
+      choice.exposed_comm_s = tl.exposed_comm_s;
+    }
+  }
+  SWC_CHECK_MSG(!choice.candidates.empty() &&
+                    choice.candidates.front().requested == 1 &&
+                    choice.candidates.front().legal,
+                "bucket search lost its k=1 baseline");
+  return choice;
+}
+
+}  // namespace swcaffe::tune

@@ -1,0 +1,55 @@
+// swtune — bucket-count search for the overlapped all-reduce.
+//
+// Picks how many layer-aligned buckets to split the packed gradient into by
+// scheduling every candidate layout with topo::schedule_overlap and taking
+// the argmin finish time. Candidates come from the search-space menu
+// (bucket_count_candidates); each layout is filtered through swcheck's
+// bucket rules before pricing — an illegal layout (e.g. a buffered round
+// that overflows the LDM resend buffer) is never scored. Bucket count 1
+// (the paper's single packed message) is always the first candidate, so the
+// tuned choice can never finish later than the serial baseline under the
+// model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/overlap.h"
+
+namespace swcaffe::tune {
+
+/// One priced (or rejected) bucket-count candidate.
+struct BucketCandidate {
+  int requested = 1;   ///< menu entry
+  int buckets = 1;     ///< effective layout size (make_buckets clamps)
+  double finish_s = 0.0;
+  double exposed_comm_s = 0.0;
+  bool legal = true;   ///< false: rejected by swcheck, never priced
+};
+
+struct BucketChoice {
+  int buckets = 1;            ///< argmin bucket count (ties: fewest buckets)
+  double serial_s = 0.0;      ///< the k=1 baseline (compute + collective)
+  double overlapped_s = 0.0;  ///< the winner's finish time
+  double exposed_comm_s = 0.0;
+  std::vector<BucketCandidate> candidates;  ///< the full priced table
+};
+
+struct BucketTuneOptions {
+  int max_buckets = 32;
+  /// Legality inputs of the swcheck bucket rules (0 = rule not armed).
+  std::int64_t eager_limit = 0;
+  std::int64_t resend_buffer_bytes = 0;
+};
+
+/// Searches bucket counts for the gradient described by per-layer
+/// `layer_bytes`, with backward finishing per-layer at `layer_bwd_s` inside
+/// a `compute_s` iteration; `bucket_cost` prices one bucket's collective
+/// (typically a topo::cost_* closure at fixed topology/NetParams).
+BucketChoice tune_buckets(const std::vector<std::int64_t>& layer_bytes,
+                          const std::vector<double>& layer_bwd_s,
+                          double compute_s,
+                          const topo::BucketCostFn& bucket_cost,
+                          const BucketTuneOptions& options = {});
+
+}  // namespace swcaffe::tune

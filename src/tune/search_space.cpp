@@ -89,4 +89,13 @@ std::vector<ImplicitBlocking> implicit_blocking_candidates(
   return out;
 }
 
+std::vector<int> bucket_count_candidates(int max_buckets) {
+  std::vector<int> out;
+  for (int k = 1; k <= max_buckets; k = k < 4 ? k + 1 : k + k / 2) {
+    out.push_back(k);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
 }  // namespace swcaffe::tune

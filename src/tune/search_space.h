@@ -35,4 +35,10 @@ struct ImplicitBlocking {
 std::vector<ImplicitBlocking> implicit_blocking_candidates(
     const hw::HwParams& hp, const core::ConvGeom& g);
 
+/// Bucket-count menu of the overlapped all-reduce search (tune_buckets):
+/// 1 — the paper's single packed message — is always first, so the search
+/// starts from the baseline and can only improve on it; then roughly
+/// geometric steps up to `max_buckets`.
+std::vector<int> bucket_count_candidates(int max_buckets);
+
 }  // namespace swcaffe::tune

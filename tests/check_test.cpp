@@ -453,5 +453,80 @@ TEST(RetryRuleTest, WorstCaseSumsAttemptsAndGeometricBackoff) {
   EXPECT_DOUBLE_EQ(p.worst_case_seconds(), 3.0 + 0.5 * 3.0);
 }
 
+BucketPlan sane_bucket_plan() {
+  BucketPlan p;
+  p.name = "overlap.buckets";
+  p.num_layers = 6;
+  p.buckets = {{0, 2, 4000}, {3, 4, 3000}, {5, 5, 3000}};
+  p.total_bytes = 10000;
+  return p;
+}
+
+TEST(BucketRuleTest, SaneLayoutIsSilent) {
+  const Report report = verify_buckets(sane_bucket_plan());
+  EXPECT_TRUE(report.diagnostics().empty()) << report.summary();
+}
+
+TEST(BucketRuleTest, GapOrOverlapInTilingIsAnError) {
+  BucketPlan p = sane_bucket_plan();
+  p.buckets[1].first_layer = 4;  // gap: layer 3 belongs to no bucket
+  EXPECT_TRUE(verify_buckets(p).has(Code::kBucketOrder));
+  p = sane_bucket_plan();
+  p.buckets[1].first_layer = 2;  // overlap: layer 2 reduced twice
+  EXPECT_TRUE(verify_buckets(p).has(Code::kBucketOrder));
+  p = sane_bucket_plan();
+  p.buckets.pop_back();  // truncated: last layer uncovered
+  EXPECT_TRUE(verify_buckets(p).has(Code::kBucketOrder));
+}
+
+TEST(BucketRuleTest, ByteConservationIsEnforced) {
+  BucketPlan p = sane_bucket_plan();
+  p.buckets[0].bytes += 1;  // sum no longer matches the packed message
+  const Report report = verify_buckets(p);
+  EXPECT_TRUE(report.has(Code::kBucketOrder)) << report.summary();
+}
+
+TEST(BucketRuleTest, EmptyBucketIsAnErrorOnlyWhenBytesExist) {
+  BucketPlan p = sane_bucket_plan();
+  p.buckets[1].bytes = 0;
+  p.total_bytes = 7000;
+  EXPECT_TRUE(verify_buckets(p).has(Code::kBucketOrder));
+  // A parameterless net legitimately degenerates to one empty bucket.
+  BucketPlan empty;
+  empty.name = "no-params";
+  empty.num_layers = 3;
+  empty.buckets = {{0, 2, 0}};
+  empty.total_bytes = 0;
+  EXPECT_TRUE(verify_buckets(empty).diagnostics().empty());
+}
+
+TEST(BucketRuleTest, RoundBeyondResendBufferIsAnError) {
+  BucketPlan p = sane_bucket_plan();
+  p.resend_buffer_bytes = 3500;  // bucket 0's 4000 B round cannot re-send
+  EXPECT_TRUE(verify_buckets(p).has(Code::kBucketResendOverflow));
+  // The eager cutoff caps the buffered round: with eager_limit below the
+  // buffer, every bucket goes rendezvous and the plan is clean again.
+  p.eager_limit = 2000;
+  EXPECT_TRUE(verify_buckets(p).diagnostics().empty());
+}
+
+TEST(BucketRuleTest, ResendBufferBeyondLdmIsAnError) {
+  BucketPlan p = sane_bucket_plan();
+  p.resend_buffer_bytes = static_cast<std::int64_t>(kHp.ldm_bytes) + 1;
+  EXPECT_TRUE(verify_buckets(p).has(Code::kBucketResendOverflow));
+}
+
+TEST(BucketRuleTest, DegenerateGeometryIsInvalid) {
+  BucketPlan p = sane_bucket_plan();
+  p.num_layers = 0;
+  EXPECT_TRUE(verify_buckets(p).has(Code::kGeomInvalid));
+  p = sane_bucket_plan();
+  p.buckets.clear();
+  EXPECT_TRUE(verify_buckets(p).has(Code::kGeomInvalid));
+  p = sane_bucket_plan();
+  p.resend_buffer_bytes = -1;
+  EXPECT_TRUE(verify_buckets(p).has(Code::kGeomInvalid));
+}
+
 }  // namespace
 }  // namespace swcaffe::check

@@ -666,5 +666,86 @@ TEST(FaultTraceTest, GoldenScenarioStructureMatches) {
   }
 }
 
+// --- Bucketed all-reduce under the fault-tolerant path -----------------------
+
+TEST(FtSsgdTest, BucketedFaultFreePathIsBitIdenticalToSingleMessage) {
+  // The per-bucket retry/replay composition may not change the math: with
+  // faults disabled, a bucketed FT trainer matches the single-message one
+  // bit for bit (the reduction is elementwise either way).
+  const core::SolverSpec solver;
+  FtSsgdTrainer single(mlp(kSubBatch), kNodes, solver,
+                       ft_options(FaultSpec{}), /*seed=*/9);
+  FtOptions bucketed_opts = ft_options(FaultSpec{});
+  bucketed_opts.ssgd.buckets = 3;
+  FtSsgdTrainer bucketed(mlp(kSubBatch), kNodes, solver, bucketed_opts,
+                         /*seed=*/9);
+  EXPECT_GT(bucketed.ssgd().num_buckets(), 1);
+
+  const auto single_steps = run_steps(single, 6);
+  const auto bucketed_steps = run_steps(bucketed, 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(single_steps[i].loss, bucketed_steps[i].loss) << "iter " << i;
+  }
+  EXPECT_EQ(weights(single.ssgd()), weights(bucketed.ssgd()));
+}
+
+TEST(FtSsgdTest, BucketedEventualDeliveryKeepsWeightsBitIdentical) {
+  // Network faults against the bucketed collective: every bucket's rounds
+  // draw their own fates (distinct round offsets), recovery costs time, and
+  // the reduced gradients still match the fault-free bucketed run exactly.
+  const core::SolverSpec solver;
+  FaultSpec faults;
+  faults.seed = test_seed();
+  faults.drop_p = 0.3;
+  faults.dup_p = 0.2;
+
+  FtOptions clean_opts = ft_options(FaultSpec{});
+  clean_opts.ssgd.buckets = 3;
+  FtOptions faulty_opts = ft_options(faults);
+  faulty_opts.ssgd.buckets = 3;
+  FtSsgdTrainer clean(mlp(kSubBatch), kNodes, solver, clean_opts,
+                      /*seed=*/9);
+  FtSsgdTrainer faulty(mlp(kSubBatch), kNodes, solver, faulty_opts,
+                       /*seed=*/9);
+  const auto clean_steps = run_steps(clean, 8);
+  const auto faulty_steps = run_steps(faulty, 8);
+  double recovery = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(clean_steps[i].loss, faulty_steps[i].loss) << "iter " << i;
+    recovery += faulty_steps[i].recovery_s;
+  }
+  EXPECT_EQ(weights(clean.ssgd()), weights(faulty.ssgd()));
+  EXPECT_GT(recovery, 0.0);
+  EXPECT_EQ(faulty.stats().drops,
+            faulty.stats().retries + faulty.stats().escalations);
+}
+
+TEST(FtSsgdTest, BucketedCrashRestartReproducesTheTrajectory) {
+  // Checkpoint/restart across the bucketed collective: a crash mid-run must
+  // replay onto the exact uninterrupted trajectory, buckets and all.
+  const core::SolverSpec solver;
+  constexpr std::int64_t kMaxIter = 6;
+  FtOptions base_opts = ft_options(FaultSpec{});
+  base_opts.ssgd.buckets = 3;
+  FtSsgdTrainer baseline(mlp(kSubBatch), kNodes, solver, base_opts,
+                         /*seed=*/9);
+  const RunResult base_run = run_with_restarts(baseline, det_batch, kMaxIter);
+  ASSERT_EQ(base_run.restarts, 0);
+
+  FaultSpec faults;
+  faults.crash_node = 0;
+  faults.crash_iter = 3;
+  FtOptions opts = ft_options(faults);
+  opts.ssgd.buckets = 3;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_prefix = testing::TempDir() + "/swfault_bucketed.ckpt";
+  FtSsgdTrainer t(mlp(kSubBatch), kNodes, solver, opts, /*seed=*/9);
+  const RunResult run = run_with_restarts(t, det_batch, kMaxIter);
+  EXPECT_EQ(run.restarts, 1);
+  EXPECT_EQ(run.iters, kMaxIter);
+  EXPECT_EQ(weights(t.ssgd()), weights(baseline.ssgd()));
+  EXPECT_EQ(run.final_loss, base_run.final_loss);
+}
+
 }  // namespace
 }  // namespace swcaffe::fault

@@ -1,0 +1,213 @@
+// Bucketed-overlap model: layer-aligned bucket layout, exact byte
+// rescaling, and the busy-interval schedule of topo/overlap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "topo/allreduce.h"
+#include "topo/overlap.h"
+#include "trace/tracer.h"
+
+namespace swcaffe::topo {
+namespace {
+
+std::int64_t layout_bytes(const std::vector<GradientBucket>& b) {
+  std::int64_t total = 0;
+  for (const auto& x : b) total += x.bytes;
+  return total;
+}
+
+void expect_tiles(const std::vector<GradientBucket>& b, int num_layers) {
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(b.front().first_layer, 0);
+  EXPECT_EQ(b.back().last_layer, num_layers - 1);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_LE(b[i].first_layer, b[i].last_layer);
+    if (i > 0) {
+      EXPECT_EQ(b[i].first_layer, b[i - 1].last_layer + 1);
+    }
+  }
+}
+
+TEST(MakeBucketsTest, SingleBucketCoversEverything) {
+  const std::vector<std::int64_t> bytes = {100, 0, 300, 50};
+  const auto b = make_buckets(bytes, 1);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].first_layer, 0);
+  EXPECT_EQ(b[0].last_layer, 3);
+  EXPECT_EQ(b[0].bytes, 450);
+}
+
+TEST(MakeBucketsTest, TilesInOrderAndConservesBytes) {
+  const std::vector<std::int64_t> bytes = {10, 0, 40, 0, 0, 25, 25, 100, 0,
+                                           60};
+  for (int k : {1, 2, 3, 4, 5, 16}) {
+    const auto b = make_buckets(bytes, k);
+    expect_tiles(b, static_cast<int>(bytes.size()));
+    EXPECT_LE(static_cast<int>(b.size()), k);
+    EXPECT_EQ(layout_bytes(b), 260);
+    for (const auto& x : b) EXPECT_GT(x.bytes, 0);
+  }
+}
+
+TEST(MakeBucketsTest, ClampsToParameterizedLayers) {
+  // Two parameterized layers can fill at most two buckets.
+  const std::vector<std::int64_t> bytes = {0, 500, 0, 0, 500, 0};
+  const auto b = make_buckets(bytes, 8);
+  EXPECT_LE(b.size(), 2u);
+  expect_tiles(b, 6);
+  EXPECT_EQ(layout_bytes(b), 1000);
+}
+
+TEST(MakeBucketsTest, DominantLayerYieldsFewerBuckets) {
+  // One layer holding 90% of the volume eats several shares; the layout
+  // must still tile with non-empty buckets instead of collapsing to one.
+  const std::vector<std::int64_t> bytes = {30, 20, 900, 30, 20};
+  const auto b = make_buckets(bytes, 5);
+  expect_tiles(b, 5);
+  EXPECT_GT(b.size(), 1u);
+  for (const auto& x : b) EXPECT_GT(x.bytes, 0);
+  EXPECT_EQ(layout_bytes(b), 1000);
+}
+
+TEST(MakeBucketsTest, LateHeavyLayerGetsItsOwnEarlyBucket) {
+  // AlexNet-like: small convs up front, dominant fc late. Service-order
+  // bucketing must NOT lump the fc bytes in with layer 0 (that bucket is
+  // only ready when the whole backward pass is done).
+  const std::vector<std::int64_t> bytes = {10, 20, 30, 0, 940};
+  const auto b = make_buckets(bytes, 2);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1].first_layer, 4);
+  EXPECT_EQ(b[1].bytes, 940);
+  EXPECT_EQ(b[0].bytes, 60);
+}
+
+TEST(MakeBucketsTest, ParameterlessNetDegeneratesToOneEmptyBucket) {
+  const std::vector<std::int64_t> bytes = {0, 0, 0};
+  const auto b = make_buckets(bytes, 4);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].bytes, 0);
+  EXPECT_EQ(b[0].first_layer, 0);
+  EXPECT_EQ(b[0].last_layer, 2);
+}
+
+TEST(ScaleLayerBytesTest, SumsExactlyToTarget) {
+  const std::vector<std::int64_t> bytes = {130295, 716, 0, 2291864, 1909,
+                                           140768747, 62572373, 15276458};
+  const std::int64_t target = 232600000;
+  const auto scaled = scale_layer_bytes(bytes, target);
+  ASSERT_EQ(scaled.size(), bytes.size());
+  EXPECT_EQ(std::accumulate(scaled.begin(), scaled.end(),
+                            static_cast<std::int64_t>(0)),
+            target);
+  // Proportions preserved: zero stays zero, the dominant layer dominates.
+  EXPECT_EQ(scaled[2], 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 5) {
+      EXPECT_LT(scaled[i], scaled[5]);
+    }
+  }
+}
+
+TEST(ScaleLayerBytesTest, ZeroSourcePutsBudgetOnLastLayer) {
+  const auto scaled = scale_layer_bytes({0, 0, 0}, 1000);
+  EXPECT_EQ(scaled[0], 0);
+  EXPECT_EQ(scaled[1], 0);
+  EXPECT_EQ(scaled[2], 1000);
+}
+
+TEST(ScaleLayerBytesTest, IdentityWhenAlreadyAtTarget) {
+  const std::vector<std::int64_t> bytes = {100, 250, 650};
+  EXPECT_EQ(scale_layer_bytes(bytes, 1000), bytes);
+}
+
+// A linear cost function for schedule checks: alpha + bytes / bw.
+BucketCostFn linear_cost(double alpha, double bw) {
+  return [alpha, bw](std::int64_t bytes) {
+    CostBreakdown c;
+    c.seconds = alpha + static_cast<double>(bytes) / bw;
+    c.alpha_terms = 1;
+    c.beta1_bytes = bytes;
+    return c;
+  };
+}
+
+TEST(ScheduleOverlapTest, SingleBucketReproducesSerialBitExactly) {
+  const std::vector<std::int64_t> bytes = {100, 300, 600};
+  const std::vector<double> bwd = {0.3, 0.2, 0.1};
+  const double compute = 1.0;
+  const auto cost = linear_cost(0.01, 1e4);
+  const auto b = make_buckets(bytes, 1);
+  const auto tl = schedule_overlap(b, bwd, compute, cost);
+  ASSERT_EQ(tl.buckets.size(), 1u);
+  // Bit-exact degenerate contract: ready at exactly compute end, finish at
+  // exactly compute + the collective's seconds.
+  EXPECT_EQ(tl.buckets[0].ready_s, compute);
+  EXPECT_EQ(tl.buckets[0].start_s, compute);
+  EXPECT_EQ(tl.finish_s, compute + cost(1000).seconds);
+  // exposed is derived as finish - compute (one rounding step away from the
+  // raw collective seconds), exactly:
+  EXPECT_EQ(tl.exposed_comm_s, tl.finish_s - tl.compute_s);
+  EXPECT_NEAR(tl.exposed_comm_s, cost(1000).seconds, 1e-12);
+}
+
+TEST(ScheduleOverlapTest, NetworkServesBucketsAsBusyIntervals) {
+  const std::vector<std::int64_t> bytes = {100, 100, 100, 100};
+  const std::vector<double> bwd = {0.1, 0.1, 0.1, 0.1};
+  const auto b = make_buckets(bytes, 4);
+  ASSERT_EQ(b.size(), 4u);
+  const auto tl = schedule_overlap(b, bwd, 0.4, linear_cost(0.0, 1e3));
+  ASSERT_EQ(tl.buckets.size(), 4u);
+  for (std::size_t i = 0; i < tl.buckets.size(); ++i) {
+    const auto& t = tl.buckets[i];
+    EXPECT_GE(t.start_s, t.ready_s);
+    EXPECT_DOUBLE_EQ(t.end_s, t.start_s + t.cost.seconds);
+    // Single network resource: no two collectives overlap.
+    if (i > 0) {
+      EXPECT_GE(t.start_s, tl.buckets[i - 1].end_s);
+    }
+  }
+  // Service order is reverse layer order: ready times ascend... backward
+  // produces the LAST layers first, so the first-served bucket is ready
+  // earliest.
+  for (std::size_t i = 1; i < tl.buckets.size(); ++i) {
+    EXPECT_GE(tl.buckets[i].ready_s, tl.buckets[i - 1].ready_s);
+  }
+  EXPECT_DOUBLE_EQ(tl.exposed_comm_s,
+                   std::max(0.0, tl.finish_s - tl.compute_s));
+}
+
+TEST(ScheduleOverlapTest, OverlapHidesCommUnderBackward) {
+  // Comm comparable to backward: bucketing must strictly beat the serial
+  // schedule, and comm can never finish before its data is ready.
+  const std::vector<std::int64_t> bytes(10, 1000);
+  const std::vector<double> bwd(10, 0.1);
+  const auto cost = linear_cost(0.0, 1e4);  // 0.1 s per bucket
+  const auto serial =
+      schedule_overlap(make_buckets(bytes, 1), bwd, 1.0, cost);
+  const auto split =
+      schedule_overlap(make_buckets(bytes, 10), bwd, 1.0, cost);
+  EXPECT_LT(split.finish_s, serial.finish_s);
+  EXPECT_GT(split.finish_s, split.compute_s);  // the tail bucket is exposed
+  for (const auto& t : split.buckets) EXPECT_GE(t.start_s, t.ready_s);
+}
+
+TEST(ScheduleOverlapTest, TraceEmitsOneSpanPerBucket) {
+  const std::vector<std::int64_t> bytes = {500, 500};
+  const std::vector<double> bwd = {0.1, 0.1};
+  const auto tl = schedule_overlap(make_buckets(bytes, 2), bwd, 0.5,
+                                   linear_cost(0.001, 1e4));
+  trace::Tracer tracer;
+  trace_overlap(&tracer, 3, tl);
+  int spans = 0;
+  for (const auto& s : tracer.spans()) {
+    if (s.category == "comm.allreduce") ++spans;
+  }
+  EXPECT_EQ(spans, 2);
+  trace_overlap(nullptr, 0, tl);  // null tracer is a no-op, not a crash
+}
+
+}  // namespace
+}  // namespace swcaffe::topo

@@ -308,6 +308,108 @@ TEST(FullStackTest, NodeRunnerSsgdMatchesBigBatchTraining) {
   EXPECT_EQ(w_dist, w_other);
 }
 
+TEST(SsgdTest, BucketedAllreduceBitIdenticalToSingleMessage) {
+  // The bucketed all-reduce is elementwise identical to the single packed
+  // message, so trained weights must match BIT FOR BIT for any bucket count.
+  const int nodes = 4, sub_batch = 2, dim = 5, classes = 2;
+  core::SolverSpec solver;
+  solver.base_lr = 0.1f;
+  solver.momentum = 0.9f;
+  auto train = [&](int buckets) {
+    SsgdOptions opt;
+    opt.supernode_size = 2;
+    opt.buckets = buckets;
+    SsgdTrainer trainer(mlp(sub_batch, dim, 6, classes), nodes, solver, opt,
+                        17);
+    base::Rng rng(18);
+    std::vector<float> data, labels;
+    for (int it = 0; it < 4; ++it) {
+      random_batch(data, labels, nodes * sub_batch, dim, classes, rng);
+      trainer.step(data, labels);
+    }
+    std::vector<float> w(trainer.node(0).param_count());
+    trainer.node(0).pack_params(w);
+    return w;
+  };
+  const auto w1 = train(1);
+  EXPECT_EQ(train(2), w1);
+  EXPECT_EQ(train(5), w1);
+}
+
+TEST(SsgdTest, BucketLayoutTilesThePackedMessage) {
+  SsgdOptions opt;
+  opt.supernode_size = 2;
+  opt.buckets = 3;
+  core::SolverSpec solver;
+  SsgdTrainer trainer(mlp(2, 5, 6, 2), 4, solver, opt, 19);
+  const auto& layout = trainer.bucket_layout();
+  // mlp has two parameterized layers (fc1, fc2): the request clamps to 2.
+  ASSERT_EQ(layout.size(), 2u);
+  std::int64_t bytes = 0;
+  for (const auto& b : layout) bytes += b.bytes;
+  EXPECT_EQ(bytes, static_cast<std::int64_t>(trainer.node(0).param_count() *
+                                             sizeof(float)));
+  // Per-bucket breakdowns sum to last_comm() (alpha terms are additive).
+  base::Rng rng(20);
+  std::vector<float> data, labels;
+  random_batch(data, labels, 8, 5, 2, rng);
+  trainer.step(data, labels);
+  ASSERT_EQ(trainer.last_comm_buckets().size(), 2u);
+  int alpha = 0;
+  double seconds = 0.0;
+  for (const auto& c : trainer.last_comm_buckets()) {
+    alpha += c.alpha_terms;
+    seconds += c.seconds;
+  }
+  EXPECT_EQ(alpha, trainer.last_comm().alpha_terms);
+  EXPECT_DOUBLE_EQ(seconds, trainer.last_comm().seconds);
+}
+
+TEST(SsgdTest, ThreadedReplicasBitIdenticalToSerial) {
+  // The worker pool only changes WHO runs each replica, never the math or
+  // the gather order: losses and trained weights match serial bit for bit.
+  const int nodes = 4, sub_batch = 2, dim = 5, classes = 2;
+  core::SolverSpec solver;
+  solver.base_lr = 0.1f;
+  solver.momentum = 0.9f;
+  auto train = [&](int threads, std::vector<double>& losses) {
+    SsgdOptions opt;
+    opt.supernode_size = 2;
+    opt.threads = threads;
+    SsgdTrainer trainer(mlp(sub_batch, dim, 6, classes), nodes, solver, opt,
+                        23);
+    base::Rng rng(24);
+    std::vector<float> data, labels;
+    for (int it = 0; it < 4; ++it) {
+      random_batch(data, labels, nodes * sub_batch, dim, classes, rng);
+      losses.push_back(trainer.step(data, labels));
+    }
+    std::vector<float> w(trainer.node(0).param_count());
+    trainer.node(0).pack_params(w);
+    return w;
+  };
+  std::vector<double> serial_losses, threaded_losses;
+  const auto w_serial = train(1, serial_losses);
+  const auto w_threaded = train(4, threaded_losses);
+  EXPECT_EQ(w_threaded, w_serial);
+  EXPECT_EQ(threaded_losses, serial_losses);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  // Reusable across calls, including empty and single-element ranges.
+  pool.parallel_for(5, 5, [&](int) { ADD_FAILURE() << "empty range ran"; });
+  std::atomic<int> one{0};
+  pool.parallel_for(7, 8, [&](int i) {
+    EXPECT_EQ(i, 7);
+    one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
 TEST(ScalabilityTest, SpeedupGrowsAndCommFractionRises) {
   hw::CostModel cost;
   const auto descs = fixtures::alexnet_per_cg_descs();  // B/4
@@ -322,6 +424,50 @@ TEST(ScalabilityTest, SpeedupGrowsAndCommFractionRises) {
   // Sub-linear at scale: the paper reports 715x at 1024 nodes for B=256.
   EXPECT_LT(curve.back().speedup, 1024.0);
   EXPECT_GT(curve.back().speedup, 200.0);
+}
+
+TEST(ScalabilityTest, SingleBucketOverlapReproducesSerialModel) {
+  hw::CostModel cost;
+  const auto descs = fixtures::alexnet_per_cg_descs();
+  SsgdOptions opt;  // buckets = 1
+  const auto curve = scalability_curve(
+      cost, descs, fixtures::kAlexNetGradientBytes, opt, {4, 64, 1024});
+  for (const auto& pt : curve) {
+    // Degenerate contract: one bucket means the collective starts exactly
+    // at the compute end, so the overlapped time IS the serial time.
+    EXPECT_EQ(pt.buckets, 1);
+    EXPECT_EQ(pt.overlap_s, pt.comp_s + pt.comm_s) << pt.nodes;
+    // exposed = finish - compute: one rounding step from comm_s itself.
+    EXPECT_DOUBLE_EQ(pt.exposed_comm_s, pt.comm_s) << pt.nodes;
+  }
+}
+
+TEST(ScalabilityTest, OverlappedSeriesNeverSlowerAndHidesCommAtScale) {
+  hw::CostModel cost;
+  const auto descs = fixtures::alexnet_per_cg_descs();
+  SsgdOptions opt;
+  opt.buckets = 8;
+  const auto curve = scalability_curve(cost, descs,
+                                       fixtures::kAlexNetGradientBytes, opt,
+                                       {4, 16, 64, 256, 1024});
+  for (const auto& pt : curve) {
+    EXPECT_GT(pt.buckets, 1) << pt.nodes;
+    // Overlap can only help: the bucketed finish never exceeds serial, and
+    // exposed comm never exceeds the full collective.
+    EXPECT_LE(pt.overlap_s, pt.comp_s + pt.comm_s + 1e-12) << pt.nodes;
+    EXPECT_LE(pt.exposed_comm_s, pt.comm_s + 1e-12) << pt.nodes;
+    EXPECT_GE(pt.overlap_speedup, pt.speedup - 1e-9) << pt.nodes;
+    // Consistency: overlap_s = comp + exposed comm.
+    EXPECT_NEAR(pt.overlap_s, pt.comp_s + pt.exposed_comm_s, 1e-9)
+        << pt.nodes;
+  }
+  // At moderate scale comm fits under backward and some of it must
+  // actually hide (strict win over the serial schedule).
+  bool any_strict_win = false;
+  for (const auto& pt : curve) {
+    if (pt.overlap_s < pt.comp_s + pt.comm_s - 1e-12) any_strict_win = true;
+  }
+  EXPECT_TRUE(any_strict_win);
 }
 
 }  // namespace

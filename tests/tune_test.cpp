@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/log.h"
 #include "check/plan_model.h"
 #include "check/rules.h"
 #include "check/verify.h"
@@ -19,8 +20,12 @@
 #include "fixtures.h"
 #include "hw/cost_model.h"
 #include "swdnn/conv_plan.h"
+#include "swdnn/layer_estimate.h"
 #include "swgemm/estimate.h"
+#include "topo/allreduce.h"
+#include "topo/overlap.h"
 #include "trace/tracer.h"
+#include "tune/bucket_tune.h"
 #include "tune/plan_cache.h"
 #include "tune/search_space.h"
 #include "tune/tuner.h"
@@ -242,6 +247,108 @@ TEST(PlanCacheTest, WarmCacheSkipsSearchEntirely) {
   EXPECT_EQ(count_instants(warm_trace, "tune.cache_hit"), convs);
   EXPECT_EQ(warm.stats().cache_hits, convs);
   EXPECT_EQ(warm.stats().layers_tuned, 0);
+}
+
+// --- Bucket-count search (overlapped all-reduce) -----------------------------
+
+topo::BucketCostFn rhd_cost(int nodes) {
+  topo::Topology topo;
+  topo.num_nodes = nodes;
+  const topo::NetParams net = topo::sunway_network();
+  return [topo, net](std::int64_t bytes) {
+    return topo::cost_rhd(bytes, topo, net, topo::Placement::kRoundRobin);
+  };
+}
+
+TEST(BucketTuneTest, TunedNeverSlowerThanSerialForPaperNets) {
+  hw::CostModel cost;
+  struct NetCase {
+    const char* name;
+    std::vector<core::LayerDesc> descs;
+    std::int64_t param_bytes;
+  };
+  const std::vector<NetCase> nets = {
+      {"alexnet", fixtures::alexnet_per_cg_descs(),
+       fixtures::kAlexNetGradientBytes},
+      {"vgg16", fixtures::vgg_per_cg_descs(16), 0},
+  };
+  for (const auto& nc : nets) {
+    const dnn::NetTimeline tl = dnn::estimate_net_timeline(cost, nc.descs);
+    std::vector<std::int64_t> layer_bytes;
+    for (const auto& d : nc.descs) layer_bytes.push_back(d.param_bytes());
+    if (nc.param_bytes > 0) {
+      layer_bytes = topo::scale_layer_bytes(layer_bytes, nc.param_bytes);
+    }
+    for (int nodes : {4, 16, 64, 256, 1024}) {
+      const BucketChoice choice =
+          tune_buckets(layer_bytes, tl.bwd_s, tl.total_s, rhd_cost(nodes));
+      EXPECT_LE(choice.overlapped_s, choice.serial_s)
+          << nc.name << " @ " << nodes;
+      EXPECT_GE(choice.buckets, 1) << nc.name << " @ " << nodes;
+      // The k=1 baseline is always candidate zero and always legal.
+      ASSERT_FALSE(choice.candidates.empty());
+      EXPECT_EQ(choice.candidates.front().requested, 1);
+      EXPECT_TRUE(choice.candidates.front().legal);
+      EXPECT_EQ(choice.candidates.front().finish_s, choice.serial_s);
+    }
+  }
+}
+
+TEST(BucketTuneTest, FindsStrictWinWhereCommFitsUnderBackward) {
+  // At 16 nodes AlexNet's collective is comparable to backward: splitting
+  // the packed message must strictly beat the serial schedule.
+  hw::CostModel cost;
+  const auto descs = fixtures::alexnet_per_cg_descs();
+  const dnn::NetTimeline tl = dnn::estimate_net_timeline(cost, descs);
+  std::vector<std::int64_t> layer_bytes;
+  for (const auto& d : descs) layer_bytes.push_back(d.param_bytes());
+  layer_bytes =
+      topo::scale_layer_bytes(layer_bytes, fixtures::kAlexNetGradientBytes);
+  const BucketChoice choice =
+      tune_buckets(layer_bytes, tl.bwd_s, tl.total_s, rhd_cost(16));
+  EXPECT_LT(choice.overlapped_s, choice.serial_s);
+  EXPECT_GT(choice.buckets, 1);
+  EXPECT_LT(choice.exposed_comm_s, choice.serial_s - tl.total_s);
+}
+
+TEST(BucketTuneTest, IllegalBaselineIsLoudlyRejected) {
+  // The k=1 bucket is the whole packed message — the largest round any
+  // layout buffers — so a resend buffer that cannot hold it invalidates the
+  // baseline itself. That is a configuration error (the trainer could not
+  // re-send a dropped round at all), and the search refuses to return a
+  // choice built on an illegal baseline.
+  const std::vector<std::int64_t> layer_bytes = {4000, 4000, 4000, 4000};
+  const std::vector<double> bwd = {0.1, 0.1, 0.1, 0.1};
+  const auto cost = [](std::int64_t bytes) {
+    topo::CostBreakdown c;
+    c.seconds = 1e-3 + static_cast<double>(bytes) * 1e-7;
+    c.alpha_terms = 1;
+    return c;
+  };
+  BucketTuneOptions opts;
+  opts.max_buckets = 4;
+  opts.eager_limit = 0;             // rounds fully buffered
+  opts.resend_buffer_bytes = 6000;  // the 16000 B packed message overflows
+  EXPECT_THROW(tune_buckets(layer_bytes, bwd, 0.4, cost, opts),
+               base::CheckError);
+  // An eager cutoff below the buffer caps every buffered round: the same
+  // configuration becomes legal for every candidate and the search runs.
+  opts.eager_limit = 2000;
+  const BucketChoice choice = tune_buckets(layer_bytes, bwd, 0.4, cost, opts);
+  EXPECT_LE(choice.overlapped_s, choice.serial_s);
+  for (const auto& c : choice.candidates) EXPECT_TRUE(c.legal);
+}
+
+TEST(BucketTuneTest, CandidateMenuLeadsWithOneAndDeduplicates) {
+  const auto menu = bucket_count_candidates(32);
+  ASSERT_FALSE(menu.empty());
+  EXPECT_EQ(menu.front(), 1);
+  for (std::size_t i = 1; i < menu.size(); ++i) {
+    EXPECT_GT(menu[i], menu[i - 1]);
+    EXPECT_LE(menu[i], 32);
+  }
+  // Degenerate request still yields the serial baseline.
+  EXPECT_EQ(bucket_count_candidates(0), std::vector<int>{1});
 }
 
 }  // namespace
