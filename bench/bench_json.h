@@ -2,12 +2,15 @@
 // its headline numbers as named metrics and, when invoked with
 // `--json <path>` (or `--json=<path>`), writes them as one JSON object
 //
-//   {"bench": "<name>", "metrics": {"<metric>": <value>, ...}}
+//   {"bench": "<name>", "schema_version": N, "metrics": {...}}
 //
 // on destruction — the machine-readable twin of the printed tables, suitable
-// for checking into BENCH_*.json files or diffing across commits. Without
-// the flag the helper is inert. (bench_gemm links google-benchmark and uses
-// its native --benchmark_out instead.)
+// for checking into BENCH_*.json files or diffing across commits. The
+// schema_version field lets downstream tooling (CI gates, trend dashboards)
+// detect emitter-format changes instead of misparsing old files; bump
+// kBenchJsonSchemaVersion whenever the envelope shape changes. Without the
+// flag the helper is inert. (bench_gemm links google-benchmark and uses its
+// native --benchmark_out instead.)
 #pragma once
 
 #include <cctype>
@@ -20,6 +23,9 @@
 #include <vector>
 
 namespace swcaffe::bench {
+
+/// Version of the BENCH_*.json envelope: v2 added this field itself.
+inline constexpr int kBenchJsonSchemaVersion = 2;
 
 /// Sanitizes a human-facing label ("VGG-16 (B=16/CG)") into a metric key
 /// ("vgg_16_b_16_cg"): lowercase, runs of non-alphanumerics collapse to '_'.
@@ -59,7 +65,8 @@ class JsonBench {
       std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
       return;
     }
-    out << "{\"bench\": \"" << name_ << "\", \"metrics\": {";
+    out << "{\"bench\": \"" << name_ << "\", \"schema_version\": "
+        << kBenchJsonSchemaVersion << ", \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       if (i > 0) out << ", ";
       out << '"' << metrics_[i].first << "\": ";

@@ -52,8 +52,9 @@ int main(int argc, char** argv) {
       {"VGG-19", fixtures::vgg_spec(19),
        fixtures::vgg_spec(19, fixtures::kVggBatchPerCg), fixtures::kVggBatch,
        1.07, 11.2, 5.52},
-      {"ResNet-50", core::resnet50(32), core::resnet50(8), 32, 1.99, 25.45,
-       5.56},
+      {"ResNet-50", fixtures::resnet50_spec(),
+       fixtures::resnet50_spec(fixtures::kResNet50BatchPerCg),
+       fixtures::kResNet50Batch, 1.99, 25.45, 5.56},
       {"GoogleNet", core::googlenet(128), core::googlenet(32), 128, 4.92,
        66.09, 14.97},
   };

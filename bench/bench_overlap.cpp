@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
         core::total_param_bytes(core::describe_net_spec(vgg));
     series.push_back({"VGG-16 B=128", std::move(vgg), bytes, true});
   }
-  series.push_back({"ResNet50 B=64", core::resnet50(16),
+  series.push_back({"ResNet50 B=64",
+                    fixtures::resnet50_spec(2 * fixtures::kResNet50BatchPerCg),
                     fixtures::kResNet50GradientBytes, false});
 
   const parallel::SsgdOptions opt;  // binomial RHD, round-robin, q = 256

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
                     fixtures::kAlexNetGradientBytes, 561.58, 45.15});
   series.push_back({"AlexNet B=256", core::alexnet_bn(64),
                     fixtures::kAlexNetGradientBytes, 715.45, 30.13});
-  series.push_back({"ResNet50 B=32", core::resnet50(8),
+  series.push_back({"ResNet50 B=32",
+                    fixtures::resnet50_spec(fixtures::kResNet50BatchPerCg),
                     fixtures::kResNet50GradientBytes, 928.15, 10.65});
   series.push_back({"ResNet50 B=64", core::resnet50(16),
                     fixtures::kResNet50GradientBytes, 828.32, 19.11});

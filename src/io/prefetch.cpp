@@ -1,5 +1,7 @@
 #include "io/prefetch.h"
 
+#include <algorithm>
+
 #include "base/log.h"
 
 namespace swcaffe::io {
@@ -84,10 +86,14 @@ void Prefetcher::worker() {
       augment(image, b.images.data() + i * img);
       b.labels[i] = static_cast<float>(data_.label_of(idx));
     }
-    b.simulated_read_s = read_time(
-        disk_, layout_, num_procs_,
-        static_cast<std::int64_t>(batch_) * spec.sample_bytes(),
-        spec.num_samples * spec.sample_bytes());
+    // A with-replacement batch larger than the dataset necessarily repeats
+    // samples; the disk serves each byte at most once per batch, so the
+    // billed read is capped at the whole file.
+    const std::int64_t file_bytes = spec.num_samples * spec.sample_bytes();
+    const std::int64_t read_bytes = std::min(
+        static_cast<std::int64_t>(batch_) * spec.sample_bytes(), file_bytes);
+    b.simulated_read_s =
+        read_time(disk_, layout_, num_procs_, read_bytes, file_bytes);
 
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return stop_ || queue_.size() < queue_depth_; });

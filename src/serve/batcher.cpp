@@ -1,0 +1,186 @@
+#include "serve/batcher.h"
+
+#include <deque>
+#include <string>
+
+#include "base/log.h"
+#include "topo/overlap.h"
+
+namespace swcaffe::serve {
+
+namespace {
+
+/// Event-loop state shared by the arrival and launch handlers.
+struct Server {
+  const InferenceEngine& engine;
+  const ServeOptions& opts;
+  ServeResult result;
+  std::deque<std::int64_t> queue;  ///< admitted request ids, FIFO
+  topo::BusyResource busy;
+
+  trace::Tracer* tracer() const { return opts.tracer; }
+  int server_track() const { return opts.trace_track; }
+  int request_track() const { return opts.trace_track + 1; }
+  int batch_track() const { return opts.trace_track + 2; }
+
+  /// Advances the request-track clock to the event time (event times are
+  /// non-decreasing, so the clock never rewinds) and samples queue depth.
+  void mark_time(double t_s) {
+    if (trace::Tracer* tr = tracer()) {
+      if (t_s > tr->now(request_track())) tr->set_clock(request_track(), t_s);
+      tr->counter(request_track(), "serve.queue_depth",
+                  static_cast<double>(queue.size()));
+    }
+  }
+
+  /// Conservative completion bound for a request arriving at `t_s` with the
+  /// current queue (see file header of batcher.h for why it is an upper
+  /// bound on the actual finish time).
+  double predict_completion(double t_s) const {
+    const int max_batch = opts.batcher.max_batch;
+    const double worst_forward = engine.batch_time(max_batch);
+    const std::int64_t batches_ahead =
+        static_cast<std::int64_t>(queue.size()) / max_batch;
+    const double backlog_free =
+        busy.busy_until() > t_s + opts.batcher.max_delay_s
+            ? busy.busy_until()
+            : t_s + opts.batcher.max_delay_s;
+    return backlog_free +
+           static_cast<double>(batches_ahead + 1) * worst_forward;
+  }
+
+  void on_arrival(std::int64_t id, double t_s) {
+    mark_time(t_s);
+    ++result.offered;
+    RequestRecord& r = result.requests[static_cast<std::size_t>(id)];
+    const double predicted = predict_completion(t_s);
+    r.predicted_s = predicted;
+    if (opts.admission.enabled && predicted > t_s + opts.admission.slo_s) {
+      ++result.rejected;
+      if (trace::Tracer* tr = tracer()) {
+        tr->instant(request_track(), "reject req " + std::to_string(id),
+                    "serve.reject");
+      }
+      return;
+    }
+    r.admitted = true;
+    ++result.admitted;
+    queue.push_back(id);
+    if (static_cast<int>(queue.size()) >= opts.batcher.max_batch) {
+      launch(t_s);
+    }
+  }
+
+  /// Forms a batch from the queue head and places it on the server's busy
+  /// interval: start = max(formation time, previous batch's finish).
+  void launch(double t_s) {
+    SWC_CHECK(!queue.empty());
+    BatchRecord b;
+    b.id = static_cast<int>(result.batches.size());
+    b.size = static_cast<int>(queue.size()) < opts.batcher.max_batch
+                 ? static_cast<int>(queue.size())
+                 : opts.batcher.max_batch;
+    b.first_arrival_s =
+        result.requests[static_cast<std::size_t>(queue.front())].arrival_s;
+    b.forward_s = engine.batch_time(b.size);
+    b.launch_s = busy.serve(t_s, b.forward_s);
+    b.finish_s = b.launch_s + b.forward_s;
+
+    trace::Tracer* tr = tracer();
+    for (int i = 0; i < b.size; ++i) {
+      const std::int64_t id = queue.front();
+      queue.pop_front();
+      RequestRecord& r = result.requests[static_cast<std::size_t>(id)];
+      r.batch = b.id;
+      r.launch_s = b.launch_s;
+      r.finish_s = b.finish_s;
+      if (tr) {
+        tr->async_span(request_track(), "req " + std::to_string(id),
+                       "serve.queue", r.arrival_s, b.launch_s);
+      }
+    }
+    if (tr) {
+      const std::string label =
+          "batch " + std::to_string(b.id) + " (x" + std::to_string(b.size) +
+          ")";
+      // Formation (oldest arrival -> launch) overlaps the previous batch's
+      // forward pass, so it lives on its own track as an async span; the
+      // forward pass itself is sequential on the server track.
+      tr->async_span(batch_track(), label, "serve.batch", b.first_arrival_s,
+                     b.launch_s);
+      tr->set_clock(server_track(), b.launch_s);
+      tr->begin_span(server_track(), label, "serve.forward");
+      tr->end_span(server_track(), b.forward_s);
+    }
+    result.batches.push_back(b);
+  }
+};
+
+}  // namespace
+
+ServeResult simulate_serving(const InferenceEngine& engine,
+                             const std::vector<double>& arrivals,
+                             const ServeOptions& options) {
+  SWC_CHECK_GE(options.batcher.max_batch, 1);
+  SWC_CHECK_LE(options.batcher.max_batch, engine.max_batch());
+  SWC_CHECK_GE(options.batcher.max_delay_s, 0.0);
+  SWC_CHECK_GT(options.admission.slo_s, 0.0);
+
+  Server server{engine, options, {}, {}, {}};
+  server.result.requests.resize(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    SWC_CHECK_MSG(i == 0 || arrivals[i] > arrivals[i - 1],
+                  "arrivals must be strictly increasing");
+    server.result.requests[i].id = static_cast<std::int64_t>(i);
+    server.result.requests[i].arrival_s = arrivals[i];
+  }
+
+  if (trace::Tracer* tr = options.tracer) {
+    tr->set_track_name(server.server_track(), "serve.server");
+    tr->set_track_name(server.request_track(), "serve.requests");
+    tr->set_track_name(server.batch_track(), "serve.batches");
+  }
+
+  // Two event sources, merged in time order: the next arrival and the
+  // queue's launch deadline (oldest member's arrival + max_delay). Ties go
+  // to the deadline so a max_delay of zero degenerates to batch-of-one
+  // serving, the unbatched baseline.
+  std::size_t next = 0;
+  while (next < arrivals.size() || !server.queue.empty()) {
+    if (!server.queue.empty()) {
+      const double deadline =
+          server.result.requests[static_cast<std::size_t>(server.queue.front())]
+              .arrival_s +
+          options.batcher.max_delay_s;
+      if (next >= arrivals.size() || deadline <= arrivals[next]) {
+        server.mark_time(deadline);
+        server.launch(deadline);
+        continue;
+      }
+    }
+    server.on_arrival(static_cast<std::int64_t>(next), arrivals[next]);
+    ++next;
+  }
+
+  ServeResult& res = server.result;
+  if (res.offered > 0) {
+    res.rejection_rate =
+        static_cast<double>(res.rejected) / static_cast<double>(res.offered);
+  }
+  if (!res.batches.empty()) {
+    res.makespan_s = res.batches.back().finish_s;
+    res.throughput_rps = static_cast<double>(res.admitted) / res.makespan_s;
+    res.utilization = server.busy.busy_s() / res.makespan_s;
+    res.mean_batch_size = static_cast<double>(res.admitted) /
+                          static_cast<double>(res.batches.size());
+  }
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(res.admitted));
+  for (const RequestRecord& r : res.requests) {
+    if (r.admitted) latencies.push_back(r.latency_s());
+  }
+  res.latency = latency_stats(std::move(latencies));
+  return res;
+}
+
+}  // namespace swcaffe::serve

@@ -1,0 +1,40 @@
+// swserve request records — the currency of the serving simulator.
+//
+// A request is one inference query of the open-loop arrival stream; the
+// simulator fills in its full lifecycle (admission verdict, batch
+// membership, launch/finish times) so latency accounting and trace export
+// are pure post-processing over these records.
+#pragma once
+
+#include <cstdint>
+
+namespace swcaffe::serve {
+
+/// One request's complete lifecycle through the serving engine. Times are
+/// simulated seconds on the service clock (t = 0 is the start of the run).
+struct RequestRecord {
+  std::int64_t id = 0;       ///< arrival index (FIFO order)
+  double arrival_s = 0.0;    ///< open-loop arrival time
+  bool admitted = false;     ///< passed the SLO admission predicate
+  double predicted_s = 0.0;  ///< completion the admission predicate foresaw
+  int batch = -1;            ///< index into ServeResult::batches (-1: shed)
+  double launch_s = 0.0;     ///< the request's batch started its forward pass
+  double finish_s = 0.0;     ///< the batch's forward pass completed
+
+  /// End-to-end latency (queue wait + batch formation + forward).
+  double latency_s() const { return finish_s - arrival_s; }
+  /// Time spent queued before the engine started the batch.
+  double queue_s() const { return launch_s - arrival_s; }
+};
+
+/// One coalesced batch the engine executed.
+struct BatchRecord {
+  int id = 0;
+  int size = 0;              ///< requests served (1 <= size <= max_batch)
+  double first_arrival_s = 0.0;  ///< oldest member's arrival
+  double launch_s = 0.0;     ///< forward pass start (busy-interval placement)
+  double finish_s = 0.0;     ///< launch + priced forward time
+  double forward_s = 0.0;    ///< the cost-model forward time at this size
+};
+
+}  // namespace swcaffe::serve

@@ -1,0 +1,35 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+
+namespace swcaffe::serve {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  SWC_CHECK(!sorted.empty());
+  SWC_CHECK_GT(q, 0.0);
+  SWC_CHECK_LE(q, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+LatencyStats latency_stats(std::vector<double> latencies) {
+  LatencyStats s;
+  if (latencies.empty()) return s;
+  std::sort(latencies.begin(), latencies.end());
+  s.count = static_cast<int>(latencies.size());
+  s.min_s = latencies.front();
+  s.max_s = latencies.back();
+  double sum = 0.0;
+  for (const double v : latencies) sum += v;
+  s.mean_s = sum / static_cast<double>(latencies.size());
+  s.p50_s = percentile(latencies, 0.50);
+  s.p95_s = percentile(latencies, 0.95);
+  s.p99_s = percentile(latencies, 0.99);
+  return s;
+}
+
+}  // namespace swcaffe::serve

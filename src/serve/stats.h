@@ -1,0 +1,27 @@
+// Latency/throughput accounting for swserve runs.
+#pragma once
+
+#include <vector>
+
+namespace swcaffe::serve {
+
+/// Percentile summary of a latency sample. Percentiles use the nearest-rank
+/// definition (ceil(q*N)-th smallest), which is exact, deterministic and
+/// never interpolates — the same number every serving paper reports.
+struct LatencyStats {
+  int count = 0;
+  double min_s = 0.0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Nearest-rank percentile of `sorted` (ascending, non-empty), q in (0, 1].
+double percentile(const std::vector<double>& sorted, double q);
+
+/// Summary of an arbitrary latency sample (unsorted ok; empty -> all zero).
+LatencyStats latency_stats(std::vector<double> latencies);
+
+}  // namespace swcaffe::serve

@@ -123,7 +123,7 @@ OverlapTimeline schedule_overlap(const std::vector<GradientBucket>& buckets,
 
   OverlapTimeline tl;
   tl.compute_s = compute_s;
-  double busy_until = 0.0;
+  BusyResource network;
   // Service in reverse layer order: backward produces the highest layers'
   // gradients first. ready = compute_s - prefix[first_layer] is exact (no
   // re-accumulation drift): the bucket starting at layer 0 is ready at
@@ -138,14 +138,13 @@ OverlapTimeline schedule_overlap(const std::vector<GradientBucket>& buckets,
     t.bucket = bucket;
     t.ready_s = compute_s - prefix[bucket.first_layer];
     t.cost = bucket_cost(bucket.bytes);
-    t.start_s = std::max(t.ready_s, busy_until);
+    t.start_s = network.serve(t.ready_s, t.cost.seconds);
     t.end_s = t.start_s + t.cost.seconds;
-    busy_until = t.end_s;
     tl.comm_s += t.cost.seconds;
     tl.alpha_terms += t.cost.alpha_terms;
     tl.buckets.push_back(t);
   }
-  tl.finish_s = std::max(compute_s, busy_until);
+  tl.finish_s = std::max(compute_s, network.busy_until());
   tl.exposed_comm_s = std::max(0.0, tl.finish_s - compute_s);
   return tl;
 }

@@ -71,6 +71,33 @@ std::vector<std::int64_t> scale_layer_bytes(
 /// al., bound by the caller so this module stays algorithm-agnostic).
 using BucketCostFn = std::function<CostBreakdown(std::int64_t bytes)>;
 
+/// One resource serving work items as busy intervals: an item that becomes
+/// ready at `ready_s` starts at max(ready_s, previous finish) and occupies
+/// the resource for `duration_s`. This is the scheduling core of
+/// schedule_overlap (one network serving gradient buckets) and of the
+/// swserve dynamic batcher (one inference engine serving request batches) —
+/// extracted so both timelines share the same discipline.
+class BusyResource {
+ public:
+  /// Schedules one item; returns its start time and advances the busy
+  /// horizon to start + duration_s (duration_s >= 0).
+  double serve(double ready_s, double duration_s) {
+    const double start = ready_s > busy_until_ ? ready_s : busy_until_;
+    busy_until_ = start + duration_s;
+    busy_s_ += duration_s;
+    return start;
+  }
+
+  /// Earliest time the next item could start.
+  double busy_until() const { return busy_until_; }
+  /// Total time the resource spent serving (for utilization accounting).
+  double busy_s() const { return busy_s_; }
+
+ private:
+  double busy_until_ = 0.0;
+  double busy_s_ = 0.0;
+};
+
 /// One bucket's placement on the simulated timeline.
 struct BucketTiming {
   GradientBucket bucket;

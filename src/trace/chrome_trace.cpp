@@ -146,6 +146,17 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
          ",\"name\":\"" + json_escape(i.name) + "\",\"cat\":\"" +
          json_escape(i.category) + "\"}");
   }
+  // Async spans ("b"/"e" pairs keyed by id): overlap-tolerant intervals —
+  // Perfetto gives each id its own sub-lane, so per-request queue spans that
+  // coexist in time render side by side instead of violating the B/E stack.
+  for (const AsyncSpan& a : tracer.async_spans()) {
+    const std::string common = ",\"pid\":0,\"tid\":" + std::to_string(a.track) +
+                               ",\"id\":" + std::to_string(a.id) +
+                               ",\"cat\":\"" + json_escape(a.category) +
+                               "\",\"name\":\"" + json_escape(a.name) + "\"";
+    emit("{\"ph\":\"b\",\"ts\":" + num(a.begin_s * 1e6) + common + "}");
+    emit("{\"ph\":\"e\",\"ts\":" + num(a.end_s * 1e6) + common + "}");
+  }
   os << "\n]}\n";
 }
 

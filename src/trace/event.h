@@ -46,4 +46,22 @@ struct InstantEvent {
   double t_s = 0.0;
 };
 
+/// One async span (chrome "b"/"e" event pair): a named interval that may
+/// OVERLAP other intervals on the same track. Duration spans are
+/// stack-disciplined per track (they must nest), which rules them out for
+/// per-request serving timelines where many requests queue concurrently;
+/// async spans carry an id instead of a stack position, so Perfetto renders
+/// each on its own sub-lane. Emitted with explicit times — they neither read
+/// nor move the track clock.
+struct AsyncSpan {
+  std::string name;
+  std::string category;
+  int track = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  std::int64_t id = 0;  ///< unique per tracer; ties the b/e pair together
+
+  double duration_s() const { return end_s - begin_s; }
+};
+
 }  // namespace swcaffe::trace

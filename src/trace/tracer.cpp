@@ -84,6 +84,16 @@ void Tracer::instant(int track_id, std::string name, std::string category) {
       {std::move(name), std::move(category), track_id, track(track_id).clock});
 }
 
+std::int64_t Tracer::async_span(int track_id, std::string name,
+                                std::string category, double begin_s,
+                                double end_s) {
+  SWC_CHECK_GE(end_s, begin_s);
+  const std::int64_t id = static_cast<std::int64_t>(async_spans_.size());
+  async_spans_.push_back(
+      {std::move(name), std::move(category), track_id, begin_s, end_s, id});
+  return id;
+}
+
 void Tracer::set_track_name(int track_id, std::string name) {
   track_names_[track_id] = std::move(name);
 }
@@ -99,6 +109,7 @@ void Tracer::clear() {
   spans_.clear();
   counters_.clear();
   instants_.clear();
+  async_spans_.clear();
   // track_names_ kept: naming is configuration, not recorded data.
 }
 

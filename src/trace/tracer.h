@@ -51,6 +51,15 @@ class Tracer {
   void counter(int track, std::string name, double value);
   void instant(int track, std::string name, std::string category);
 
+  // --- Async spans ------------------------------------------------------------
+  /// Records a possibly-overlapping interval on `track` with explicit begin/
+  /// end times (begin_s <= end_s). Unlike begin_span/end_span these are not
+  /// stack-disciplined and do not touch the track clock — the natural shape
+  /// for per-request serving timelines where many requests wait in a queue
+  /// at once. Returns the span's unique id.
+  std::int64_t async_span(int track, std::string name, std::string category,
+                          double begin_s, double end_s);
+
   // --- Track metadata ---------------------------------------------------------
   /// Names the track in the exported trace ("node", "cg0", ...).
   void set_track_name(int track, std::string name);
@@ -63,6 +72,7 @@ class Tracer {
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<CounterSample>& counters() const { return counters_; }
   const std::vector<InstantEvent>& instants() const { return instants_; }
+  const std::vector<AsyncSpan>& async_spans() const { return async_spans_; }
   /// Number of spans currently open across all tracks (0 after a balanced
   /// instrumentation pass).
   std::size_t open_spans() const;
@@ -83,6 +93,7 @@ class Tracer {
   std::vector<Span> spans_;
   std::vector<CounterSample> counters_;
   std::vector<InstantEvent> instants_;
+  std::vector<AsyncSpan> async_spans_;
 };
 
 /// RAII span guard that is a no-op when `tracer` is null.

@@ -21,6 +21,8 @@ inline constexpr int kAlexNetBatch = 256;
 inline constexpr int kAlexNetBatchPerCg = kAlexNetBatch / 4;
 inline constexpr int kVggBatch = 64;
 inline constexpr int kVggBatchPerCg = kVggBatch / 4;
+inline constexpr int kResNet50Batch = 32;
+inline constexpr int kResNet50BatchPerCg = kResNet50Batch / 4;
 
 /// Packed gradient messages of the scalability experiments (Sec. V /
 /// Fig. 10): AlexNet 232.6 MB, ResNet-50 97.7 MB.
@@ -55,6 +57,17 @@ inline std::vector<core::LayerDesc> vgg_descs(int depth,
 }
 inline std::vector<core::LayerDesc> vgg_per_cg_descs(int depth) {
   return vgg_descs(depth, kVggBatchPerCg);
+}
+
+/// ResNet-50 at the paper's geometry (224x224, 1000 classes).
+inline core::NetSpec resnet50_spec(int batch = kResNet50Batch) {
+  return core::resnet50(batch);
+}
+inline std::vector<core::LayerDesc> resnet50_descs(int batch = kResNet50Batch) {
+  return core::describe_net_spec(resnet50_spec(batch));
+}
+inline std::vector<core::LayerDesc> resnet50_per_cg_descs() {
+  return resnet50_descs(kResNet50BatchPerCg);
 }
 
 }  // namespace swcaffe::fixtures

@@ -218,5 +218,57 @@ TEST(PrefetcherTest, SimulatedReadTimeReflectsLayoutContention) {
   EXPECT_LT(striped.pop().simulated_read_s, single.pop().simulated_read_s);
 }
 
+TEST(PrefetcherTest, ZeroSampleDatasetThrows) {
+  DatasetSpec spec;
+  spec.num_samples = 0;
+  spec.channels = 1;
+  spec.height = spec.width = 4;
+  DiskParams disk;
+  EXPECT_THROW(Prefetcher(spec, disk, FileLayout::kStriped, 1),
+               base::CheckError);
+}
+
+TEST(PrefetcherTest, BatchLargerThanDatasetStillDelivers) {
+  // Sampling is with replacement, so a batch bigger than the dataset is
+  // legal: samples repeat but every batch stays well-formed.
+  DatasetSpec spec;
+  spec.num_samples = 3;
+  spec.classes = 2;
+  spec.channels = 1;
+  spec.height = spec.width = 4;
+  DiskParams disk;
+  Prefetcher pf(spec, disk, FileLayout::kStriped, /*batch=*/8);
+  for (int i = 0; i < 2; ++i) {
+    const Batch b = pf.pop();
+    EXPECT_EQ(b.images.size(), 8u * 16);
+    EXPECT_EQ(b.labels.size(), 8u);
+    for (float l : b.labels) {
+      EXPECT_GE(l, 0.0f);
+      EXPECT_LT(l, 2.0f);
+    }
+    EXPECT_GT(b.simulated_read_s, 0.0);
+  }
+}
+
+TEST(PrefetcherTest, ShutdownMidEpochJoinsCleanly) {
+  // Destroying a prefetcher whose worker is still filling the queue must
+  // join the thread promptly — whether or not any batch was consumed.
+  DatasetSpec spec;
+  spec.num_samples = 1024;
+  spec.classes = 8;
+  spec.channels = 1;
+  spec.height = spec.width = 8;
+  DiskParams disk;
+  {
+    Prefetcher untouched(spec, disk, FileLayout::kStriped, 16, 0, 1,
+                         /*queue_depth=*/8);
+  }
+  {
+    Prefetcher drained_once(spec, disk, FileLayout::kStriped, 16, 0, 1,
+                            /*queue_depth=*/8);
+    EXPECT_EQ(drained_once.pop().labels.size(), 16u);
+  }
+}
+
 }  // namespace
 }  // namespace swcaffe::io
