@@ -1,35 +1,63 @@
-// swcaffe_check: static plan linter for SW26010 kernel plans (swcheck).
+// swcaffe_check: static plan linter for SW26010 kernel plans (swcheck) and
+// whole-timeline schedules (swsched).
 //
-// Walks every layer of a network description and verifies, without running a
-// single simulated cycle, that the plans the simulator would execute respect
-// the hardware contracts: per-CPE LDM budgets (incl. double-buffering), DMA
-// legality and byte conservation against the cost model, deadlock-free RLC
-// schedules, and the implicit-convolution applicability rules of Table II.
+// Per-plan mode walks every layer of a network description and verifies,
+// without running a single simulated cycle, that the plans the simulator
+// would execute respect the hardware contracts: per-CPE LDM budgets (incl.
+// double-buffering), DMA legality and byte conservation against the cost
+// model, deadlock-free RLC schedules, and the implicit-convolution
+// applicability rules of Table II.
 //
-// Usage:
-//   swcaffe_check [--model M] [--batch B] [--classes C] [--image R]
-//                 [--nodes N] [--pedantic] [--quiet]
-//   swcaffe_check --paper         # all paper-scale AlexNet/VGG configs
-//   swcaffe_check --list-codes    # print the diagnostic code reference
-//   swcaffe_check <net.prototxt>  # lint a prototxt model
+// Timeline mode (--timeline) lifts the same discipline to whole
+// discrete-event schedules: it builds the overlapped bucketed all-reduce
+// timelines (k = 1..8 buckets), a short dynamic-batching serving run per
+// load multiple, the fault-replay retry ladder and the composed cross-node
+// collective graph for the model, runs the five swsched passes on each and
+// prints one diagnostic table. `--timeline=<file.json>` verifies exported
+// graphs instead of live ones.
 //
-// Models: alexnet | alexnet-orig | vgg16 | vgg19 | resnet50 | googlenet or a
-// prototxt path. Exit status: 0 when no errors (warnings allowed), 1 when
-// any error-severity diagnostic fired, 2 on usage errors.
+// Run with --help for flags and the exit-code contract.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "base/log.h"
+#include "check/timeline.h"
+#include "check/timeline_extract.h"
+#include "check/timeline_io.h"
 #include "check/verify.h"
 #include "core/models.h"
 #include "core/proto.h"
+#include "fault/resilient_comm.h"
 #include "hw/cost_model.h"
+#include "serve/arrival.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "swdnn/layer_estimate.h"
+#include "topo/allreduce.h"
+#include "topo/overlap.h"
 
 using namespace swcaffe;
 
 namespace {
+
+// Exit-code contract (also printed by --help and documented in README.md):
+//   0  silent (per-plan mode: no errors — warnings allowed;
+//      timeline mode: no diagnostics at all)
+//   1  diagnostics found (per-plan mode: at least one error;
+//      timeline mode: any error or warning)
+//   2  usage error (unknown flag, missing value, ...)
+//   3  input could not be parsed (prototxt or timeline JSON)
+enum ExitCode {
+  kExitSilent = 0,
+  kExitDiagnostics = 1,
+  kExitUsage = 2,
+  kExitParseFailure = 3,
+};
 
 struct NamedConfig {
   std::string label;
@@ -47,6 +75,28 @@ core::NetSpec resolve_model(const std::string& arg, int batch, int classes,
   if (arg == "resnet50") return core::resnet50(batch, classes, image);
   if (arg == "googlenet") return core::googlenet(batch, classes, image);
   return core::load_net_prototxt(arg);
+}
+
+/// Inference-geometry model factory for the serving timelines (forward
+/// only, no loss layer); empty for prototxt paths, which skip the serving
+/// sweep.
+serve::ModelFn serving_model(const std::string& name) {
+  if (name == "alexnet" || name == "alexnet-orig") {
+    return [](int b) { return core::alexnet_bn(b, 1000, 227, false); };
+  }
+  if (name == "vgg16") {
+    return [](int b) { return core::vgg(16, b, 1000, 224, false); };
+  }
+  if (name == "vgg19") {
+    return [](int b) { return core::vgg(19, b, 1000, 224, false); };
+  }
+  if (name == "resnet50") {
+    return [](int b) { return core::resnet50(b, 1000, 224, false); };
+  }
+  if (name == "googlenet") {
+    return [](int b) { return core::googlenet(b, 1000, 224, false); };
+  }
+  return {};
 }
 
 /// The paper's evaluated configurations (Sec. VI / Tables II-III): the
@@ -76,6 +126,8 @@ void print_codes() {
       Code::kImplicitDegraded, Code::kPlanInconsistent, Code::kGeomInvalid,
       Code::kRetryBufferOverflow, Code::kRetryTimeout,
       Code::kBucketOrder,      Code::kBucketResendOverflow,
+      Code::kTimelineOverlap,  Code::kTimelineRace,    Code::kTimelineBytes,
+      Code::kTimelineCausality, Code::kTimelineDeadline, Code::kTimelineCycle,
   };
   static const char* kDesc[] = {
       "per-CPE working set exceeds the 64 KB LDM",
@@ -96,11 +148,45 @@ void print_codes() {
       "retry ladder cannot finish before the escalation timeout",
       "all-reduce buckets do not tile the layers in order / lose bytes",
       "a bucket's buffered round exceeds the resend buffer / LDM",
+      "two intervals double-book one exclusive timeline resource",
+      "conflicting state accesses with no happens-before path",
+      "timeline events lose or invent cost-ledger bytes",
+      "a consumer starts before its producer finishes",
+      "proven completion exceeds the SLO / escalation deadline",
+      "happens-before cycle: the schedule deadlocks",
   };
   std::printf("%-22s %s\n", "code", "meaning");
   for (std::size_t i = 0; i < std::size(kAll); ++i) {
     std::printf("%-22s %s\n", check::code_name(kAll[i]), kDesc[i]);
   }
+}
+
+void print_help() {
+  std::printf(
+      "swcaffe_check: static plan and timeline verifier\n"
+      "\n"
+      "usage:\n"
+      "  swcaffe_check [--model M] [--batch B] [--classes C] [--image R]\n"
+      "                [--nodes N] [--pedantic] [--quiet]\n"
+      "  swcaffe_check --paper                 # all paper-scale configs\n"
+      "  swcaffe_check --list-codes            # diagnostic code reference\n"
+      "  swcaffe_check <net.prototxt>          # lint a prototxt model\n"
+      "  swcaffe_check --timeline [...]        # swsched: build + verify the\n"
+      "                                        # model's live schedules\n"
+      "  swcaffe_check --timeline=<file.json>  # verify exported graphs\n"
+      "  swcaffe_check --timeline --export-timeline out.json\n"
+      "                                        # also write the graphs as JSON\n"
+      "\n"
+      "models: alexnet | alexnet-orig | vgg16 | vgg19 | resnet50 | googlenet\n"
+      "        or a prototxt path\n"
+      "\n"
+      "exit codes:\n"
+      "  0  silent (plan mode: no errors, warnings allowed;\n"
+      "     timeline mode: no diagnostics at all)\n"
+      "  1  diagnostics found (plan mode: >= 1 error;\n"
+      "     timeline mode: any error or warning)\n"
+      "  2  usage error\n"
+      "  3  input could not be parsed (prototxt or timeline JSON)\n");
 }
 
 /// Matches "--name value" and "--name=value"; advances `i` past the value.
@@ -111,7 +197,7 @@ bool flag_value(int argc, char** argv, int& i, const char* name,
   if (arg == name) {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for %s\n", name);
-      std::exit(2);
+      std::exit(kExitUsage);
     }
     out = argv[++i];
     return true;
@@ -121,6 +207,145 @@ bool flag_value(int argc, char** argv, int& i, const char* name,
     return true;
   }
   return false;
+}
+
+/// Builds the live swsched graphs of one model: overlapped all-reduce at
+/// k = 1..8 buckets, a short serving run per load multiple (zoo models
+/// only), the fault-replay retry ladder, and the composed cross-node
+/// collective of the bucketed schedule.
+std::vector<check::TimelineGraph> build_live_timelines(
+    const hw::CostModel& cost, const std::string& model,
+    const core::NetSpec& spec, int batch, int nodes) {
+  std::vector<check::TimelineGraph> graphs;
+  const std::vector<core::LayerDesc> descs = core::describe_net_spec(spec);
+  const dnn::NetTimeline tl = dnn::estimate_net_timeline(cost, descs);
+  std::vector<std::int64_t> layer_bytes;
+  std::int64_t param_bytes = 0;
+  for (const auto& d : descs) {
+    layer_bytes.push_back(d.param_bytes());
+    param_bytes += d.param_bytes();
+  }
+  const std::string label = model + " batch " + std::to_string(batch);
+
+  topo::Topology topo;
+  topo.num_nodes = nodes;
+  const topo::NetParams net;
+  const auto bucket_cost = [&](std::int64_t bytes) {
+    return topo::cost_rhd(bytes, topo, net, topo::Placement::kAdjacent);
+  };
+
+  // Overlapped bucketed all-reduce, serial (k=1) through k=8.
+  for (int k = 1; k <= 8; ++k) {
+    const std::vector<topo::GradientBucket> buckets =
+        topo::make_buckets(layer_bytes, k);
+    const topo::OverlapTimeline overlap =
+        topo::schedule_overlap(buckets, tl.bwd_s, tl.total_s, bucket_cost);
+    graphs.push_back(check::timeline_from_overlap(
+        label + " overlap k=" + std::to_string(k), tl.bwd_s, tl.total_s,
+        overlap, param_bytes));
+  }
+
+  // The composed cross-node collective: every bucket's all-reduce schedule
+  // run back to back on the cluster (the global FIFO/cycle check that no
+  // per-plan rule sees).
+  {
+    const std::vector<topo::GradientBucket> buckets =
+        topo::make_buckets(layer_bytes, 4);
+    std::vector<check::CommSchedule> phases;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      phases.push_back(check::rhd_allreduce_schedule(nodes));
+    }
+    graphs.push_back(
+        check::timeline_from_comm(label + " rhd x" +
+                                      std::to_string(buckets.size()) +
+                                      " buckets @" + std::to_string(nodes) +
+                                      " nodes",
+                                  phases));
+  }
+
+  // Fault replay: the worst-case retry ladder of the resilient send path at
+  // its default policy, two consecutive rounds.
+  {
+    const fault::RetryPolicy policy;
+    check::RetryPlan plan;
+    plan.name = label + " ft-resend";
+    plan.round_bytes =
+        std::min(param_bytes, static_cast<std::int64_t>(net.eager_limit));
+    plan.resend_buffer_bytes = policy.resend_buffer_bytes;
+    plan.max_attempts = policy.max_attempts;
+    plan.backoff_base_s = policy.backoff_base_s;
+    plan.round_time_s =
+        net.alpha + static_cast<double>(plan.round_bytes) / net.link_bw;
+    plan.timeout_s = policy.timeout_s;
+    graphs.push_back(check::timeline_from_retry(plan, /*rounds=*/2));
+  }
+
+  // Serving under dynamic batching at 0.5x .. 8x the single-request service
+  // rate (zoo models only — a prototxt has no inference factory). The short
+  // Poisson runs exercise admission, queueing and batch coalescing; their
+  // timelines re-derive the SLO admission bound from the records.
+  if (serve::ModelFn fn = serving_model(model)) {
+    serve::EngineOptions eopts;
+    eopts.max_batch = 8;
+    serve::InferenceEngine engine(cost, model, std::move(fn), eopts);
+    const double f1 = engine.batch_time(1);
+    for (const double load : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      serve::ArrivalSpec aspec;
+      aspec.rate = load / f1;
+      aspec.duration_s = 60.0 * f1;
+      aspec.seed = 7;
+      serve::ServeOptions sopts;
+      sopts.batcher.max_batch = 8;
+      sopts.batcher.max_delay_s = 0.5 * f1;
+      sopts.admission.enabled = true;
+      sopts.admission.slo_s = 20.0 * f1;
+      const serve::ServeResult result = serve::simulate_serving(
+          engine, serve::generate_arrivals(aspec), sopts);
+      check::ServingContract contract;
+      contract.slo_s = sopts.admission.slo_s;
+      contract.max_delay_s = sopts.batcher.max_delay_s;
+      contract.max_batch = sopts.batcher.max_batch;
+      contract.max_batch_forward_s = engine.batch_time(8);
+      contract.admission = true;
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), " serve %.1fx", load);
+      graphs.push_back(check::timeline_from_serving(
+          model + suffix, result.requests, result.batches, contract));
+    }
+  }
+  return graphs;
+}
+
+/// Verifies each graph, prints the diagnostic table and every diagnostic
+/// line (unless quiet). Returns the process exit code.
+int run_timeline_mode(const std::vector<check::TimelineGraph>& graphs,
+                      const check::Options& opts, bool quiet,
+                      const std::string& export_path) {
+  if (!export_path.empty()) {
+    std::ofstream out(export_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+      return kExitUsage;
+    }
+    out << check::timelines_to_json(graphs);
+  }
+  int errors = 0, warnings = 0;
+  std::printf("%-36s %7s %7s %7s %9s  %s\n", "timeline", "events", "edges",
+              "errors", "warnings", "status");
+  for (const check::TimelineGraph& g : graphs) {
+    const check::Report report = check::verify_timeline(g, opts);
+    errors += report.error_count();
+    warnings += report.warning_count();
+    std::printf("%-36s %7zu %7zu %7d %9d  %s\n", g.name.c_str(),
+                g.events.size(), g.edges.size(), report.error_count(),
+                report.warning_count(),
+                report.empty() ? "silent"
+                               : (report.ok() ? "warnings" : "FAIL"));
+    if (!quiet && !report.empty()) report.print(std::cout);
+  }
+  std::printf("total: %d error(s), %d warning(s) across %zu timeline(s)\n",
+              errors, warnings, graphs.size());
+  return errors + warnings > 0 ? kExitDiagnostics : kExitSilent;
 }
 
 }  // namespace
@@ -134,6 +359,9 @@ int main(int argc, char** argv) {
   bool paper = false;
   bool pedantic = false;
   bool quiet = false;
+  bool timeline = false;
+  std::string timeline_file;
+  std::string export_path;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -148,6 +376,13 @@ int main(int argc, char** argv) {
       image = std::atoi(v.c_str());
     } else if (flag_value(argc, argv, i, "--nodes", v)) {
       nodes = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      timeline = true;
+    } else if (flag_value(argc, argv, i, "--timeline", v)) {
+      timeline = true;
+      timeline_file = v;
+    } else if (flag_value(argc, argv, i, "--export-timeline", v)) {
+      export_path = v;
     } else if (std::strcmp(argv[i], "--paper") == 0) {
       paper = true;
     } else if (std::strcmp(argv[i], "--pedantic") == 0) {
@@ -156,15 +391,19 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--list-codes") == 0) {
       print_codes();
-      return 0;
+      return kExitSilent;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_help();
+      return kExitSilent;
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return 2;
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", argv[i]);
+      return kExitUsage;
     } else if (positional++ == 0) {
       model = argv[i];
     } else {
       std::fprintf(stderr, "too many positional arguments\n");
-      return 2;
+      return kExitUsage;
     }
   }
 
@@ -172,11 +411,63 @@ int main(int argc, char** argv) {
   opts.pedantic = pedantic;
   const hw::CostModel cost;
 
+  // --- Timeline mode: exported graphs from a JSON file ----------------------
+  if (timeline && !timeline_file.empty()) {
+    std::ifstream in(timeline_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", timeline_file.c_str());
+      return kExitParseFailure;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<check::TimelineGraph> graphs;
+    std::string error;
+    if (!check::timelines_from_json(buf.str(), &graphs, &error)) {
+      std::fprintf(stderr, "%s: %s\n", timeline_file.c_str(), error.c_str());
+      return kExitParseFailure;
+    }
+    return run_timeline_mode(graphs, opts, quiet, export_path);
+  }
+
+  // --- Timeline mode: live schedules of the configured model(s) -------------
+  if (timeline) {
+    const int eff_nodes = nodes > 0 ? nodes : 16;
+    std::vector<std::string> models;
+    if (paper) {
+      models = {"alexnet", "vgg16", "resnet50"};
+    } else {
+      models.push_back(model);
+    }
+    std::vector<check::TimelineGraph> graphs;
+    for (const std::string& m : models) {
+      core::NetSpec spec;
+      try {
+        spec = resolve_model(m, batch, classes, image);
+      } catch (const base::CheckError& e) {
+        std::fprintf(stderr, "cannot parse model %s: %s\n", m.c_str(),
+                     e.what());
+        return kExitParseFailure;
+      }
+      const std::vector<check::TimelineGraph> g =
+          build_live_timelines(cost, m, spec, batch, eff_nodes);
+      graphs.insert(graphs.end(), g.begin(), g.end());
+    }
+    return run_timeline_mode(graphs, opts, quiet, export_path);
+  }
+
+  // --- Per-plan mode ---------------------------------------------------------
   std::vector<NamedConfig> configs;
   if (paper) {
     configs = paper_configs();
   } else {
-    core::NetSpec spec = resolve_model(model, batch, classes, image);
+    core::NetSpec spec;
+    try {
+      spec = resolve_model(model, batch, classes, image);
+    } catch (const base::CheckError& e) {
+      std::fprintf(stderr, "cannot parse model %s: %s\n", model.c_str(),
+                   e.what());
+      return kExitParseFailure;
+    }
     configs.push_back({spec.name + " batch " + std::to_string(batch) + " @" +
                            std::to_string(image),
                        core::describe_net_spec(spec)});
@@ -198,5 +489,5 @@ int main(int argc, char** argv) {
   if (configs.size() > 1) {
     std::printf("total: %d error(s), %d warning(s)\n", errors, warnings);
   }
-  return errors > 0 ? 1 : 0;
+  return errors > 0 ? kExitDiagnostics : kExitSilent;
 }

@@ -56,6 +56,18 @@ const char* code_name(Code c) {
       return "bucket-order";
     case Code::kBucketResendOverflow:
       return "bucket-resend-overflow";
+    case Code::kTimelineOverlap:
+      return "timeline-overlap";
+    case Code::kTimelineRace:
+      return "timeline-race";
+    case Code::kTimelineBytes:
+      return "timeline-bytes";
+    case Code::kTimelineCausality:
+      return "timeline-causality";
+    case Code::kTimelineDeadline:
+      return "timeline-deadline";
+    case Code::kTimelineCycle:
+      return "timeline-cycle";
   }
   return "?";
 }

@@ -49,6 +49,13 @@ enum class Code {
                          ///< empty bucket / byte-conservation violation
   kBucketResendOverflow, ///< a bucket's buffered round exceeds the resend
                          ///< buffer of the resilient send path
+  // --- Whole-timeline schedules (swsched, check/timeline) ------------------
+  kTimelineOverlap,   ///< two intervals double-book one exclusive resource
+  kTimelineRace,      ///< conflicting state accesses with no happens-before
+  kTimelineBytes,     ///< timeline events lose/invent ledger bytes
+  kTimelineCausality, ///< a consumer starts before its producer finishes
+  kTimelineDeadline,  ///< proven completion exceeds the SLO/timeout bound
+  kTimelineCycle,     ///< happens-before cycle: the schedule deadlocks
 };
 
 /// Stable short identifier, e.g. "ldm-overflow".

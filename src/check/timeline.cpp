@@ -1,0 +1,389 @@
+#include "check/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace swcaffe::check {
+
+namespace {
+
+/// Times arrive from bit-exact busy-interval chaining, but an extractor may
+/// re-derive a quantity (a ready time, a prefix sum) through a different
+/// association order, so comparisons allow ~1 ulp of slack on the seconds
+/// scale without ever absorbing a real scheduling error.
+double time_tolerance(double a, double b) {
+  return 1e-9 + 1e-9 * std::max(std::abs(a), std::abs(b));
+}
+
+/// Deterministic short rendering of a simulated time ("0.00123456789 s"
+/// regardless of locale or magnitude — %g keeps microsecond schedules and
+/// thousand-second sweeps equally readable).
+std::string fmt_s(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", t);
+  return std::string(buf);
+}
+
+std::string describe(const TimelineGraph& g, int e) {
+  const TimelineEvent& ev = g.events[static_cast<std::size_t>(e)];
+  return ev.name + " [" + fmt_s(ev.start_s) + ", " + fmt_s(ev.end_s) + "]";
+}
+
+/// Structural validation: every index in range, every interval ordered.
+/// Returns false (and reports) when the graph is too malformed to analyze.
+bool validate(const TimelineGraph& g, Report* report) {
+  bool ok = true;
+  const int actors = static_cast<int>(g.actors.size());
+  const int resources = static_cast<int>(g.resources.size());
+  const int ledgers = static_cast<int>(g.ledgers.size());
+  const int n = static_cast<int>(g.events.size());
+  for (int i = 0; i < n; ++i) {
+    const TimelineEvent& ev = g.events[static_cast<std::size_t>(i)];
+    if (ev.actor < 0 || ev.actor >= actors || ev.resource >= resources ||
+        ev.resource < -1 || ev.ledger >= ledgers || ev.ledger < -1) {
+      report->add(Code::kGeomInvalid, Severity::kError, g.name,
+                  "event " + ev.name +
+                      " references an unknown actor/resource/ledger");
+      ok = false;
+    }
+    if (!(ev.end_s >= ev.start_s)) {  // also catches NaN
+      report->add(Code::kGeomInvalid, Severity::kError, g.name,
+                  "event " + ev.name + " has end " + fmt_s(ev.end_s) +
+                      " before start " + fmt_s(ev.start_s));
+      ok = false;
+    }
+  }
+  for (const TimelineEdge& e : g.edges) {
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n ||
+        e.from == e.to) {
+      report->add(Code::kGeomInvalid, Severity::kError, g.name,
+                  "edge (" + std::to_string(e.from) + " -> " +
+                      std::to_string(e.to) + ") references unknown events");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// The full happens-before edge set: program order within each actor,
+/// explicit extractor edges, and the serialization order of every exclusive
+/// resource (its events sorted by start time; ties broken by insertion
+/// order so the set is deterministic).
+struct HbGraph {
+  std::vector<std::vector<int>> succ;
+  std::vector<int> indegree;
+  /// Per-actor event lists in program order; pos[e] = index within actor.
+  std::vector<std::vector<int>> actor_events;
+  std::vector<int> pos;
+
+  explicit HbGraph(const TimelineGraph& g) {
+    const int n = static_cast<int>(g.events.size());
+    succ.resize(static_cast<std::size_t>(n));
+    indegree.assign(static_cast<std::size_t>(n), 0);
+    pos.assign(static_cast<std::size_t>(n), 0);
+    actor_events.resize(g.actors.size());
+    for (int i = 0; i < n; ++i) {
+      auto& lane =
+          actor_events[static_cast<std::size_t>(g.events[static_cast<std::size_t>(i)].actor)];
+      if (!lane.empty()) add(lane.back(), i);
+      pos[static_cast<std::size_t>(i)] = static_cast<int>(lane.size());
+      lane.push_back(i);
+    }
+    for (const TimelineEdge& e : g.edges) add(e.from, e.to);
+    // Exclusive-resource serialization: the resource serves its events one
+    // at a time, which orders them even across actors.
+    for (int r = 0; r < static_cast<int>(g.resources.size()); ++r) {
+      if (!g.resources[static_cast<std::size_t>(r)].exclusive) continue;
+      std::vector<int> on;
+      for (int i = 0; i < n; ++i) {
+        if (g.events[static_cast<std::size_t>(i)].resource == r) on.push_back(i);
+      }
+      std::stable_sort(on.begin(), on.end(), [&](int a, int b) {
+        return g.events[static_cast<std::size_t>(a)].start_s <
+               g.events[static_cast<std::size_t>(b)].start_s;
+      });
+      for (std::size_t k = 1; k < on.size(); ++k) add(on[k - 1], on[k]);
+    }
+  }
+
+  void add(int from, int to) {
+    succ[static_cast<std::size_t>(from)].push_back(to);
+    ++indegree[static_cast<std::size_t>(to)];
+  }
+};
+
+/// Kahn topological order; empty when the graph has a cycle.
+std::vector<int> topo_order(const HbGraph& hb) {
+  const int n = static_cast<int>(hb.indegree.size());
+  std::vector<int> indeg = hb.indegree;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  // A min-ordered ready list keeps the order (and therefore any diagnostic
+  // derived from it) deterministic.
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+  std::make_heap(ready.begin(), ready.end(), std::greater<int>());
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), std::greater<int>());
+    const int i = ready.back();
+    ready.pop_back();
+    order.push_back(i);
+    for (const int s : hb.succ[static_cast<std::size_t>(i)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) {
+        ready.push_back(s);
+        std::push_heap(ready.begin(), ready.end(), std::greater<int>());
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) < n) order.clear();
+  return order;
+}
+
+// --- Pass 1: exclusive-resource overlap -------------------------------------
+
+void pass_overlap(const TimelineGraph& g, Report* report) {
+  for (int r = 0; r < static_cast<int>(g.resources.size()); ++r) {
+    const TimelineResource& res = g.resources[static_cast<std::size_t>(r)];
+    if (!res.exclusive) continue;
+    std::vector<int> on;
+    for (int i = 0; i < static_cast<int>(g.events.size()); ++i) {
+      if (g.events[static_cast<std::size_t>(i)].resource == r) on.push_back(i);
+    }
+    std::stable_sort(on.begin(), on.end(), [&](int a, int b) {
+      return g.events[static_cast<std::size_t>(a)].start_s <
+             g.events[static_cast<std::size_t>(b)].start_s;
+    });
+    // Sorted by start, so it suffices to track the latest finisher seen:
+    // any event starting before it ends is double-booked.
+    int open = -1;
+    for (const int i : on) {
+      const TimelineEvent& ev = g.events[static_cast<std::size_t>(i)];
+      if (open >= 0) {
+        const TimelineEvent& prev = g.events[static_cast<std::size_t>(open)];
+        if (ev.start_s < prev.end_s - time_tolerance(ev.start_s, prev.end_s) &&
+            ev.end_s > ev.start_s) {
+          report->add(Code::kTimelineOverlap, Severity::kError, g.name,
+                      res.name + ": " + describe(g, i) + " overlaps " +
+                          describe(g, open) +
+                          "; an exclusive resource cannot serve two intervals "
+                          "at once");
+        }
+      }
+      if (open < 0 || ev.end_s > g.events[static_cast<std::size_t>(open)].end_s) {
+        open = i;
+      }
+    }
+  }
+}
+
+// --- Pass 3: byte conservation ----------------------------------------------
+
+void pass_bytes(const TimelineGraph& g, Report* report) {
+  std::vector<std::int64_t> moved(g.ledgers.size(), 0);
+  for (const TimelineEvent& ev : g.events) {
+    if (ev.ledger >= 0) moved[static_cast<std::size_t>(ev.ledger)] += ev.bytes;
+  }
+  for (std::size_t l = 0; l < g.ledgers.size(); ++l) {
+    if (moved[l] != g.ledgers[l].expected_bytes) {
+      report->add(Code::kTimelineBytes, Severity::kError, g.name,
+                  g.ledgers[l].name + ": timeline events move " +
+                      std::to_string(moved[l]) + " B but the ledger expects " +
+                      std::to_string(g.ledgers[l].expected_bytes) +
+                      " B; the schedule loses or invents payload");
+    }
+  }
+}
+
+// --- Pass 4a: causality (edge timing soundness) -----------------------------
+
+void pass_causality(const TimelineGraph& g, Report* report) {
+  for (const TimelineEdge& e : g.edges) {
+    const TimelineEvent& from = g.events[static_cast<std::size_t>(e.from)];
+    const TimelineEvent& to = g.events[static_cast<std::size_t>(e.to)];
+    if (to.start_s < from.end_s - time_tolerance(to.start_s, from.end_s)) {
+      report->add(Code::kTimelineCausality, Severity::kError, g.name,
+                  to.name + " starts at " + fmt_s(to.start_s) + " but its " +
+                      (e.why.empty() ? std::string("dependency")
+                                     : e.why) +
+                      " " + from.name + " only finishes at " +
+                      fmt_s(from.end_s) + "; the schedule consumes data "
+                      "before it exists");
+    }
+  }
+}
+
+// --- Pass 4b: deadline soundness --------------------------------------------
+
+void pass_deadline(const TimelineGraph& g, Report* report) {
+  for (const TimelineEvent& ev : g.events) {
+    if (ev.deadline_s < 0.0) continue;
+    if (ev.end_s > ev.deadline_s + time_tolerance(ev.end_s, ev.deadline_s)) {
+      report->add(Code::kTimelineDeadline,
+                  ev.hard_deadline ? Severity::kError : Severity::kWarning,
+                  g.name,
+                  ev.name + " provably completes at " + fmt_s(ev.end_s) +
+                      ", past its deadline of " + fmt_s(ev.deadline_s) +
+                      (ev.hard_deadline
+                           ? "; the admission/soundness bound is violated"
+                           : "; the tail of the plan is dead code"));
+    }
+  }
+}
+
+// --- Pass 2: vector-clock race detection ------------------------------------
+
+void pass_races(const TimelineGraph& g, const HbGraph& hb,
+                const std::vector<int>& order, Report* report) {
+  const std::size_t actors = g.actors.size();
+  const std::size_t n = g.events.size();
+  // clock[e][a] = how many of actor a's events happen-before (or are) e.
+  std::vector<std::vector<int>> clock(n, std::vector<int>(actors, 0));
+  std::vector<std::vector<int>> preds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const int s : hb.succ[i]) {
+      preds[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
+    }
+  }
+  for (const int e : order) {
+    auto& vc = clock[static_cast<std::size_t>(e)];
+    for (const int p : preds[static_cast<std::size_t>(e)]) {
+      const auto& pv = clock[static_cast<std::size_t>(p)];
+      for (std::size_t a = 0; a < actors; ++a) vc[a] = std::max(vc[a], pv[a]);
+    }
+    const auto actor = static_cast<std::size_t>(
+        g.events[static_cast<std::size_t>(e)].actor);
+    vc[actor] =
+        std::max(vc[actor], hb.pos[static_cast<std::size_t>(e)] + 1);
+  }
+  const auto happens_before = [&](int a, int b) {
+    const TimelineEvent& ea = g.events[static_cast<std::size_t>(a)];
+    return clock[static_cast<std::size_t>(b)]
+                [static_cast<std::size_t>(ea.actor)] >=
+           hb.pos[static_cast<std::size_t>(a)] + 1;
+  };
+
+  // Accesses grouped per state key (std::map: deterministic iteration).
+  struct Access {
+    int event;
+    bool write;
+  };
+  std::map<std::string, std::vector<Access>> by_state;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const StateAccess& a : g.events[i].accesses) {
+      by_state[a.state].push_back({static_cast<int>(i), a.write});
+    }
+  }
+  for (const auto& [state, accesses] : by_state) {
+    bool reported = false;
+    for (std::size_t i = 0; i < accesses.size() && !reported; ++i) {
+      for (std::size_t j = i + 1; j < accesses.size() && !reported; ++j) {
+        const Access& x = accesses[i];
+        const Access& y = accesses[j];
+        if (!x.write && !y.write) continue;
+        if (x.event == y.event) continue;
+        if (happens_before(x.event, y.event) ||
+            happens_before(y.event, x.event)) {
+          continue;
+        }
+        report->add(
+            Code::kTimelineRace, Severity::kError, g.name,
+            "state '" + state + "': " +
+                (x.write ? "write by " : "read by ") + describe(g, x.event) +
+                " races " + (y.write ? "write by " : "read by ") +
+                describe(g, y.event) +
+                "; no happens-before path orders the accesses");
+        reported = true;  // one diagnostic per state: peers would cascade
+      }
+    }
+  }
+}
+
+// --- Pass 5: dependency cycles ----------------------------------------------
+
+/// Reports one representative cycle by walking still-blocked events.
+void report_cycle(const TimelineGraph& g, const HbGraph& hb, Report* report) {
+  std::vector<int> indeg = hb.indegree;
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < indeg.size(); ++i) {
+    if (indeg[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::size_t done = 0;
+  while (!ready.empty()) {
+    const int i = ready.back();
+    ready.pop_back();
+    ++done;
+    for (const int s : hb.succ[static_cast<std::size_t>(i)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  std::string example;
+  for (std::size_t i = 0; i < indeg.size(); ++i) {
+    if (indeg[i] > 0) {
+      example = g.events[i].name;
+      break;
+    }
+  }
+  report->add(Code::kTimelineCycle, Severity::kError, g.name,
+              std::to_string(g.events.size() - done) +
+                  " event(s) in a happens-before cycle (e.g. " + example +
+                  "); the schedule can never make progress");
+}
+
+}  // namespace
+
+int TimelineGraph::add_actor(std::string name) {
+  actors.push_back(std::move(name));
+  return static_cast<int>(actors.size()) - 1;
+}
+
+int TimelineGraph::add_resource(std::string name, bool exclusive) {
+  resources.push_back({std::move(name), exclusive});
+  return static_cast<int>(resources.size()) - 1;
+}
+
+int TimelineGraph::add_ledger(std::string name, std::int64_t expected_bytes) {
+  ledgers.push_back({std::move(name), expected_bytes});
+  return static_cast<int>(ledgers.size()) - 1;
+}
+
+int TimelineGraph::add_event(TimelineEvent e) {
+  events.push_back(std::move(e));
+  return static_cast<int>(events.size()) - 1;
+}
+
+void TimelineGraph::add_edge(int from, int to, std::string why) {
+  edges.push_back({from, to, std::move(why)});
+}
+
+void check_timeline(const TimelineGraph& graph, const Options& opts,
+                    Report* report) {
+  (void)opts;
+  if (!validate(graph, report)) return;
+  pass_overlap(graph, report);
+  pass_bytes(graph, report);
+  pass_causality(graph, report);
+  pass_deadline(graph, report);
+  const HbGraph hb(graph);
+  const std::vector<int> order = topo_order(hb);
+  if (order.empty() && !graph.events.empty()) {
+    // Vector clocks are meaningless on a cyclic graph; report the deadlock
+    // and stop — fixing it will re-enable the race pass.
+    report_cycle(graph, hb, report);
+    return;
+  }
+  pass_races(graph, hb, order, report);
+}
+
+Report verify_timeline(const TimelineGraph& graph, const Options& opts) {
+  Report report;
+  check_timeline(graph, opts, &report);
+  return report;
+}
+
+}  // namespace swcaffe::check

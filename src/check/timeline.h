@@ -1,0 +1,136 @@
+// swsched: whole-timeline static analysis over a shared event-graph IR.
+//
+// swcheck (plan_model/rules) proves *individual kernel plans* legal — one
+// LDM budget, one DMA family, one RLC schedule at a time. swsched lifts the
+// same idea to whole discrete-event timelines: the overlapped bucketed
+// all-reduce (topo::schedule_overlap), the serving batcher's busy-interval
+// loop (serve::simulate_serving) and swfault's retry/replay rounds are all
+// hand-built schedules, and a schedule that double-books the network,
+// consumes a gradient bucket before its backward pass produced it, or
+// breaks the SLO admission bound is invisible to per-plan checks.
+//
+// The IR is a happens-before event graph:
+//
+//  * events are charge/span intervals [start_s, end_s] with an optional
+//    resource occupancy, a byte payload, shared-state accesses (read/write
+//    of named simulated state), an optional ledger membership and an
+//    optional completion deadline;
+//  * every event executes on exactly one *actor* — a sequential execution
+//    lane (the compute pipeline, the network link, the serving loop, one
+//    cluster rank). Events of one actor are totally ordered by their
+//    position in TimelineGraph::events (program order);
+//  * happens-before = the transitive closure of program order, explicit
+//    data/sync edges added by the extractor, and the serialization order of
+//    exclusive resources.
+//
+// check_timeline runs five passes over the graph and reports through the
+// ordinary swcheck Report, with six dedicated diagnostic codes:
+//
+//  1. exclusive-resource overlap (timeline-overlap): no two events
+//     occupying one exclusive resource may intersect in time;
+//  2. happens-before race detection (timeline-race): vector clocks over the
+//     actors; two accesses to the same state, at least one a write, with no
+//     happens-before path either way, are a race;
+//  3. byte conservation (timeline-bytes): the events of each ledger must
+//     move exactly the bytes the cost-model ledger expects;
+//  4. causality + deadline soundness (timeline-causality /
+//     timeline-deadline): every explicit edge's consumer must start at or
+//     after its producer ends, and every event with a deadline must
+//     provably complete by it (this is how the serving admission bound is
+//     re-derived from the timeline);
+//  5. dependency-cycle detection (timeline-cycle): Kahn's algorithm over
+//     the full happens-before graph — the global, cross-node
+//     generalization of the per-plan RLC FIFO deadlock rule.
+//
+// Analysis is pure: same graph, byte-identical Report. It never executes or
+// re-prices anything — verifying a timeline cannot perturb simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/diagnostic.h"
+#include "check/rules.h"
+
+namespace swcaffe::check {
+
+/// One schedulable resource of the timeline (a network link, a serving
+/// engine, the compute pipeline). `exclusive` resources serialize: two
+/// events occupying one may never overlap in time.
+struct TimelineResource {
+  std::string name;
+  bool exclusive = true;
+};
+
+/// One read or write of named simulated shared state (a gradient bucket, a
+/// parameter buffer, a request slot, a staleness window).
+struct StateAccess {
+  std::string state;
+  bool write = false;
+};
+
+/// A cost-model ledger the timeline must conserve: the byte payloads of all
+/// member events must sum to exactly `expected_bytes`.
+struct TimelineLedger {
+  std::string name;
+  std::int64_t expected_bytes = 0;
+};
+
+/// One charge/span event of the timeline.
+struct TimelineEvent {
+  std::string name;
+  int actor = 0;      ///< sequential lane; program order = insertion order
+  int resource = -1;  ///< index into resources, -1 = occupies nothing
+  double start_s = 0.0;
+  double end_s = 0.0;  ///< >= start_s (a point event has end == start)
+  std::int64_t bytes = 0;  ///< payload counted toward the event's ledger
+  int ledger = -1;         ///< index into ledgers, -1 = none
+  /// Completion deadline: the event must provably end by this time
+  /// (< 0 = none). Hard deadlines are errors (a serving SLO the admission
+  /// bound guaranteed); soft ones are warnings (a retry ladder that outlives
+  /// its escalation timeout is dead code, not corruption).
+  double deadline_s = -1.0;
+  bool hard_deadline = true;
+  std::vector<StateAccess> accesses;
+};
+
+/// An explicit happens-before edge (data dependency or synchronization)
+/// from events[from] to events[to]: `to` consumes what `from` produced, so
+/// `to` must start at or after `from` ends.
+struct TimelineEdge {
+  int from = 0;
+  int to = 0;
+  std::string why;  ///< printed in diagnostics, e.g. "bucket ready"
+};
+
+/// The whole-timeline event graph. Extractors (timeline_extract.h) build
+/// one from a live schedule; timeline_io.h round-trips it through JSON.
+struct TimelineGraph {
+  std::string name;
+  std::vector<std::string> actors;  ///< actor names, index = actor id
+  std::vector<TimelineResource> resources;
+  std::vector<TimelineLedger> ledgers;
+  std::vector<TimelineEvent> events;
+  std::vector<TimelineEdge> edges;
+
+  int add_actor(std::string name);
+  int add_resource(std::string name, bool exclusive = true);
+  int add_ledger(std::string name, std::int64_t expected_bytes);
+  /// Appends the event and returns its index (= happens-after everything
+  /// previously inserted on the same actor).
+  int add_event(TimelineEvent e);
+  void add_edge(int from, int to, std::string why);
+};
+
+/// Runs every timeline pass over the graph. Malformed graphs (out-of-range
+/// actor/resource/ledger/edge indices, end < start) are kGeomInvalid
+/// errors; a cyclic graph reports timeline-cycle and skips the clock-based
+/// passes (their verdicts would be meaningless on a cycle).
+void check_timeline(const TimelineGraph& graph, const Options& opts,
+                    Report* report);
+
+/// Convenience driver mirroring verify_retry/verify_buckets.
+Report verify_timeline(const TimelineGraph& graph, const Options& opts = {});
+
+}  // namespace swcaffe::check

@@ -1,0 +1,93 @@
+// swsched extractors: build the timeline event-graph IR from the three
+// hand-built discrete-event schedules of the stack.
+//
+//  * timeline_from_overlap — the overlapped bucketed all-reduce
+//    (topo::schedule_overlap): backward slices on the compute lane writing
+//    gradient buckets, bucket collectives on the exclusive network link
+//    reading (and reducing in place) those buckets, and the weight update
+//    consuming the combined result. The producer edges are re-derived from
+//    the layer indices and per-layer backward times — NOT read back from
+//    the schedule's own ready_s — so a schedule that starts a collective
+//    before its backward slice finished is caught, not trusted.
+//
+//  * timeline_from_serving — the swserve DynamicBatcher busy-interval loop:
+//    arrivals on the client lane, coalesced batches on the exclusive
+//    server, per-request completion deadlines at arrival + SLO, and a
+//    per-request admission bound RE-DERIVED from the timeline itself
+//    (busy horizon + queued batches ahead + one worst-case forward), which
+//    every admitted completion must provably meet.
+//
+//  * timeline_from_retry — swfault's charge_recovery retry rounds: each
+//    round's worst-case retry ladder (sends + exponential backoff) laid out
+//    on the network lane with the escalation timeout as the round deadline.
+//
+//  * timeline_from_comm — the global (cross-node) communication graph: one
+//    or more CommSchedules composed in phase order (e.g. the per-bucket
+//    collectives one node runs back to back). FIFO send/receive matching
+//    runs across the WHOLE composition, so a cycle that only appears when
+//    two individually-sound schedules interleave — invisible to the
+//    per-plan check_schedule rule — is still a timeline-cycle.
+//
+// Extractors only build graphs; all judging happens in check_timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/plan_model.h"
+#include "check/timeline.h"
+#include "hw/params.h"
+#include "serve/request.h"
+#include "topo/overlap.h"
+
+namespace swcaffe::check {
+
+/// Builds the overlapped all-reduce timeline. `layer_bwd_s` / `compute_s`
+/// are the same inputs topo::schedule_overlap consumed; `timeline` is its
+/// output. `total_bytes` >= 0 adds a packed-gradient ledger the bucket
+/// payloads must conserve (< 0 skips the ledger).
+TimelineGraph timeline_from_overlap(const std::string& name,
+                                    const std::vector<double>& layer_bwd_s,
+                                    double compute_s,
+                                    const topo::OverlapTimeline& timeline,
+                                    std::int64_t total_bytes = -1);
+
+/// The serving-side contract the timeline is judged against (mirrors
+/// serve::ServeOptions without depending on the serve library).
+struct ServingContract {
+  double slo_s = -1.0;        ///< < 0: no SLO deadline events
+  double max_delay_s = 0.0;   ///< batcher's oldest-request launch deadline
+  int max_batch = 0;          ///< 0: skip the admission-bound re-derivation
+  double max_batch_forward_s = 0.0;  ///< f(max_batch), the worst forward
+  /// Admission control was enabled: completions carry hard SLO deadlines
+  /// and re-derived admission bounds. With admission off, misses are an
+  /// accepted trade and no deadline events are emitted.
+  bool admission = true;
+};
+
+/// Builds the serving timeline from one simulation's request/batch records.
+TimelineGraph timeline_from_serving(
+    const std::string& name, const std::vector<serve::RequestRecord>& requests,
+    const std::vector<serve::BatchRecord>& batches,
+    const ServingContract& contract);
+
+/// Builds the worst-case retry/replay timeline of `rounds` message rounds
+/// under `plan`'s ladder, starting at `start_s`. Each round's final attempt
+/// carries the escalation timeout as a soft deadline — a ladder that cannot
+/// finish in time is dead code (timeline-deadline warning, mirroring
+/// check_retry's retry-timeout severity).
+TimelineGraph timeline_from_retry(const RetryPlan& plan, int rounds,
+                                  double start_s = 0.0);
+
+/// Builds the composed cross-node communication graph of `phases` run back
+/// to back (each rank executes phase 0's ops, then phase 1's, ...). Send/
+/// receive FIFO matching spans the whole composition. Events are untimed
+/// (the composition is a pure dependency structure), so only the race and
+/// cycle passes judge it; unmatched sends/receives are per-plan properties
+/// left to check_schedule.
+TimelineGraph timeline_from_comm(const std::string& name,
+                                 const std::vector<CommSchedule>& phases,
+                                 const hw::HwParams& hp = {});
+
+}  // namespace swcaffe::check

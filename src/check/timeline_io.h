@@ -1,0 +1,40 @@
+// JSON round-trip for the swsched timeline IR.
+//
+// `swcaffe_check --export-timeline` writes graphs with timeline_to_json and
+// `--timeline=<file.json>` reads them back with timeline_from_json, so a
+// schedule captured on one run (or synthesized by an external tool) can be
+// verified offline. The schema is the IR verbatim — one object with
+// "actors", "resources", "ledgers", "events" and "edges" arrays — and the
+// writer is deterministic (fixed field order, %.17g doubles), so
+// export → import → export is byte-identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/timeline.h"
+
+namespace swcaffe::check {
+
+/// Serializes the graph as a deterministic JSON document.
+std::string timeline_to_json(const TimelineGraph& graph);
+
+/// Parses a timeline JSON document. Returns false (with `error` filled when
+/// non-null) on malformed JSON or a document that is not a timeline object;
+/// missing optional fields take their IR defaults. Index validity is NOT
+/// enforced here — feed the result to check_timeline, whose validation pass
+/// reports out-of-range indices as geom-invalid diagnostics.
+bool timeline_from_json(const std::string& text, TimelineGraph* out,
+                        std::string* error = nullptr);
+
+/// Parses either one timeline object or a JSON array of them (the format
+/// `--export-timeline` writes when a run builds several graphs).
+bool timelines_from_json(const std::string& text,
+                         std::vector<TimelineGraph>* out,
+                         std::string* error = nullptr);
+
+/// Serializes several graphs as one JSON array (deterministic, like
+/// timeline_to_json).
+std::string timelines_to_json(const std::vector<TimelineGraph>& graphs);
+
+}  // namespace swcaffe::check

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "check/timeline_extract.h"
 #include "check/verify.h"
 
 namespace swcaffe::fault {
@@ -63,6 +64,18 @@ FtSsgdTrainer::FtSsgdTrainer(const core::NetSpec& spec, int num_nodes,
                 "swcheck rejected the retry plan: " << report.summary());
   if (report.warning_count() > 0) {
     SWC_LOG(kWarning, "swcheck: " << report.summary());
+  }
+
+  // swsched: lay two consecutive rounds' worst-case retry ladders on the
+  // network lane and verify the timeline. A ladder that outlives its
+  // escalation timeout surfaces as a timeline-deadline warning (same
+  // severity contract as retry-timeout above); structural breaks are errors.
+  const check::Report rt_report =
+      check::verify_timeline(check::timeline_from_retry(plan, /*rounds=*/2));
+  SWC_CHECK_MSG(rt_report.ok(),
+                "swsched rejected the retry timeline: " << rt_report.summary());
+  if (rt_report.warning_count() > 0) {
+    SWC_LOG(kWarning, "swsched: " << rt_report.summary());
   }
 
   // The trainer already verified its bucket layout geometrically; re-verify

@@ -60,8 +60,8 @@ double NodeRunner::compute_gradients(std::span<const float> data,
   for (int cg = 0; cg < cgs; ++cg) {
     threads.emplace_back([&, cg] {
       core::Net& net = *nets_[cg];
-      auto d = net.blob("data")->data();
-      auto l = net.blob("label")->data();
+      const auto d = net.blob("data")->data();
+      const auto l = net.blob("label")->data();
       std::copy_n(data.begin() + cg * data_per_cg, data_per_cg, d.begin());
       std::copy_n(labels.begin() + cg * labels_per_cg, labels_per_cg,
                   l.begin());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "check/timeline_extract.h"
 #include "check/verify.h"
 #include "swdnn/layer_estimate.h"
 
@@ -85,6 +86,26 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
   SWC_CHECK_MSG(report.ok(),
                 "swcheck rejected the bucket layout: " << report.summary());
 
+  // swsched: schedule the layout's collectives against a unit-time backward
+  // pass and verify the whole timeline — network exclusivity, per-gradient
+  // happens-before, packed-byte conservation. Structural, not priced: any
+  // schedule_overlap invariant break or layout/edge mismatch fails
+  // construction before an iteration runs.
+  const std::vector<double> unit_bwd(layer_bytes.size(), 1.0);
+  const double unit_compute = 2.0 * static_cast<double>(layer_bytes.size());
+  const topo::OverlapTimeline overlap = topo::schedule_overlap(
+      buckets_, unit_bwd, unit_compute, [](std::int64_t bytes) {
+        topo::CostBreakdown c;
+        c.seconds = 1e-6 + static_cast<double>(bytes) * 1e-9;
+        c.alpha_terms = 1;
+        return c;
+      });
+  const check::Report treport = check::verify_timeline(
+      check::timeline_from_overlap("ssgd-overlap", unit_bwd, unit_compute,
+                                   overlap, plan.total_bytes));
+  SWC_CHECK_MSG(treport.ok(),
+                "swsched rejected the overlap timeline: " << treport.summary());
+
   if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(
         std::min(options_.threads, num_nodes));
@@ -118,8 +139,8 @@ double SsgdTrainer::forward_backward_packed(
   std::vector<double> losses(p, 0.0);
   auto body = [&](int r) {
     core::Net& net = *nets_[r];
-    auto d = net.blob("data")->data();
-    auto l = net.blob("label")->data();
+    const auto d = net.blob("data")->data();
+    const auto l = net.blob("label")->data();
     std::copy_n(data.begin() + r * data_per_node, data_per_node, d.begin());
     std::copy_n(labels.begin() + r * labels_per_node, labels_per_node,
                 l.begin());
@@ -262,6 +283,14 @@ std::vector<ScalePoint> scalability_curve(
     const topo::CostBreakdown comm = bucket_cost(param_bytes);
     const topo::OverlapTimeline overlap =
         topo::schedule_overlap(buckets, tl.bwd_s, comp, bucket_cost);
+    // swsched: every overlapped timeline the curve reports must verify
+    // silent before its numbers are trusted.
+    const check::Report treport = check::verify_timeline(
+        check::timeline_from_overlap("scalability-overlap", tl.bwd_s, comp,
+                                     overlap, param_bytes));
+    SWC_CHECK_MSG(treport.ok(), "swsched rejected the overlap timeline at "
+                                    << nodes << " nodes: "
+                                    << treport.summary());
     ScalePoint pt;
     pt.nodes = nodes;
     pt.comp_s = comp;

@@ -78,8 +78,8 @@ double Trainer::evaluate(int batches) {
   int hits = 0, total = 0;
   std::int64_t index = 1;  // deterministic eval stream
   for (int bi = 0; bi < batches; ++bi) {
-    auto d = net.blob("data")->data();
-    auto l = net.blob("label")->data();
+    const auto d = net.blob("data")->data();
+    const auto l = net.blob("label")->data();
     for (int b = 0; b < batch; ++b) {
       eval_data_.fill_image(index % eval_data_.spec().num_samples, image);
       std::copy(image.begin(), image.end(), d.begin() + b * img);

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "base/log.h"
+#include "check/timeline.h"
+#include "check/timeline_extract.h"
 #include "topo/overlap.h"
 
 namespace swcaffe::serve {
@@ -180,6 +182,24 @@ ServeResult simulate_serving(const InferenceEngine& engine,
     if (r.admitted) latencies.push_back(r.latency_s());
   }
   res.latency = latency_stats(std::move(latencies));
+
+  // swsched: re-verify the whole serving timeline from the records alone —
+  // exclusive engine occupancy, request conservation into batches, and the
+  // SLO/admission bound re-derived independently of predict_completion.
+  // Pure post-processing over finished records: it cannot perturb the
+  // priced times above.
+  check::ServingContract contract;
+  contract.slo_s = options.admission.slo_s;
+  contract.max_delay_s = options.batcher.max_delay_s;
+  contract.max_batch = options.batcher.max_batch;
+  contract.max_batch_forward_s =
+      engine.batch_time(options.batcher.max_batch);
+  contract.admission = options.admission.enabled;
+  const check::Report report = check::verify_timeline(
+      check::timeline_from_serving("serve-timeline", res.requests, res.batches,
+                                   contract));
+  SWC_CHECK_MSG(report.ok(),
+                "swsched rejected the serving timeline: " << report.summary());
   return res;
 }
 

@@ -31,6 +31,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/log.h"
 #include "topo/allreduce.h"
 #include "trace/tracer.h"
 
@@ -80,8 +81,12 @@ using BucketCostFn = std::function<CostBreakdown(std::int64_t bytes)>;
 class BusyResource {
  public:
   /// Schedules one item; returns its start time and advances the busy
-  /// horizon to start + duration_s (duration_s >= 0).
+  /// horizon to start + duration_s. Durations must be non-negative (a
+  /// negative duration would rewind the horizon and un-serialize the
+  /// resource); ready times may arrive in any order — an item ready before
+  /// the frontier simply queues behind it.
   double serve(double ready_s, double duration_s) {
+    SWC_CHECK_GE(duration_s, 0.0);
     const double start = ready_s > busy_until_ ? ready_s : busy_until_;
     busy_until_ = start + duration_s;
     busy_s_ += duration_s;

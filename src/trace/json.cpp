@@ -1,0 +1,371 @@
+#include "trace/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace swcaffe::trace {
+
+namespace {
+
+const std::string kEmptyString;
+const std::vector<JsonValue> kEmptyArray;
+const std::vector<std::pair<std::string, JsonValue>> kEmptyObject;
+
+}  // namespace
+
+bool JsonValue::as_bool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::as_double(double fallback) const {
+  return kind_ == Kind::kNumber ? num_ : fallback;
+}
+
+std::int64_t JsonValue::as_int(std::int64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  if (int_exact_) return int_;
+  return static_cast<std::int64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  return kind_ == Kind::kString ? str_ : kEmptyString;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  return kind_ == Kind::kArray ? items_ : kEmptyArray;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  return kind_ == Kind::kObject ? members_ : kEmptyObject;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_int(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(i);
+  v.int_ = i;
+  v.int_exact_ = true;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+/// Recursive-descent parser over the input buffer. Depth is bounded so a
+/// pathological "[[[[..." input cannot blow the stack.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool fail(const std::string& why) {
+    if (error_ && error_->empty()) {
+      *error_ = "offset " + std::to_string(pos_) + ": " + why;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting deeper than 128 levels");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = JsonValue::make_bool(true);
+          return true;
+        }
+        return fail("expected 'true'");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = JsonValue::make_bool(false);
+          return true;
+        }
+        return fail("expected 'false'");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = JsonValue::make_null();
+          return true;
+        }
+        return fail("expected 'null'");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (consume('}')) {
+      *out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected string key");
+      }
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in object");
+    }
+    *out = JsonValue::make_object(std::move(members));
+    return true;
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) {
+      *out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      items.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']' in array");
+    }
+    *out = JsonValue::make_array(std::move(items));
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // '"'
+    std::string s;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        *out = std::move(s);
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape in string");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          s += '"';
+          break;
+        case '\\':
+          s += '\\';
+          break;
+        case '/':
+          s += '/';
+          break;
+        case 'b':
+          s += '\b';
+          break;
+        case 'f':
+          s += '\f';
+          break;
+        case 'n':
+          s += '\n';
+          break;
+        case 'r':
+          s += '\r';
+          break;
+        case 't':
+          s += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — lossy but never throws, and
+          // the writers here only ever escape ASCII control characters).
+          if (code < 0x80) {
+            s += static_cast<char>(code);
+          } else if (code < 0x800) {
+            s += static_cast<char>(0xC0 | (code >> 6));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            s += static_cast<char>(0xE0 | (code >> 12));
+            s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (!digits) return fail("expected a value");
+    const std::string lit = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long ll = std::strtoll(lit.c_str(), &end, 10);
+      if (errno == 0 && end == lit.c_str() + lit.size()) {
+        *out = JsonValue::make_int(static_cast<std::int64_t>(ll));
+        return true;
+      }
+    }
+    *out = JsonValue::make_number(std::strtod(lit.c_str(), nullptr));
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+bool parse_json(const std::string& text, JsonValue* out, std::string* error) {
+  if (error) error->clear();
+  JsonParser parser(text, error);
+  return parser.parse(out);
+}
+
+}  // namespace swcaffe::trace

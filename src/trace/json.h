@@ -1,0 +1,75 @@
+// Minimal recursive-descent JSON reader for the trace/check tool surface.
+//
+// The repo writes JSON in two places (Chrome traces, swsched timeline
+// exports) but until now could not read any back. This parser covers the
+// full JSON grammar with a single DOM-style value type — enough to ingest a
+// timeline export or pick numbers out of a config — while staying
+// dependency-free (the container bakes no JSON library and the simulator
+// must not grow one).
+//
+// Numbers are held as double (plus a faithful int64 view when the literal
+// was integral and in range); object member order is preserved so writers
+// can round-trip deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swcaffe::trace {
+
+/// One JSON value (null / bool / number / string / array / object).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const;
+  double as_double(double fallback = 0.0) const;
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  const std::string& as_string() const;  ///< empty string when not a string
+
+  /// Array access; empty for non-arrays.
+  const std::vector<JsonValue>& items() const;
+  /// Object members in source order; empty for non-objects.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// First member named `key`, or nullptr (also for non-objects).
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_int(std::int64_t i);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool int_exact_ = false;  ///< the literal was integral and fits int64
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as one JSON document. On failure returns false and fills
+/// `error` (when non-null) with "offset N: reason". Trailing whitespace is
+/// allowed; trailing garbage is an error.
+bool parse_json(const std::string& text, JsonValue* out,
+                std::string* error = nullptr);
+
+}  // namespace swcaffe::trace
