@@ -34,6 +34,9 @@
 #include "core/proto.h"
 #include "fault/resilient_comm.h"
 #include "hw/cost_model.h"
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+#include "sched/workload.h"
 #include "serve/arrival.h"
 #include "serve/batcher.h"
 #include "serve/engine.h"
@@ -128,6 +131,7 @@ void print_codes() {
       Code::kBucketOrder,      Code::kBucketResendOverflow,
       Code::kTimelineOverlap,  Code::kTimelineRace,    Code::kTimelineBytes,
       Code::kTimelineCausality, Code::kTimelineDeadline, Code::kTimelineCycle,
+      Code::kTimelineGang,
   };
   static const char* kDesc[] = {
       "per-CPE working set exceeds the 64 KB LDM",
@@ -154,6 +158,7 @@ void print_codes() {
       "a consumer starts before its producer finishes",
       "proven completion exceeds the SLO / escalation deadline",
       "happens-before cycle: the schedule deadlocks",
+      "a gang's events do not start/stop together (co-scheduling broken)",
   };
   std::printf("%-22s %s\n", "code", "meaning");
   for (std::size_t i = 0; i < std::size(kAll); ++i) {
@@ -316,6 +321,39 @@ std::vector<check::TimelineGraph> build_live_timelines(
   return graphs;
 }
 
+/// Builds the live cluster-schedule timelines: a burst of model-zoo jobs
+/// gang-scheduled onto an 8-node partition under each policy, with
+/// preemption and elastic resizing in play. Every node is an exclusive
+/// resource and every dispatch a gang — double-booking, broken
+/// co-scheduling and lost iterations all surface as timeline errors.
+std::vector<check::TimelineGraph> build_schedule_timelines(
+    const hw::CostModel& cost) {
+  sched::WorkloadSpec wspec;
+  wspec.arrivals.kind = serve::ArrivalKind::kTrace;
+  wspec.arrivals.trace = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5};
+  wspec.seed = 11;
+  wspec.widths = {2, 4};
+  wspec.min_iters = 5;
+  wspec.max_iters = 20;
+  const std::vector<sched::JobSpec> jobs = sched::generate_workload(wspec);
+  std::vector<check::TimelineGraph> graphs;
+  for (const sched::Policy policy :
+       {sched::Policy::kFifo, sched::Policy::kPriority,
+        sched::Policy::kFairShare}) {
+    sched::SchedOptions sopts;
+    sopts.cluster_nodes = 8;
+    sopts.supernode_size = 4;
+    sopts.policy = policy;
+    sopts.quantum_iters = 5;
+    const sched::ScheduleResult result =
+        sched::simulate_schedule(cost, jobs, sopts);
+    graphs.push_back(check::timeline_from_schedule(
+        std::string("cluster ") + sched::policy_name(policy) + " schedule",
+        sopts.cluster_nodes, result.spans, result.jobs));
+  }
+  return graphs;
+}
+
 /// Verifies each graph, prints the diagnostic table and every diagnostic
 /// line (unless quiet). Returns the process exit code.
 int run_timeline_mode(const std::vector<check::TimelineGraph>& graphs,
@@ -450,6 +488,11 @@ int main(int argc, char** argv) {
       }
       const std::vector<check::TimelineGraph> g =
           build_live_timelines(cost, m, spec, batch, eff_nodes);
+      graphs.insert(graphs.end(), g.begin(), g.end());
+    }
+    {
+      const std::vector<check::TimelineGraph> g =
+          build_schedule_timelines(cost);
       graphs.insert(graphs.end(), g.begin(), g.end());
     }
     return run_timeline_mode(graphs, opts, quiet, export_path);

@@ -68,6 +68,8 @@ const char* code_name(Code c) {
       return "timeline-deadline";
     case Code::kTimelineCycle:
       return "timeline-cycle";
+    case Code::kTimelineGang:
+      return "timeline-gang";
   }
   return "?";
 }

@@ -56,6 +56,7 @@ enum class Code {
   kTimelineCausality, ///< a consumer starts before its producer finishes
   kTimelineDeadline,  ///< proven completion exceeds the SLO/timeout bound
   kTimelineCycle,     ///< happens-before cycle: the schedule deadlocks
+  kTimelineGang,      ///< a gang's events do not start/stop together
 };
 
 /// Stable short identifier, e.g. "ldm-overflow".

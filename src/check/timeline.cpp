@@ -236,6 +236,34 @@ void pass_deadline(const TimelineGraph& g, Report* report) {
   }
 }
 
+// --- Pass 6: gang co-scheduling ---------------------------------------------
+
+void pass_gang(const TimelineGraph& g, Report* report) {
+  // Gangs grouped per tag (std::map: deterministic iteration order).
+  std::map<std::string, std::vector<int>> gangs;
+  for (int i = 0; i < static_cast<int>(g.events.size()); ++i) {
+    const TimelineEvent& ev = g.events[static_cast<std::size_t>(i)];
+    if (!ev.gang.empty()) gangs[ev.gang].push_back(i);
+  }
+  for (const auto& [tag, members] : gangs) {
+    const TimelineEvent& lead = g.events[static_cast<std::size_t>(members[0])];
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      const TimelineEvent& ev = g.events[static_cast<std::size_t>(members[k])];
+      if (std::abs(ev.start_s - lead.start_s) >
+              time_tolerance(ev.start_s, lead.start_s) ||
+          std::abs(ev.end_s - lead.end_s) >
+              time_tolerance(ev.end_s, lead.end_s)) {
+        report->add(Code::kTimelineGang, Severity::kError, g.name,
+                    "gang '" + tag + "': " + describe(g, members[k]) +
+                        " does not run in lockstep with " +
+                        describe(g, members[0]) +
+                        "; a gang's members must start and stop together");
+        break;  // one diagnostic per gang: every straggler would cascade
+      }
+    }
+  }
+}
+
 // --- Pass 2: vector-clock race detection ------------------------------------
 
 void pass_races(const TimelineGraph& g, const HbGraph& hb,
@@ -369,6 +397,7 @@ void check_timeline(const TimelineGraph& graph, const Options& opts,
   pass_bytes(graph, report);
   pass_causality(graph, report);
   pass_deadline(graph, report);
+  pass_gang(graph, report);
   const HbGraph hb(graph);
   const std::vector<int> order = topo_order(hb);
   if (order.empty() && !graph.events.empty()) {

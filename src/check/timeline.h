@@ -40,7 +40,12 @@
 //     re-derived from the timeline);
 //  5. dependency-cycle detection (timeline-cycle): Kahn's algorithm over
 //     the full happens-before graph — the global, cross-node
-//     generalization of the per-plan RLC FIFO deadlock rule.
+//     generalization of the per-plan RLC FIFO deadlock rule;
+//  6. gang co-scheduling (timeline-gang): events tagged with one gang id
+//     are a single collective step spread over several resources (e.g. one
+//     training job's iteration quantum on every node of its allocation) —
+//     they must all start and stop at the same instant, because a member
+//     running outside its peers would compute against stale replicas.
 //
 // Analysis is pure: same graph, byte-identical Report. It never executes or
 // re-prices anything — verifying a timeline cannot perturb simulated time.
@@ -92,6 +97,9 @@ struct TimelineEvent {
   /// its escalation timeout is dead code, not corruption).
   double deadline_s = -1.0;
   bool hard_deadline = true;
+  /// Gang tag: all events sharing a non-empty tag form one co-scheduled
+  /// collective step and must share identical [start_s, end_s] intervals.
+  std::string gang;
   std::vector<StateAccess> accesses;
 };
 

@@ -399,4 +399,87 @@ TimelineGraph timeline_from_comm(const std::string& name,
   return g;
 }
 
+TimelineGraph timeline_from_schedule(
+    const std::string& name, int cluster_nodes,
+    const std::vector<sched::JobSpan>& spans,
+    const std::vector<sched::JobRecord>& jobs) {
+  TimelineGraph g;
+  g.name = name;
+  // Every cluster node is an exclusive resource: two gangs holding one node
+  // at once is exactly the double-booking timeline-overlap catches.
+  std::vector<int> node_res(static_cast<std::size_t>(std::max(cluster_nodes, 0)));
+  for (int nd = 0; nd < cluster_nodes; ++nd) {
+    node_res[static_cast<std::size_t>(nd)] =
+        g.add_resource("node" + std::to_string(nd));
+  }
+
+  // One actor (sequential lane) and one iteration ledger per job. The
+  // ledger only judges FINISHED jobs: their run spans must retire exactly
+  // the job's iterations — a scheduler that drops work at a preemption or
+  // replays an already-checkpointed quantum loses/invents "payload".
+  std::map<int, int> job_actor;
+  std::map<int, int> job_ledger;
+  for (const sched::JobRecord& r : jobs) {
+    job_actor[r.job] = g.add_actor(r.name.empty()
+                                       ? "job" + std::to_string(r.job)
+                                       : r.name);
+    job_ledger[r.job] =
+        r.finish_s >= 0.0
+            ? g.add_ledger("job" + std::to_string(r.job) + ".iters", r.iters)
+            : -1;
+  }
+
+  // Spans grouped per job in execution order, so each job's events land on
+  // its lane in program order and consecutive spans get progress edges.
+  std::map<int, std::vector<const sched::JobSpan*>> by_job;
+  for (const sched::JobSpan& s : spans) by_job[s.job].push_back(&s);
+  for (auto& [job, list] : by_job) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const sched::JobSpan* a, const sched::JobSpan* b) {
+                       return a->span < b->span;
+                     });
+    const auto actor_it = job_actor.find(job);
+    if (actor_it == job_actor.end()) {
+      // A span for a job no record mentions: surface it as its own lane so
+      // the structural passes still see the occupancy.
+      job_actor[job] = g.add_actor("job" + std::to_string(job));
+      job_ledger[job] = -1;
+    }
+    int prev_first = -1;
+    for (const sched::JobSpan* s : list) {
+      const std::string gang =
+          "job" + std::to_string(s->job) + ".span" + std::to_string(s->span);
+      int first_ev = -1;
+      for (std::size_t k = 0; k < s->nodes.size(); ++k) {
+        const int nd = s->nodes[k];
+        TimelineEvent ev;
+        ev.name = gang + "." + span_kind_name(s->kind) + "@node" +
+                  std::to_string(nd);
+        ev.actor = job_actor[job];
+        // Out-of-range nodes keep an invalid resource index on purpose:
+        // validate() reports them as kGeomInvalid instead of mis-binning.
+        ev.resource = (nd >= 0 && nd < cluster_nodes)
+                          ? node_res[static_cast<std::size_t>(nd)]
+                          : cluster_nodes + 1;
+        ev.start_s = s->start_s;
+        ev.end_s = s->end_s;
+        ev.gang = gang;
+        if (k == 0 && s->kind == sched::SpanKind::kRun) {
+          // Iterations ride on the first gang member only — the gang
+          // retires them once, not once per node.
+          ev.bytes = s->iters;
+          ev.ledger = job_ledger[job];
+        }
+        const int idx = g.add_event(std::move(ev));
+        if (first_ev < 0) first_ev = idx;
+      }
+      if (first_ev >= 0 && prev_first >= 0) {
+        g.add_edge(prev_first, first_ev, "job progress");
+      }
+      if (first_ev >= 0) prev_first = first_ev;
+    }
+  }
+  return g;
+}
+
 }  // namespace swcaffe::check

@@ -21,6 +21,16 @@
 //    round's worst-case retry ladder (sends + exponential backoff) laid out
 //    on the network lane with the escalation timeout as the round deadline.
 //
+//  * timeline_from_schedule — the multi-tenant cluster schedule
+//    (sched/scheduler.h): every cluster node is an exclusive resource, every
+//    job an actor, and every gang dispatch one co-scheduled event per
+//    occupied node tagged with the span's gang id — so a double-booked node
+//    is a timeline-overlap, a gang whose members drift apart is a
+//    timeline-gang, a job resumed before its previous quantum ended is a
+//    timeline-causality, and a scheduler that loses or replays iterations
+//    across preemptions breaks the per-job iteration ledger
+//    (timeline-bytes).
+//
 //  * timeline_from_comm — the global (cross-node) communication graph: one
 //    or more CommSchedules composed in phase order (e.g. the per-bucket
 //    collectives one node runs back to back). FIFO send/receive matching
@@ -38,6 +48,7 @@
 #include "check/plan_model.h"
 #include "check/timeline.h"
 #include "hw/params.h"
+#include "sched/record.h"
 #include "serve/request.h"
 #include "topo/overlap.h"
 
@@ -79,6 +90,17 @@ TimelineGraph timeline_from_serving(
 /// check_retry's retry-timeout severity).
 TimelineGraph timeline_from_retry(const RetryPlan& plan, int rounds,
                                   double start_s = 0.0);
+
+/// Builds the cluster-schedule timeline of one scheduler run over
+/// `cluster_nodes` nodes. Every span becomes one event per occupied node
+/// (gang tag = "job<id>.span<k>"), consecutive spans of a job are linked by
+/// explicit progress edges, and each FINISHED job gets an iteration ledger
+/// its run spans must conserve — retiring too few or too many iterations
+/// across preemptions/resizes is a timeline-bytes error.
+TimelineGraph timeline_from_schedule(const std::string& name,
+                                     int cluster_nodes,
+                                     const std::vector<sched::JobSpan>& spans,
+                                     const std::vector<sched::JobRecord>& jobs);
 
 /// Builds the composed cross-node communication graph of `phases` run back
 /// to back (each rank executes phase 0's ops, then phase 1's, ...). Send/

@@ -56,6 +56,8 @@ std::string timeline_to_json(const TimelineGraph& graph) {
            ", \"ledger\": " + std::to_string(e.ledger) +
            ", \"deadline_s\": " + num(e.deadline_s) +
            ", \"hard_deadline\": " + (e.hard_deadline ? "true" : "false") +
+           (e.gang.empty() ? std::string()
+                           : ", \"gang\": " + quoted(e.gang)) +
            ", \"accesses\": [";
     for (std::size_t a = 0; a < e.accesses.size(); ++a) {
       if (a) out += ", ";
@@ -137,6 +139,7 @@ bool decode_graph(const trace::JsonValue& doc, TimelineGraph* out,
       if (const trace::JsonValue* f = ev.find("hard_deadline")) {
         e.hard_deadline = f->as_bool(true);
       }
+      if (const trace::JsonValue* f = ev.find("gang")) e.gang = f->as_string();
       if (const trace::JsonValue* f = ev.find("accesses")) {
         for (const trace::JsonValue& acc : f->items()) {
           StateAccess a;

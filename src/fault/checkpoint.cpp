@@ -38,7 +38,30 @@ std::vector<float> read_floats(std::istream& is) {
   return v;
 }
 
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is, const char* what,
+                        const std::string& path) {
+  std::uint64_t len = 0;
+  read_pod(is, len);
+  SWC_CHECK_MSG(is.good() && len < (1ull << 20),
+                "checkpoint: implausible " << what << " length " << len);
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  SWC_CHECK_MSG(is.good(), "checkpoint: truncated file: " << path);
+  return s;
+}
+
 }  // namespace
+
+std::string checkpoint_path(const std::string& prefix, const std::string& job,
+                            std::int64_t iter) {
+  if (job.empty()) return prefix + "." + std::to_string(iter);
+  return prefix + "." + job + ".ckpt." + std::to_string(iter);
+}
 
 void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
   std::ofstream os(path, std::ios::binary);
@@ -52,13 +75,13 @@ void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
   for (const auto& h : ckpt.history) write_floats(os, h);
   write_floats(os, ckpt.stale_grad);
   write_pod(os, ckpt.stale_count);
-  write_pod(os, static_cast<std::uint64_t>(ckpt.plan_cache.size()));
-  os.write(ckpt.plan_cache.data(),
-           static_cast<std::streamsize>(ckpt.plan_cache.size()));
+  write_string(os, ckpt.plan_cache);
+  write_string(os, ckpt.job_id);
   SWC_CHECK_MSG(os.good(), "checkpoint: write failed: " << path);
 }
 
-Checkpoint load_checkpoint(const std::string& path) {
+Checkpoint load_checkpoint(const std::string& path,
+                           const std::string& expected_job) {
   std::ifstream is(path, std::ios::binary);
   SWC_CHECK_MSG(is.is_open(), "checkpoint: cannot open " << path);
   char magic[sizeof(kMagic)] = {};
@@ -85,13 +108,14 @@ Checkpoint load_checkpoint(const std::string& path) {
   }
   ckpt.stale_grad = read_floats(is);
   read_pod(is, ckpt.stale_count);
-  std::uint64_t len = 0;
-  read_pod(is, len);
-  SWC_CHECK_MSG(is.good() && len < (1ull << 20),
-                "checkpoint: implausible plan-cache path length " << len);
-  ckpt.plan_cache.resize(len);
-  is.read(ckpt.plan_cache.data(), static_cast<std::streamsize>(len));
+  ckpt.plan_cache = read_string(is, "plan-cache path", path);
+  // Version 1 files end here: their job id stays empty (single-job legacy).
+  if (version >= 2) ckpt.job_id = read_string(is, "job id", path);
   SWC_CHECK_MSG(is.good(), "checkpoint: truncated file: " << path);
+  SWC_CHECK_MSG(expected_job.empty() || ckpt.job_id == expected_job,
+                "checkpoint: " << path << " belongs to job '" << ckpt.job_id
+                               << "', not '" << expected_job
+                               << "'; refusing to resume another job's state");
   return ckpt;
 }
 

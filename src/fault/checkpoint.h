@@ -7,6 +7,13 @@
 // a restarted run replays the identical fault schedule. The on-disk format
 // is magic + version; loading rejects unknown magics and future versions
 // with a diagnostic instead of misreading them.
+//
+// Version 2 adds a job id: on a multi-tenant cluster (src/sched) several
+// jobs checkpoint concurrently, so files are namespaced per job
+// (`<prefix>.<job>.ckpt.<iter>`) and every checkpoint records which job
+// wrote it — a load on behalf of the wrong job is rejected instead of
+// silently resuming another tenant's weights. Version 1 files still load
+// (their job id is empty, the single-job legacy).
 #pragma once
 
 #include <cstdint>
@@ -15,7 +22,7 @@
 
 namespace swcaffe::fault {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 struct Checkpoint {
   std::int64_t iter = 0;
@@ -25,14 +32,25 @@ struct Checkpoint {
   std::vector<float> stale_grad;  ///< pending bounded-staleness gradient
   std::int64_t stale_count = 0;   ///< nodes whose gradients are in stale_grad
   std::string plan_cache;         ///< swtune plan-cache path ("" = none)
+  std::string job_id;             ///< owning job ("" = single-job legacy)
 };
+
+/// Checkpoint file name of `job` at `iter`: `<prefix>.<job>.ckpt.<iter>`,
+/// so concurrent jobs sharing one prefix can never clobber each other.
+/// With an empty job the legacy single-job layout `<prefix>.<iter>` is kept
+/// (the prefix conventionally already ends in ".ckpt").
+std::string checkpoint_path(const std::string& prefix, const std::string& job,
+                            std::int64_t iter);
 
 /// Writes `ckpt` to `path` (binary, versioned). Throws base::CheckError on
 /// I/O failure.
 void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
 
 /// Reads a checkpoint back. Throws base::CheckError on I/O failure, bad
-/// magic, or an unsupported version.
-Checkpoint load_checkpoint(const std::string& path);
+/// magic, or an unsupported version. A non-empty `expected_job` demands the
+/// checkpoint was written by that job: a mismatch (including a legacy file
+/// with no job id) throws instead of resuming another job's state.
+Checkpoint load_checkpoint(const std::string& path,
+                           const std::string& expected_job = "");
 
 }  // namespace swcaffe::fault

@@ -110,6 +110,7 @@ Checkpoint FtSsgdTrainer::capture() {
   ckpt.stale_grad = stale_sum_;
   ckpt.stale_count = stale_count_;
   ckpt.plan_cache = options_.plan_cache;
+  ckpt.job_id = options_.job_id;
   return ckpt;
 }
 
@@ -128,7 +129,7 @@ void FtSsgdTrainer::save_checkpoint(const std::string& path) {
 }
 
 void FtSsgdTrainer::restore_checkpoint(const std::string& path) {
-  restore(load_checkpoint(path));
+  restore(load_checkpoint(path, options_.job_id));
 }
 
 void FtSsgdTrainer::restore_latest() {
@@ -280,8 +281,8 @@ StepResult FtSsgdTrainer::step(std::span<const float> data,
       ssgd_.iter() % options_.checkpoint_every == 0) {
     SWC_CHECK_MSG(!options_.checkpoint_prefix.empty(),
                   "checkpoint_every set without checkpoint_prefix");
-    last_checkpoint_ =
-        options_.checkpoint_prefix + "." + std::to_string(ssgd_.iter());
+    last_checkpoint_ = checkpoint_path(options_.checkpoint_prefix,
+                                       options_.job_id, ssgd_.iter());
     save_checkpoint(last_checkpoint_);
   }
   return res;

@@ -48,6 +48,11 @@ struct FtOptions {
   int checkpoint_every = 0;  ///< iterations between checkpoints (0 = off)
   std::string checkpoint_prefix;  ///< path prefix for checkpoint files
   std::string plan_cache;         ///< swtune plan-cache reference to record
+  /// Job namespace for checkpoint files (src/sched multi-tenant runs):
+  /// non-empty ids write `<prefix>.<job>.ckpt.<iter>` and refuse to restore
+  /// a checkpoint recorded by any other job. Empty = single-job legacy
+  /// layout `<prefix>.<iter>`.
+  std::string job_id;
 };
 
 /// Outcome of one fault-tolerant iteration.

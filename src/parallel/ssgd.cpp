@@ -23,6 +23,18 @@ const char* allreduce_algo_name(AllreduceAlgo algo) {
   return "?";
 }
 
+topo::Placement placement_for(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kRhdAdjacent:
+    case AllreduceAlgo::kRing:
+    case AllreduceAlgo::kParamServer:
+      return topo::Placement::kAdjacent;
+    case AllreduceAlgo::kRhdRoundRobin:
+      return topo::Placement::kRoundRobin;
+  }
+  return topo::Placement::kAdjacent;
+}
+
 SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
                          const core::SolverSpec& solver,
                          const SsgdOptions& options, std::uint64_t seed)
@@ -34,16 +46,7 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
   topo_.supernode_size = options.supernode_size;
   // Topology placement depends only on the configured algorithm; computed
   // once here and reused by every allreduce() call.
-  switch (options_.algo) {
-    case AllreduceAlgo::kRhdAdjacent:
-    case AllreduceAlgo::kRing:
-    case AllreduceAlgo::kParamServer:
-      placement_ = topo::Placement::kAdjacent;
-      break;
-    case AllreduceAlgo::kRhdRoundRobin:
-      placement_ = topo::Placement::kRoundRobin;
-      break;
-  }
+  placement_ = placement_for(options_.algo);
   for (int i = 0; i < num_nodes; ++i) {
     nets_.push_back(std::make_unique<core::Net>(spec, seed));
   }

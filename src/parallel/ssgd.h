@@ -32,6 +32,13 @@ enum class AllreduceAlgo { kRhdAdjacent, kRhdRoundRobin, kRing, kParamServer };
 
 const char* allreduce_algo_name(AllreduceAlgo algo);
 
+/// Topology placement implied by the collective: only the paper's improved
+/// RHD mapping deals ranks to supernodes round-robin; everything else keeps
+/// the default adjacent mapping. Shared by SsgdTrainer and the cluster
+/// scheduler's gang allocator (sched::Cluster), so a gang is laid out
+/// exactly the way its collective expects to find the ranks.
+topo::Placement placement_for(AllreduceAlgo algo);
+
 struct SsgdOptions {
   AllreduceAlgo algo = AllreduceAlgo::kRhdRoundRobin;
   topo::NetParams net = topo::sunway_network();

@@ -1,0 +1,75 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace swcaffe::sched {
+
+Cluster::Cluster(int num_nodes, int supernode_size) {
+  SWC_CHECK_GT(num_nodes, 0);
+  SWC_CHECK_GT(supernode_size, 0);
+  topo_.num_nodes = num_nodes;
+  topo_.supernode_size = supernode_size;
+  free_.assign(static_cast<std::size_t>(num_nodes), true);
+  free_count_ = num_nodes;
+}
+
+std::vector<int> Cluster::allocate(int count, topo::Placement placement) {
+  SWC_CHECK_GT(count, 0);
+  if (count > free_count_) return {};
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(count));
+  switch (placement) {
+    case topo::Placement::kAdjacent:
+      // Pack: lowest free node ids, which also fills supernodes densely.
+      for (int n = 0; n < topo_.num_nodes && static_cast<int>(picked.size()) <
+                                                 count;
+           ++n) {
+        if (free_[n]) picked.push_back(n);
+      }
+      break;
+    case topo::Placement::kRoundRobin: {
+      // Deal: one free node per supernode in round-robin supernode order,
+      // sweeping until the gang is complete.
+      const int supernodes = topo_.num_supernodes();
+      std::vector<int> cursor(static_cast<std::size_t>(supernodes), 0);
+      bool progress = true;
+      while (static_cast<int>(picked.size()) < count && progress) {
+        progress = false;
+        for (int s = 0; s < supernodes && static_cast<int>(picked.size()) <
+                                              count;
+             ++s) {
+          const int lo = s * topo_.supernode_size;
+          const int hi = std::min((s + 1) * topo_.supernode_size,
+                                  topo_.num_nodes);
+          int& c = cursor[static_cast<std::size_t>(s)];
+          while (lo + c < hi && !free_[lo + c]) ++c;
+          if (lo + c < hi) {
+            picked.push_back(lo + c);
+            ++c;
+            progress = true;
+          }
+        }
+      }
+      break;
+    }
+  }
+  SWC_CHECK_EQ(static_cast<int>(picked.size()), count);
+  for (int n : picked) free_[n] = false;
+  free_count_ -= count;
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+void Cluster::release(const std::vector<int>& nodes) {
+  for (int n : nodes) {
+    SWC_CHECK_GE(n, 0);
+    SWC_CHECK_LT(n, topo_.num_nodes);
+    SWC_CHECK_MSG(!free_[n], "cluster: double release of node " << n);
+    free_[n] = true;
+  }
+  free_count_ += static_cast<int>(nodes.size());
+}
+
+}  // namespace swcaffe::sched

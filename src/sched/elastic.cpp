@@ -1,0 +1,52 @@
+#include "sched/elastic.h"
+
+#include "base/log.h"
+#include "fault/checkpoint.h"
+
+namespace swcaffe::sched {
+
+ElasticTrainer::ElasticTrainer(const core::NetSpec& spec, int replicas,
+                               const core::SolverSpec& solver,
+                               const fault::FtOptions& options,
+                               std::uint64_t seed)
+    : spec_(spec),
+      solver_(solver),
+      options_(options),
+      seed_(seed),
+      replicas_(replicas),
+      width_(replicas) {
+  SWC_CHECK_GT(replicas, 0);
+  SWC_CHECK_MSG(!options_.checkpoint_prefix.empty(),
+                "elastic trainer needs a checkpoint prefix to resize through");
+  trainer_ = std::make_unique<fault::FtSsgdTrainer>(spec_, replicas_, solver_,
+                                                    options_, seed_);
+}
+
+fault::StepResult ElasticTrainer::step(std::span<const float> data,
+                                       std::span<const float> labels) {
+  return trainer_->step(data, labels);
+}
+
+std::string ElasticTrainer::resize(int width) {
+  SWC_CHECK_GE(width, 1);
+  SWC_CHECK_MSG(width <= replicas_,
+                "gang width " << width << " exceeds the job's " << replicas_
+                              << " logical replicas (idle nodes are not a "
+                                 "resize)");
+  if (width == width_) return "";
+  const std::string path = fault::checkpoint_path(
+      options_.checkpoint_prefix, options_.job_id, trainer_->iter());
+  trainer_->save_checkpoint(path);
+  // The old gang is revoked: rebuild from scratch on the new one, then
+  // crash-rewind-replay from the checkpoint just written. The fresh
+  // trainer re-initializes from `seed_`, and restore overwrites every
+  // float of that state — which is what makes the sequence width-invariant.
+  trainer_ = std::make_unique<fault::FtSsgdTrainer>(spec_, replicas_, solver_,
+                                                    options_, seed_);
+  trainer_->restore_checkpoint(path);
+  width_ = width;
+  ++resizes_;
+  return path;
+}
+
+}  // namespace swcaffe::sched

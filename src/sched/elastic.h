@@ -1,0 +1,68 @@
+// Elastic per-job trainer handle: the functional counterpart of the
+// scheduler's analytic shrink/grow.
+//
+// The job's LOGICAL replica count is fixed at submission; resize() only
+// changes the PHYSICAL gang width the replicas are folded onto. Because the
+// functional math (fault::FtSsgdTrainer over `replicas` model copies) never
+// depends on the physical width, a resize is exactly the scheduler's
+// checkpoint -> release -> re-place -> restore sequence:
+//
+//   1. write the job-namespaced versioned checkpoint at the current
+//      iteration (fault::checkpoint_path with FtOptions::job_id),
+//   2. tear the trainer down (the old gang is gone),
+//   3. rebuild it from the original spec and restore the checkpoint
+//      (crash-rewind-replay on the new gang).
+//
+// Final weights after any resize sequence are bit-identical to an
+// uninterrupted run — the property tests/sched_test.cpp asserts float by
+// float, and the reason the simulator may re-gang-schedule jobs freely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/net.h"
+#include "core/solver.h"
+#include "core/spec.h"
+#include "fault/ft_ssgd.h"
+
+namespace swcaffe::sched {
+
+class ElasticTrainer {
+ public:
+  /// `options.checkpoint_prefix` and `options.job_id` name the checkpoint
+  /// files resize() writes; `replicas` is the fixed logical width.
+  ElasticTrainer(const core::NetSpec& spec, int replicas,
+                 const core::SolverSpec& solver,
+                 const fault::FtOptions& options, std::uint64_t seed = 1);
+
+  /// One SSGD iteration over the global batch (replicas * sub-batch floats).
+  fault::StepResult step(std::span<const float> data,
+                         std::span<const float> labels);
+
+  /// Re-gang-schedules the job onto `width` physical nodes (1 <= width <=
+  /// replicas) via checkpoint -> rebuild -> restore. A same-width resize is
+  /// a no-op. Returns the checkpoint path written (empty for the no-op).
+  std::string resize(int width);
+
+  int replicas() const { return replicas_; }
+  int width() const { return width_; }
+  int resizes() const { return resizes_; }
+  int iter() const { return trainer_->iter(); }
+  core::Net& net(int replica) { return trainer_->ssgd().node(replica); }
+  fault::FtSsgdTrainer& trainer() { return *trainer_; }
+
+ private:
+  core::NetSpec spec_;
+  core::SolverSpec solver_;
+  fault::FtOptions options_;
+  std::uint64_t seed_;
+  int replicas_;
+  int width_;
+  int resizes_ = 0;
+  std::unique_ptr<fault::FtSsgdTrainer> trainer_;
+};
+
+}  // namespace swcaffe::sched

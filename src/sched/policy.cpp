@@ -1,0 +1,71 @@
+#include "sched/policy.h"
+
+#include "base/log.h"
+
+namespace swcaffe::sched {
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFifo:
+      return "fifo";
+    case Policy::kPriority:
+      return "priority";
+    case Policy::kFairShare:
+      return "fair";
+  }
+  return "?";
+}
+
+Policy parse_policy(const std::string& name) {
+  if (name == "fifo") return Policy::kFifo;
+  if (name == "priority") return Policy::kPriority;
+  if (name == "fair" || name == "fair-share") return Policy::kFairShare;
+  SWC_CHECK_MSG(false, "unknown policy '" << name
+                                          << "' (fifo | priority | fair)");
+  return Policy::kFifo;
+}
+
+int PolicyEngine::pick(const std::vector<const JobSpec*>& pending,
+                       const std::vector<double>& tenant_usage) const {
+  SWC_CHECK(!pending.empty());
+  switch (policy_) {
+    case Policy::kFifo:
+      return 0;  // pending is already in submit order
+    case Policy::kPriority: {
+      int best = 0;
+      for (int i = 1; i < static_cast<int>(pending.size()); ++i) {
+        if (pending[i]->priority > pending[best]->priority) best = i;
+      }
+      return best;  // ties keep submit order (first wins)
+    }
+    case Policy::kFairShare: {
+      // Most under-served tenant first; within a tenant, submit order.
+      int best = 0;
+      for (int i = 1; i < static_cast<int>(pending.size()); ++i) {
+        const double u_i = tenant_usage[pending[i]->tenant];
+        const double u_best = tenant_usage[pending[best]->tenant];
+        if (u_i < u_best) best = i;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+bool PolicyEngine::may_preempt(const JobSpec& candidate, const JobSpec& victim,
+                               const std::vector<double>& tenant_usage) const {
+  switch (policy_) {
+    case Policy::kFifo:
+      return false;
+    case Policy::kPriority:
+      return candidate.priority > victim.priority;
+    case Policy::kFairShare:
+      // Take nodes only from tenants that already consumed strictly more
+      // than the candidate's tenant; same-tenant jobs never fight.
+      return victim.tenant != candidate.tenant &&
+             tenant_usage[victim.tenant] > tenant_usage[candidate.tenant];
+  }
+  return false;
+}
+
+}  // namespace swcaffe::sched

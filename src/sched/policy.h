@@ -1,0 +1,60 @@
+// Pluggable admission/preemption policies of the cluster scheduler.
+//
+// The scheduler owns the event loop and the mechanics (gang placement,
+// checkpoint/restore pricing, elastic re-dispatch); the policy only answers
+// three questions, all pure functions of the visible state:
+//
+//  * pick()        — which pending job to try to place next,
+//  * may_preempt() — whether taking nodes from a running job for a
+//                    candidate is allowed, and
+//  * rebalances()  — whether the policy shrinks running elastic gangs to
+//                    admit starved candidates (fair-share only).
+//
+// Policies:
+//  * kFifo      — strict arrival order, head-of-line blocking, never
+//                 preempts. The baseline every queueing paper compares to.
+//  * kPriority  — highest priority first; preempts strictly-lower-priority
+//                 victims when the candidate cannot be placed.
+//  * kFairShare — tenants with the least retired node-seconds go first;
+//                 preempts and shrinks gangs of over-served tenants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace swcaffe::sched {
+
+enum class Policy { kFifo, kPriority, kFairShare };
+
+const char* policy_name(Policy policy);
+/// Parses "fifo" / "priority" / "fair"; throws base::CheckError otherwise.
+Policy parse_policy(const std::string& name);
+
+class PolicyEngine {
+ public:
+  explicit PolicyEngine(Policy policy) : policy_(policy) {}
+
+  Policy policy() const { return policy_; }
+  /// FIFO serves strictly in order: a blocked head blocks everyone behind
+  /// it (no backfilling, or arrival order would stop meaning anything).
+  bool head_of_line() const { return policy_ == Policy::kFifo; }
+  bool preemptive() const { return policy_ != Policy::kFifo; }
+  bool rebalances() const { return policy_ == Policy::kFairShare; }
+
+  /// Index into `pending` of the job to place next (pending is in submit
+  /// order; never empty). `tenant_usage[t]` is tenant t's retired
+  /// node-seconds so far.
+  int pick(const std::vector<const JobSpec*>& pending,
+           const std::vector<double>& tenant_usage) const;
+
+  /// May `victim` (running) be evicted to place `candidate`?
+  bool may_preempt(const JobSpec& candidate, const JobSpec& victim,
+                   const std::vector<double>& tenant_usage) const;
+
+ private:
+  Policy policy_;
+};
+
+}  // namespace swcaffe::sched

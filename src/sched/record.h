@@ -1,0 +1,82 @@
+// swsched-svc schedule records — the currency of the cluster scheduler.
+//
+// The discrete-event scheduler (sched/scheduler.h) fills these in as jobs
+// move through the simulated TaihuLight partition; metric accounting, trace
+// export and whole-timeline verification (check::timeline_from_schedule)
+// are pure post-processing over the records, mirroring serve/request.h.
+// Header-only and dependency-free so check/ can consume the records without
+// a check <-> sched link cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swcaffe::sched {
+
+/// What one occupancy interval of a job's gang was doing.
+enum class SpanKind {
+  kRun,         ///< training iterations (carries `iters`)
+  kCheckpoint,  ///< writing the preemption/resize checkpoint
+  kRestore,     ///< reloading the checkpoint after a preemption/resize
+};
+
+inline const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRun:
+      return "run";
+    case SpanKind::kCheckpoint:
+      return "checkpoint";
+    case SpanKind::kRestore:
+      return "restore";
+  }
+  return "?";
+}
+
+/// One gang occupancy interval: job `job` held exactly `nodes` for
+/// [start_s, end_s]. Every node of the gang runs the interval in lockstep —
+/// that is the co-scheduling invariant check::timeline_from_schedule turns
+/// into timeline-gang events.
+struct JobSpan {
+  int job = 0;             ///< JobSpec::id
+  std::string job_name;    ///< human label ("alexnet-b256-n8#3")
+  int span = 0;            ///< per-job span index (execution order)
+  SpanKind kind = SpanKind::kRun;
+  std::vector<int> nodes;  ///< cluster node ids occupied (gang allocation)
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::int64_t iters = 0;  ///< iterations retired in this span (kRun only)
+};
+
+/// One job's complete lifecycle through the scheduler.
+struct JobRecord {
+  int job = 0;
+  std::string name;
+  int tenant = 0;
+  double submit_s = 0.0;
+  double first_start_s = -1.0;  ///< first gang dispatch (-1: never started)
+  double finish_s = -1.0;       ///< last iteration retired (-1: unfinished)
+  std::int64_t iters = 0;       ///< total iterations the job had to run
+  int preemptions = 0;          ///< times the gang was revoked mid-job
+  int resizes = 0;              ///< elastic shrink/grow re-dispatches
+  int final_width = 0;          ///< gang width of the last dispatch
+  /// Uninterrupted run time at the requested width (no queueing, no
+  /// preemption, no shrink) — the denominator of slowdown().
+  double ideal_s = 0.0;
+
+  double queue_wait_s() const {
+    return first_start_s < 0.0 ? -1.0 : first_start_s - submit_s;
+  }
+  /// Submission-to-completion span (the per-job makespan).
+  double makespan_s() const {
+    return finish_s < 0.0 ? -1.0 : finish_s - submit_s;
+  }
+  /// Makespan normalized by the job's own ideal run time (>= 1 in
+  /// practice): the fairness currency — raw makespans conflate scheduling
+  /// with job-length heterogeneity, slowdowns don't.
+  double slowdown() const {
+    return (finish_s < 0.0 || ideal_s <= 0.0) ? -1.0 : makespan_s() / ideal_s;
+  }
+};
+
+}  // namespace swcaffe::sched

@@ -545,6 +545,54 @@ TEST(CheckpointTest, RejectsGarbageMissingAndFutureVersions) {
   EXPECT_THROW(load_checkpoint(future), base::CheckError);
 }
 
+TEST(CheckpointTest, JobNamespacedPaths) {
+  // Empty job keeps the single-job legacy layout the pre-v2 runs used.
+  EXPECT_EQ(checkpoint_path("run/model.ckpt", "", 40), "run/model.ckpt.40");
+  EXPECT_EQ(checkpoint_path("run/cluster", "alexnet-b256-n8.j3", 40),
+            "run/cluster.alexnet-b256-n8.j3.ckpt.40");
+}
+
+TEST(CheckpointTest, RejectsWrongJobLoads) {
+  const std::string path = testing::TempDir() + "/swfault_job.ckpt";
+  Checkpoint c = sample_checkpoint();
+  c.job_id = "vgg16-b64-n4.j2";
+  save_checkpoint(path, c);
+
+  // Unconstrained loads and the owning job both succeed.
+  EXPECT_EQ(load_checkpoint(path).job_id, c.job_id);
+  EXPECT_EQ(load_checkpoint(path, c.job_id).iter, c.iter);
+  // Any other tenant's job is rejected instead of resuming foreign weights.
+  EXPECT_THROW(load_checkpoint(path, "resnet50-b32-n8.j9"), base::CheckError);
+
+  // A legacy (job-less) checkpoint also refuses a namespaced load: it
+  // cannot prove it belongs to the requesting job.
+  const std::string legacy = testing::TempDir() + "/swfault_legacyjob.ckpt";
+  save_checkpoint(legacy, sample_checkpoint());
+  EXPECT_THROW(load_checkpoint(legacy, "vgg16-b64-n4.j2"), base::CheckError);
+}
+
+TEST(CheckpointTest, PeriodicCheckpointsAreJobNamespaced) {
+  const core::SolverSpec solver;
+  FtOptions opts = ft_options(FaultSpec{});
+  opts.checkpoint_every = 2;
+  opts.checkpoint_prefix = testing::TempDir() + "/swfault_nsrun";
+  opts.job_id = "mlp.j1";
+  FtSsgdTrainer t(mlp(kSubBatch), kNodes, solver, opts, 9);
+  run_steps(t, 2);
+  EXPECT_EQ(t.last_checkpoint(), opts.checkpoint_prefix + ".mlp.j1.ckpt.2");
+
+  // The owning job resumes; a different job id refuses the same file.
+  FtSsgdTrainer same(mlp(kSubBatch), kNodes, solver, opts, 9);
+  same.restore_checkpoint(t.last_checkpoint());
+  EXPECT_EQ(same.iter(), 2);
+  EXPECT_EQ(weights(same.ssgd()), weights(t.ssgd()));
+  FtOptions other = opts;
+  other.job_id = "mlp.j2";
+  FtSsgdTrainer stranger(mlp(kSubBatch), kNodes, solver, other, 9);
+  EXPECT_THROW(stranger.restore_checkpoint(t.last_checkpoint()),
+               base::CheckError);
+}
+
 // --- Trace determinism ------------------------------------------------------------
 
 /// A scenario exercising every injection site that reaches the trace:
