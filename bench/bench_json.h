@@ -24,8 +24,10 @@
 
 namespace swcaffe::bench {
 
-/// Version of the BENCH_*.json envelope: v2 added this field itself.
-inline constexpr int kBenchJsonSchemaVersion = 2;
+/// Version of the BENCH_*.json envelope: v2 added this field itself; v3
+/// added bench_overlap's hierarchical/compressed full-machine series
+/// (hier_* metrics to 40,960 nodes).
+inline constexpr int kBenchJsonSchemaVersion = 3;
 
 /// Sanitizes a human-facing label ("VGG-16 (B=16/CG)") into a metric key
 /// ("vgg_16_b_16_cg"): lowercase, runs of non-alphanumerics collapse to '_'.

@@ -7,8 +7,14 @@
 // collective under the remaining backward work, and the tables report how
 // much of the Fig. 10/11 communication share the overlap removes.
 //
-// Gate (CI perf-smoke): the overlapped VGG-16 B=128 iteration at 16 nodes
-// must be strictly faster than the serial one, or the bench exits 1.
+// Gates (CI perf-smoke):
+//  * the overlapped VGG-16 B=128 iteration at 16 nodes must be strictly
+//    faster than the serial one;
+//  * the hierarchical + int8 + overlapped AlexNet B=256 configuration must
+//    beat the flat overlapped one at 1024 nodes, exceed 1009x speedup
+//    there, and stay near-linear at 4096 and 40,960 nodes (the full
+//    TaihuLight scale) — calibrated floors on parallel efficiency.
+// Any gate failure exits 1.
 //
 // A wall-clock section exercises the multithreaded replica execution of
 // parallel::SsgdTrainer (8 functional replicas, serial vs a worker pool):
@@ -31,10 +37,13 @@
 #include "hw/cost_model.h"
 #include "parallel/ssgd.h"
 #include "swdnn/layer_estimate.h"
+#include "topo/compress.h"
+#include "topo/hierarchical.h"
 #include "topo/overlap.h"
 #include "trace/chrome_trace.h"
 #include "trace/tracer.h"
 #include "tune/bucket_tune.h"
+#include "tune/comm_tune.h"
 
 using namespace swcaffe;
 using base::TablePrinter;
@@ -171,6 +180,145 @@ int main(int argc, char** argv) {
       }
     }
     t.print(std::cout);
+  }
+
+  // --- Hierarchical + compressed all-reduce to full-machine scale ----------
+  // AlexNet B=256 (the paper's communication-bound case), priced far past
+  // Fig. 10's 1024 nodes: the two-level supernode-aware all-reduce folds
+  // only 1/q of the message across the oversubscribed central switch, and
+  // the int8 error-feedback codec shrinks the wire bytes 4x on top. Each
+  // series re-tunes its bucket count per node count.
+  {
+    const std::vector<core::LayerDesc> descs =
+        core::describe_net_spec(core::alexnet_bn(64));
+    const dnn::NetTimeline tl = dnn::estimate_net_timeline(cost, descs);
+    std::vector<std::int64_t> layer_bytes;
+    layer_bytes.reserve(descs.size());
+    for (const auto& d : descs) layer_bytes.push_back(d.param_bytes());
+    layer_bytes = topo::scale_layer_bytes(layer_bytes,
+                                          fixtures::kAlexNetGradientBytes);
+
+    struct HierCfg {
+      const char* label;
+      bool hierarchical;
+      topo::Compression codec;
+    };
+    const HierCfg cfgs[] = {
+        {"flat", false, topo::Compression::kNone},
+        {"hier", true, topo::Compression::kNone},
+        {"hier_fp16", true, topo::Compression::kFp16},
+        {"hier_int8", true, topo::Compression::kInt8},
+    };
+    const std::vector<int> big_nodes = {4, 16, 64, 256, 1024, 4096, 40960};
+    constexpr int kHierGateNodes = 1024;
+    // PR-5's flat overlapped AlexNet speedup at 1024 nodes; the
+    // hierarchical+int8 configuration must beat it.
+    constexpr double kPrevBestSpeedup1024 = 1009.0;
+    // Near-linear floors on parallel efficiency (speedup / nodes) at scale,
+    // calibrated ~10% under the measured values so a model regression
+    // trips the gate but numeric noise does not.
+    // (measured ~1.00 at both scales; the flat algorithm drops to ~0.31 at
+    // 40,960 nodes, so the floor cleanly separates the two).
+    constexpr double kEff4096Floor = 0.90;
+    constexpr double kEff40960Floor = 0.90;
+
+    std::printf("\n=== Hierarchical + compressed all-reduce, AlexNet B=256 "
+                "to full-machine scale (tuned buckets) ===\n");
+    TablePrinter t({"nodes", "flat speedup", "hier", "hier+fp16", "hier+int8",
+                    "int8 efficiency"});
+    double flat_speedup_gate = 0.0, int8_speedup_gate = 0.0;
+    for (int n : big_nodes) {
+      topo::Topology topo;
+      topo.num_nodes = n;
+      topo.supernode_size = opt.supernode_size;
+      std::vector<std::string> row = {std::to_string(n)};
+      double int8_eff = 0.0;
+      for (const auto& cfg : cfgs) {
+        const auto bucket_cost = [&](std::int64_t b) {
+          return topo::cost_compressed(
+              cfg.codec, b, opt.net, [&](std::int64_t wire) {
+                return cfg.hierarchical
+                           ? topo::cost_hierarchical(wire, topo, opt.net)
+                           : topo::cost_rhd(wire, topo, opt.net,
+                                            topo::Placement::kRoundRobin);
+              });
+        };
+        tune::BucketTuneOptions bopts;
+        bopts.eager_limit = opt.net.eager_limit;
+        const tune::BucketChoice choice = tune::tune_buckets(
+            layer_bytes, tl.bwd_s, tl.total_s, bucket_cost, bopts);
+        const double speedup = n * tl.total_s / choice.overlapped_s;
+        row.push_back(fmt(speedup, 1) + "x");
+
+        const std::string key = std::string("hier_alexnet_") +
+                                std::to_string(n) + "nodes_" + cfg.label;
+        json.metric(key + "_overlap_s", choice.overlapped_s);
+        json.metric(key + "_speedup", speedup);
+        json.metric(key + "_buckets", choice.buckets);
+
+        if (std::strcmp(cfg.label, "flat") == 0 && n == kHierGateNodes) {
+          flat_speedup_gate = speedup;
+        }
+        if (std::strcmp(cfg.label, "hier_int8") == 0) {
+          int8_eff = speedup / n;
+          if (n == kHierGateNodes) int8_speedup_gate = speedup;
+          if (n == 4096 && int8_eff < kEff4096Floor) {
+            std::fprintf(stderr,
+                         "GATE FAILED: hier+int8 efficiency %.3f < %.2f at "
+                         "4096 nodes\n",
+                         int8_eff, kEff4096Floor);
+            gate_ok = false;
+          }
+          if (n == 40960 && int8_eff < kEff40960Floor) {
+            std::fprintf(stderr,
+                         "GATE FAILED: hier+int8 efficiency %.3f < %.2f at "
+                         "40960 nodes\n",
+                         int8_eff, kEff40960Floor);
+            gate_ok = false;
+          }
+        }
+      }
+      row.push_back(fmt(100.0 * int8_eff, 1) + "%");
+      t.add_row(row);
+    }
+    t.print(std::cout);
+
+    if (!(int8_speedup_gate > flat_speedup_gate)) {
+      std::fprintf(stderr,
+                   "GATE FAILED: hier+int8 speedup %.1fx does not beat flat "
+                   "%.1fx at %d nodes\n",
+                   int8_speedup_gate, flat_speedup_gate, kHierGateNodes);
+      gate_ok = false;
+    }
+    if (!(int8_speedup_gate > kPrevBestSpeedup1024)) {
+      std::fprintf(stderr,
+                   "GATE FAILED: hier+int8 speedup %.1fx <= previous best "
+                   "%.1fx at %d nodes\n",
+                   int8_speedup_gate, kPrevBestSpeedup1024, kHierGateNodes);
+      gate_ok = false;
+    }
+    json.metric("hier_gate_flat_speedup_1024", flat_speedup_gate);
+    json.metric("hier_gate_int8_speedup_1024", int8_speedup_gate);
+
+    // swtune's joint search over the same model: at full-machine scale the
+    // tuner should discover the hierarchical + compressed configuration on
+    // its own (reported, not gated — the winning codec may legitimately be
+    // fp16 or int8 depending on where the codec passes balance the wire).
+    tune::CommTuneOptions copts;
+    copts.net = opt.net;
+    copts.supernode_size = opt.supernode_size;
+    const tune::CommChoice cc =
+        tune::tune_comm(tl.bwd_s, tl.total_s, layer_bytes, 40960, copts);
+    std::printf("\nswtune @40960 nodes: %s + %s, %d buckets "
+                "(%.3fs vs %.3fs baseline, %zu candidates)\n",
+                cc.algorithm.c_str(), topo::compression_name(cc.compression),
+                cc.buckets, cc.overlapped_s, cc.baseline_s,
+                cc.candidates.size());
+    json.metric("tune_comm_40960_overlap_s", cc.overlapped_s);
+    json.metric("tune_comm_40960_baseline_s", cc.baseline_s);
+    json.metric("tune_comm_40960_buckets", cc.buckets);
+    json.metric("tune_comm_40960_is_hier",
+                cc.algorithm == "hierarchical" ? 1.0 : 0.0);
   }
 
   // --- Wall-clock: multithreaded replica execution --------------------------

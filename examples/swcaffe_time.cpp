@@ -6,6 +6,7 @@
 //   swcaffe_time [--model M] [--iterations N] [--batch B]
 //                [--tune] [--plan-cache FILE] [--json OUT]
 //                [--threads N] [--replicas R]
+//                [--nodes N] [--algo=ALGO] [--compress=none|fp16|int8]
 //                [--trace=out.json] [--trace-report]
 //   swcaffe_time <net.prototxt | alexnet | vgg16 | vgg19 | resnet50 |
 //                 googlenet> [iterations] [batch]        (legacy positional)
@@ -25,6 +26,12 @@
 // threads; the replica losses must match bitwise and the section reports
 // the measured speedup. This is the multithreaded replica execution the
 // distributed trainer uses, measured in isolation.
+//
+// --nodes N adds a communication section: the model's packed gradient
+// message is priced across N nodes with the configured all-reduce (--algo:
+// rhd-round-robin [default], rhd-adjacent, hierarchical, ring, param-server)
+// and gradient codec (--compress: none [default], fp16, int8), reporting
+// wire bytes and the simulated collective time next to the compute time.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,12 +41,14 @@
 #include "../bench/bench_json.h"
 #include "base/table.h"
 #include "base/units.h"
+#include "check/rules.h"
 #include "core/models.h"
 #include "core/net.h"
 #include "core/proto.h"
 #include "hw/cost_model.h"
 #include "parallel/ssgd.h"
 #include "swdnn/layer_estimate.h"
+#include "topo/hierarchical.h"
 #include "trace/chrome_trace.h"
 #include "trace/report.h"
 #include "trace/tracer.h"
@@ -96,6 +105,9 @@ int main(int argc, char** argv) {
   std::string plan_cache;
   int threads = 1;
   int replicas = 8;
+  int nodes = 0;
+  parallel::AllreduceAlgo algo = parallel::AllreduceAlgo::kRhdRoundRobin;
+  topo::Compression compress = topo::Compression::kNone;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +126,22 @@ int main(int argc, char** argv) {
       threads = std::atoi(v.c_str());
     } else if (flag_value(argc, argv, i, "--replicas", v)) {
       replicas = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--nodes", v)) {
+      nodes = std::atoi(v.c_str());
+    } else if (flag_value(argc, argv, i, "--algo", v)) {
+      if (!parallel::allreduce_algo_from_name(v.c_str(), &algo)) {
+        std::fprintf(stderr,
+                     "unknown --algo '%s' (rhd-adjacent, rhd-round-robin, "
+                     "hierarchical, ring, param-server)\n",
+                     v.c_str());
+        return 2;
+      }
+    } else if (flag_value(argc, argv, i, "--compress", v)) {
+      if (!topo::compression_from_name(v.c_str(), &compress)) {
+        std::fprintf(stderr, "unknown --compress '%s' (none, fp16, int8)\n",
+                     v.c_str());
+        return 2;
+      }
     } else if (flag_value(argc, argv, i, "--json", v)) {
       // Value re-parsed by JsonBench; consumed here so it isn't positional.
     } else if (std::strcmp(argv[i], "--tune") == 0) {
@@ -312,6 +340,65 @@ int main(int argc, char** argv) {
                    "threaded replica results diverged from serial\n");
       return 1;
     }
+  }
+
+  // --- All-reduce pricing section (--nodes) --------------------------------
+  if (nodes > 1) {
+    const std::int64_t param_bytes = core::total_param_bytes(descs);
+    topo::Topology topo;
+    topo.num_nodes = nodes;
+    const topo::NetParams net = topo::sunway_network();
+
+    // swcheck gatekeeps the combination exactly as the trainer would
+    // (e.g. int8 over ring/param-server is rejected). The direct
+    // check_comm rules, not verify_comm: the latter additionally composes
+    // the hierarchy's full three-phase timeline, which at --nodes 40960 is
+    // millions of events — legality is the same either way.
+    check::CommPlan cplan;
+    cplan.name = "swcaffe-time-comm";
+    cplan.algorithm = parallel::allreduce_algo_name(algo);
+    cplan.compression = topo::compression_name(compress);
+    cplan.num_nodes = nodes;
+    cplan.supernode_size = topo.supernode_size;
+    cplan.raw_bytes = param_bytes;
+    check::Report report;
+    check::check_comm(cplan, check::Options{}, cplan.name, &report);
+    if (!report.ok()) {
+      std::fprintf(stderr, "illegal --algo/--compress combination: %s\n",
+                   report.summary().c_str());
+      return 2;
+    }
+
+    const topo::Placement placement = parallel::placement_for(algo);
+    const topo::CostBreakdown comm = topo::cost_compressed(
+        compress, param_bytes, net,
+        [&](std::int64_t wire) -> topo::CostBreakdown {
+          switch (algo) {
+            case parallel::AllreduceAlgo::kRhdAdjacent:
+            case parallel::AllreduceAlgo::kRhdRoundRobin:
+              return topo::cost_rhd(wire, topo, net, placement);
+            case parallel::AllreduceAlgo::kRing:
+              return topo::cost_ring(wire, topo, net, placement);
+            case parallel::AllreduceAlgo::kParamServer:
+              return topo::cost_param_server(wire, topo, net, 1);
+            case parallel::AllreduceAlgo::kHierarchical:
+              return topo::cost_hierarchical(wire, topo, net);
+          }
+          return {};
+        });
+    std::printf("\ngradient all-reduce across %d nodes (%s, %s):\n", nodes,
+                parallel::allreduce_algo_name(algo),
+                topo::compression_name(compress));
+    std::printf("  packed gradients:  %.2f MB (%.2f MB on the wire)\n",
+                static_cast<double>(param_bytes) / 1e6,
+                static_cast<double>(topo::wire_bytes(compress, param_bytes)) /
+                    1e6);
+    std::printf("  simulated time:    %s (%d startups)\n",
+                base::format_seconds(comm.seconds).c_str(), comm.alpha_terms);
+    bench.metric("allreduce_nodes", static_cast<double>(nodes));
+    bench.metric("allreduce_s", comm.seconds);
+    bench.metric("allreduce_wire_bytes",
+                 static_cast<double>(topo::wire_bytes(compress, param_bytes)));
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 //                 [--trace=out.json] [--trace-report]
 //                 [--faults=SPEC] [--seed N] [--nodes N]
 //                 [--buckets N] [--threads N]
+//                 [--algo=ALGO] [--compress=none|fp16|int8]
 //                 [--checkpoint-every N] [--checkpoint-prefix PATH]
 // With no (positional) arguments a built-in demo net is used. --tune runs
 // the swtune plan search before training (every core-group replica executes
@@ -30,7 +31,10 @@
 // buckets (bit-identical weights for any N; the overlap model prices the
 // hidden communication) and --threads runs the replica forward/backward
 // loop on N host threads (wall-clock only, bit-identical results); both
-// apply to the --faults distributed path.
+// apply to the --faults distributed path, as do --algo (the gradient
+// all-reduce: rhd-round-robin [default], rhd-adjacent, hierarchical, ring,
+// param-server) and --compress (the gradient codec with error feedback:
+// none [default], fp16, int8 — deterministic, bit-identical across reruns).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -98,12 +102,15 @@ float det_uniform(std::uint64_t iter, std::uint64_t idx, std::uint64_t salt) {
 int run_fault_tolerant(const core::NetSpec& net_spec,
                        const core::SolverSpec& solver_spec, int iterations,
                        int nodes, int buckets, int threads,
-                       const fault::FaultSpec& spec, int checkpoint_every,
-                       const std::string& ckpt_prefix,
+                       parallel::AllreduceAlgo algo,
+                       topo::Compression compress, const fault::FaultSpec& spec,
+                       int checkpoint_every, const std::string& ckpt_prefix,
                        const std::string& trace_path,
                        bench::JsonBench& bench) {
   fault::FtOptions opt;
   opt.faults = spec;
+  opt.ssgd.algo = algo;
+  opt.ssgd.compression = compress;
   opt.ssgd.buckets = buckets;
   opt.ssgd.threads = threads;
   opt.checkpoint_every = checkpoint_every;
@@ -190,6 +197,8 @@ int main(int argc, char** argv) {
   int nodes = 4;
   int buckets = 1;
   int threads = 1;
+  parallel::AllreduceAlgo algo = parallel::AllreduceAlgo::kRhdRoundRobin;
+  topo::Compression compress = topo::Compression::kNone;
   int checkpoint_every = 0;
   std::string checkpoint_prefix = "swcaffe_train.ckpt";
   std::vector<char*> positional;
@@ -230,6 +239,20 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      if (!parallel::allreduce_algo_from_name(argv[i] + 7, &algo)) {
+        std::fprintf(stderr,
+                     "unknown --algo '%s' (rhd-adjacent, rhd-round-robin, "
+                     "hierarchical, ring, param-server)\n",
+                     argv[i] + 7);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--compress=", 11) == 0) {
+      if (!topo::compression_from_name(argv[i] + 11, &compress)) {
+        std::fprintf(stderr, "unknown --compress '%s' (none, fp16, int8)\n",
+                     argv[i] + 11);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
       checkpoint_every = std::atoi(argv[i] + 19);
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
@@ -268,8 +291,9 @@ int main(int argc, char** argv) {
     fault::FaultSpec spec = fault::parse_fault_spec(faults);
     if (have_seed) spec.seed = seed;
     return run_fault_tolerant(net_spec, solver_spec, iterations, nodes,
-                              buckets, threads, spec, checkpoint_every,
-                              checkpoint_prefix, trace_path, bench);
+                              buckets, threads, algo, compress, spec,
+                              checkpoint_every, checkpoint_prefix, trace_path,
+                              bench);
   }
 
   // The dataset must match the net's data blob.

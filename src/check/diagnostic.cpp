@@ -56,6 +56,10 @@ const char* code_name(Code c) {
       return "bucket-order";
     case Code::kBucketResendOverflow:
       return "bucket-resend-overflow";
+    case Code::kCommCompressCombo:
+      return "comm-compress-combo";
+    case Code::kCommCompressBytes:
+      return "comm-compress-bytes";
     case Code::kTimelineOverlap:
       return "timeline-overlap";
     case Code::kTimelineRace:

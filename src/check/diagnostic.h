@@ -49,6 +49,9 @@ enum class Code {
                          ///< empty bucket / byte-conservation violation
   kBucketResendOverflow, ///< a bucket's buffered round exceeds the resend
                          ///< buffer of the resilient send path
+  // --- Communication configs (topo hierarchy + compression) ----------------
+  kCommCompressCombo,  ///< unsupported algorithm x compression combination
+  kCommCompressBytes,  ///< claimed wire bytes break codec conservation
   // --- Whole-timeline schedules (swsched, check/timeline) ------------------
   kTimelineOverlap,   ///< two intervals double-book one exclusive resource
   kTimelineRace,      ///< conflicting state accesses with no happens-before

@@ -433,6 +433,80 @@ CommSchedule rhd_allreduce_schedule(int num_nodes) {
   return sched;
 }
 
+std::vector<CommSchedule> hierarchical_allreduce_phases(int num_nodes,
+                                                        int supernode_size) {
+  const int p = num_nodes;
+  const int q = supernode_size;
+  const int s = p / q;
+  std::vector<CommSchedule> phases(3);
+  int local_rounds = 0;
+  while ((2 << local_rounds) <= q) ++local_rounds;  // log2(q), q power of two
+
+  // Member j of supernode k is rank k + j * s; the local butterfly pairs
+  // member j with j ^ d. Sends precede receives within every round, so each
+  // phase (and the composition) is deadlock-free by construction.
+  const auto local_phase = [&](CommSchedule& sched, bool gather) {
+    sched.mesh = false;
+    for (int t = 0; t < local_rounds; ++t) {
+      const int d = gather ? (1 << t) : (q >> (t + 1));
+      for (int r = 0; r < p; ++r) {
+        const int j = r / s;
+        const int k = r % s;
+        sched.ops.push_back({CommOp::Kind::kSend, r, 0, k + (j ^ d) * s, 0,
+                             kNominalBytes});
+      }
+      for (int r = 0; r < p; ++r) {
+        sched.ops.push_back({CommOp::Kind::kRecvRow, r, 0, -1, -1,
+                             kNominalBytes});
+      }
+    }
+  };
+  phases[0].name = "hier_local_rs";
+  local_phase(phases[0], /*gather=*/false);
+
+  // Inter-supernode RHD per chunk: the s holders of member j's chunk are
+  // ranks k + j * s for k = 0..s-1, running the same fold / butterfly /
+  // unfold structure as the flat schedule over the k index.
+  CommSchedule& inter = phases[1];
+  inter.name = "hier_inter_rhd";
+  inter.mesh = false;
+  int inter_rounds = 0;
+  while ((2 << inter_rounds) <= s) ++inter_rounds;
+  const int core = 1 << inter_rounds;
+  for (int j = 0; j < q; ++j) {
+    const auto rank = [&](int k) { return k + j * s; };
+    for (int k = core; k < s; ++k) {
+      inter.ops.push_back({CommOp::Kind::kSend, rank(k), 0, rank(k - core), 0,
+                           kNominalBytes});
+      inter.ops.push_back({CommOp::Kind::kRecvRow, rank(k - core), 0, -1, -1,
+                           kNominalBytes});
+    }
+    for (int phase = 0; phase < 2 * inter_rounds; ++phase) {
+      const int mask = phase < inter_rounds
+                           ? (1 << phase)
+                           : (1 << (2 * inter_rounds - 1 - phase));
+      for (int k = 0; k < core; ++k) {
+        inter.ops.push_back({CommOp::Kind::kSend, rank(k), 0, rank(k ^ mask),
+                             0, kNominalBytes});
+      }
+      for (int k = 0; k < core; ++k) {
+        inter.ops.push_back({CommOp::Kind::kRecvRow, rank(k), 0, -1, -1,
+                             kNominalBytes});
+      }
+    }
+    for (int k = core; k < s; ++k) {
+      inter.ops.push_back({CommOp::Kind::kSend, rank(k - core), 0, rank(k), 0,
+                           kNominalBytes});
+      inter.ops.push_back({CommOp::Kind::kRecvRow, rank(k), 0, -1, -1,
+                           kNominalBytes});
+    }
+  }
+
+  phases[2].name = "hier_local_ag";
+  local_phase(phases[2], /*gather=*/true);
+  return phases;
+}
+
 CommSchedule ring_allreduce_schedule(int num_nodes) {
   CommSchedule sched;
   sched.name = "allreduce_ring";

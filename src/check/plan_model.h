@@ -233,6 +233,31 @@ struct BucketPlan {
   std::int64_t resend_buffer_bytes = 0;
 };
 
+// --- Communication configurations (topo hierarchy + compression) -------------
+
+/// An all-reduce configuration (algorithm x compression x bucket count)
+/// viewed as checkable data. Names use the canonical spellings the rest of
+/// the stack prints (parallel::allreduce_algo_name /
+/// topo::compression_name), so a plan can be built verbatim from a
+/// trainer's options and a tuner candidate is rejected by the same rule
+/// that would reject the trainer.
+struct CommPlan {
+  std::string name;
+  /// "rhd-adjacent" | "rhd-round-robin" | "ring" | "param-server" |
+  /// "hierarchical"
+  std::string algorithm;
+  /// "none" | "fp16" | "int8"
+  std::string compression = "none";
+  int num_nodes = 1;
+  int supernode_size = 256;
+  int buckets = 1;
+  std::int64_t raw_bytes = 0;   ///< packed float32 gradient bytes
+  /// Claimed TOTAL on-wire bytes across all bucket messages (0 = don't
+  /// check). The codec conservation rule re-derives the expected value from
+  /// raw_bytes, the compression and the per-bucket scale headers.
+  std::int64_t wire_bytes = 0;
+};
+
 // --- Builders: topo all-reduce ----------------------------------------------
 
 /// Send/receive schedule of recursive halving + doubling over `num_nodes`
@@ -242,5 +267,16 @@ CommSchedule rhd_allreduce_schedule(int num_nodes);
 
 /// Ring all-reduce schedule: 2*(p-1) rounds of send-to-next/recv-from-prev.
 CommSchedule ring_allreduce_schedule(int num_nodes);
+
+/// Phase decomposition of the two-level (supernode-hierarchical) all-reduce
+/// for timeline_from_comm composition: [0] supernode-local reduce-scatter,
+/// [1] inter-supernode RHD over each chunk's holders (MPICH fold/unfold for
+/// ragged supernode counts), [2] supernode-local all-gather. Rank r is
+/// member r / s of supernode r % s (round-robin, s = num_nodes /
+/// supernode_size). The caller must pass an applicable geometry
+/// (num_nodes divisible by supernode_size, power-of-two supernode_size);
+/// the runtime falls back to rhd_allreduce_schedule otherwise.
+std::vector<CommSchedule> hierarchical_allreduce_phases(int num_nodes,
+                                                        int supernode_size);
 
 }  // namespace swcaffe::check

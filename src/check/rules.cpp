@@ -7,6 +7,8 @@
 #include <tuple>
 #include <vector>
 
+#include "topo/compress.h"
+
 namespace swcaffe::check {
 
 namespace {
@@ -365,6 +367,75 @@ void check_buckets(const BucketPlan& plan, const hw::HwParams& hp,
                       std::to_string(plan.resend_buffer_bytes) +
                       " B exceeds the " + std::to_string(hp.ldm_bytes) +
                       " B CPE scratchpad");
+    }
+  }
+  (void)opts;
+}
+
+void check_comm(const CommPlan& plan, const Options& opts,
+                const std::string& layer, Report* report) {
+  const bool known_algo = plan.algorithm == "rhd-adjacent" ||
+                          plan.algorithm == "rhd-round-robin" ||
+                          plan.algorithm == "ring" ||
+                          plan.algorithm == "param-server" ||
+                          plan.algorithm == "hierarchical";
+  if (!known_algo) {
+    report->add(Code::kGeomInvalid, Severity::kError, layer,
+                plan.name + ": unknown all-reduce algorithm \"" +
+                    plan.algorithm + "\"");
+  }
+  const bool known_codec = plan.compression == "none" ||
+                           plan.compression == "fp16" ||
+                           plan.compression == "int8";
+  if (!known_codec) {
+    report->add(Code::kGeomInvalid, Severity::kError, layer,
+                plan.name + ": unknown compression \"" + plan.compression +
+                    "\"");
+  }
+  if (plan.num_nodes <= 0 || plan.supernode_size <= 0 || plan.buckets <= 0 ||
+      plan.raw_bytes < 0 || plan.raw_bytes % 4 != 0) {
+    report->add(Code::kGeomInvalid, Severity::kError, layer,
+                plan.name + ": invalid geometry (" +
+                    std::to_string(plan.num_nodes) + " nodes, supernode " +
+                    std::to_string(plan.supernode_size) + ", " +
+                    std::to_string(plan.buckets) + " buckets, " +
+                    std::to_string(plan.raw_bytes) + " raw bytes)");
+    return;
+  }
+  if (!known_algo || !known_codec) return;
+
+  // int8 carries a per-message scale chosen from the values encoded at the
+  // source. Ring and parameter-server forward PARTIALLY REDUCED values, so
+  // every hop would have to re-quantize at a fresh scale — T hops compound
+  // T quantization errors with no error-feedback residual to absorb them.
+  // RHD variants and the hierarchy encode exactly once at the source.
+  if (plan.compression == "int8" &&
+      (plan.algorithm == "ring" || plan.algorithm == "param-server")) {
+    report->add(Code::kCommCompressCombo, Severity::kError, layer,
+                plan.name + ": int8 quantization cannot compose with " +
+                    plan.algorithm +
+                    " (partial sums re-quantized at every hop compound "
+                    "unbounded error)");
+  }
+
+  // Codec byte conservation: the wire total must equal the codec's encoding
+  // of the raw bytes — halved floats for fp16, quartered for int8 plus one
+  // scale header per bucket message. A plan that claims fewer wire bytes
+  // invents bandwidth; one that claims more double-charges the network.
+  if (plan.wire_bytes > 0) {
+    std::int64_t expected = plan.raw_bytes;
+    if (plan.compression == "fp16") {
+      expected = plan.raw_bytes / 2;
+    } else if (plan.compression == "int8") {
+      expected = plan.raw_bytes / 4 + plan.buckets * topo::kInt8ScaleBytes;
+    }
+    if (plan.wire_bytes != expected) {
+      report->add(Code::kCommCompressBytes, Severity::kError, layer,
+                  plan.name + ": claims " + std::to_string(plan.wire_bytes) +
+                      " wire bytes but " + plan.compression + " over " +
+                      std::to_string(plan.raw_bytes) + " raw bytes in " +
+                      std::to_string(plan.buckets) + " buckets encodes to " +
+                      std::to_string(expected) + " B");
     }
   }
   (void)opts;

@@ -58,4 +58,16 @@ void check_buckets(const BucketPlan& plan, const hw::HwParams& hp,
                    const Options& opts, const std::string& layer,
                    Report* report);
 
+/// Communication-config legality (topo hierarchy + compression): the
+/// algorithm and compression names must be canonical and the geometry sane
+/// (geom-invalid, error); int8 quantization may only compose with
+/// single-shot-encode collectives — ring and parameter-server re-transmit
+/// partially reduced values and would re-quantize at every hop, compounding
+/// unbounded error (comm-compress-combo, error); and the claimed wire bytes
+/// must conserve the codec encoding of the raw gradient bytes, scale
+/// headers included (comm-compress-bytes, error). Rejection happens here —
+/// BEFORE any candidate is priced by swtune or run by a trainer.
+void check_comm(const CommPlan& plan, const Options& opts,
+                const std::string& layer, Report* report);
+
 }  // namespace swcaffe::check

@@ -399,6 +399,38 @@ TimelineGraph timeline_from_comm(const std::string& name,
   return g;
 }
 
+TimelineGraph timeline_from_ef(
+    const std::string& name, int iters,
+    const std::vector<std::int64_t>& bucket_wire_bytes) {
+  TimelineGraph g;
+  g.name = name;
+  const int nb = static_cast<int>(bucket_wire_bytes.size());
+  std::int64_t wire_total = 0;
+  for (std::int64_t b : bucket_wire_bytes) wire_total += b;
+  const int ledger = g.add_ledger("wire-bytes", wire_total * iters);
+
+  // prev[b]: index of iteration t-1's encode of bucket b (carry producer).
+  std::vector<int> prev(nb, -1);
+  for (int t = 0; t < iters; ++t) {
+    const int actor = g.add_actor("iter" + std::to_string(t));
+    for (int b = 0; b < nb; ++b) {
+      TimelineEvent ev;
+      ev.name = "encode b" + std::to_string(b);
+      ev.actor = actor;
+      // Encode slots tile the iteration's unit interval in bucket order.
+      ev.start_s = t + static_cast<double>(b) / nb;
+      ev.end_s = t + static_cast<double>(b + 1) / nb;
+      ev.bytes = bucket_wire_bytes[b];
+      ev.ledger = ledger;
+      ev.accesses.push_back({"residual" + std::to_string(b), /*write=*/true});
+      const int idx = g.add_event(std::move(ev));
+      if (prev[b] >= 0) g.add_edge(prev[b], idx, "residual carry");
+      prev[b] = idx;
+    }
+  }
+  return g;
+}
+
 TimelineGraph timeline_from_schedule(
     const std::string& name, int cluster_nodes,
     const std::vector<sched::JobSpan>& spans,

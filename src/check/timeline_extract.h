@@ -112,4 +112,17 @@ TimelineGraph timeline_from_comm(const std::string& name,
                                  const std::vector<CommSchedule>& phases,
                                  const hw::HwParams& hp = {});
 
+/// Builds the error-feedback residual-carry timeline of `iters` compressed
+/// training iterations: iteration t is one actor (a pipelined round), and
+/// each bucket's encode event writes the persistent residual<b> state and
+/// moves that bucket's wire bytes against a per-run wire ledger
+/// (iters * sum(bucket_wire_bytes)). Consecutive iterations are linked by
+/// explicit "residual carry" edges per bucket — the happens-before that
+/// makes cross-iteration residual reuse sound. Stripping those edges makes
+/// the conflicting residual writes a timeline-race, which is how a trainer
+/// that reordered or parallelized iterations over the shared residuals
+/// would be caught.
+TimelineGraph timeline_from_ef(const std::string& name, int iters,
+                               const std::vector<std::int64_t>& bucket_wire_bytes);
+
 }  // namespace swcaffe::check

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "check/plan_model.h"
+#include "check/timeline.h"
+#include "check/timeline_extract.h"
 #include "swdnn/conv_plan.h"
 
 namespace swcaffe::check {
@@ -325,8 +327,22 @@ Report verify_net(const hw::CostModel& cost,
   return report;
 }
 
+namespace {
+
+/// True when the two-level hierarchy engages (mirrors
+/// topo::hierarchical_applicable without re-stating it: the runtime falls
+/// back to flat RHD for everything else, so the checker must judge the
+/// schedule that would actually run).
+bool hier_engages(int num_nodes, int supernode_size) {
+  return num_nodes > supernode_size && supernode_size >= 2 &&
+         num_nodes % supernode_size == 0 &&
+         (supernode_size & (supernode_size - 1)) == 0;
+}
+
+}  // namespace
+
 Report verify_allreduce(const std::string& algorithm, int num_nodes,
-                        const Options& opts) {
+                        const Options& opts, int supernode_size) {
   Report report;
   const std::string layer = "allreduce-" + algorithm;
   if (num_nodes <= 0) {
@@ -338,6 +354,23 @@ Report verify_allreduce(const std::string& algorithm, int num_nodes,
   if (algorithm == "rhd") {
     check_schedule(rhd_allreduce_schedule(num_nodes), hp, opts, layer,
                    &report);
+  } else if (algorithm == "hier") {
+    if (!hier_engages(num_nodes, supernode_size)) {
+      // Fallback geometry: the runtime runs flat RHD, so check that.
+      check_schedule(rhd_allreduce_schedule(num_nodes), hp, opts, layer,
+                     &report);
+    } else {
+      const std::vector<CommSchedule> phases =
+          hierarchical_allreduce_phases(num_nodes, supernode_size);
+      for (const CommSchedule& phase : phases) {
+        check_schedule(phase, hp, opts, layer, &report);
+      }
+      // Phase ordering: the composed local-RS -> inter-RHD -> local-AG
+      // stream must stay race- and cycle-free when every rank runs the
+      // phases back to back (FIFO matching spans the whole composition).
+      report.merge(
+          verify_timeline(timeline_from_comm(layer + "-phases", phases, hp)));
+    }
   } else if (algorithm == "ring") {
     check_schedule(ring_allreduce_schedule(num_nodes), hp, opts, layer,
                    &report);
@@ -357,7 +390,26 @@ Report verify_allreduce(const std::string& algorithm, int num_nodes,
     check_schedule(sched, hp, opts, layer, &report);
   } else {
     geom_error(&report, layer, "unknown all-reduce algorithm \"" + algorithm +
-                                   "\" (expected rhd, ring or ps)");
+                                   "\" (expected rhd, hier, ring or ps)");
+  }
+  return report;
+}
+
+Report verify_comm(const CommPlan& plan, const Options& opts) {
+  Report report;
+  const std::string layer = plan.name.empty() ? "comm" : plan.name;
+  check_comm(plan, opts, layer, &report);
+  if (!report.ok()) return report;
+  if (plan.algorithm == "hierarchical" &&
+      hier_engages(plan.num_nodes, plan.supernode_size)) {
+    const hw::HwParams hp;
+    const std::vector<CommSchedule> phases =
+        hierarchical_allreduce_phases(plan.num_nodes, plan.supernode_size);
+    for (const CommSchedule& phase : phases) {
+      check_schedule(phase, hp, opts, layer, &report);
+    }
+    report.merge(
+        verify_timeline(timeline_from_comm(layer + "-phases", phases, hp)));
   }
   return report;
 }

@@ -66,10 +66,22 @@ Report verify_net(const hw::CostModel& cost,
                   const std::vector<core::LayerDesc>& descs,
                   const Options& opts = {});
 
-/// All-reduce schedule check. `algorithm` is "rhd", "ring" or "ps"
-/// (parameter server); unknown names are a kGeomInvalid error.
+/// All-reduce schedule check. `algorithm` is "rhd", "ring", "ps"
+/// (parameter server) or "hier" (two-level supernode hierarchy); unknown
+/// names are a kGeomInvalid error. "hier" checks each phase's schedule AND
+/// the composed phase-order timeline (timeline_from_comm across local
+/// reduce-scatter -> inter RHD -> local all-gather); geometries where the
+/// hierarchy cannot engage fall back to the flat RHD schedule, mirroring
+/// the runtime.
 Report verify_allreduce(const std::string& algorithm, int num_nodes,
-                        const Options& opts = {});
+                        const Options& opts = {}, int supernode_size = 256);
+
+/// Communication-config check (algorithm x compression x buckets): the
+/// check_comm legality rules, plus — for hierarchical plans that engage —
+/// the composed phase-order timeline. swtune rejects candidates through
+/// this driver before pricing them; the trainers assert it on
+/// construction.
+Report verify_comm(const CommPlan& plan, const Options& opts = {});
 
 /// Retry-plan check (swfault resilient sends): verifies the plan against
 /// the default SW26010 LDM budget. See check_retry for the rules.

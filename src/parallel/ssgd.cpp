@@ -1,13 +1,38 @@
 #include "parallel/ssgd.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "base/log.h"
+#include "check/rules.h"
 #include "check/timeline_extract.h"
 #include "check/verify.h"
 #include "swdnn/layer_estimate.h"
+#include "topo/hierarchical.h"
 
 namespace swcaffe::parallel {
+
+namespace {
+
+/// Tracer span name of each collective (matches what the topo functional
+/// variants emit, so the compressed path's manual span is indistinguishable
+/// from an uncompressed run of the same algorithm).
+const char* trace_span_name(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kRhdAdjacent:
+    case AllreduceAlgo::kRhdRoundRobin:
+      return "allreduce.rhd";
+    case AllreduceAlgo::kRing:
+      return "allreduce.ring";
+    case AllreduceAlgo::kParamServer:
+      return "allreduce.param_server";
+    case AllreduceAlgo::kHierarchical:
+      return "allreduce.hier";
+  }
+  return "allreduce";
+}
+
+}  // namespace
 
 const char* allreduce_algo_name(AllreduceAlgo algo) {
   switch (algo) {
@@ -19,8 +44,24 @@ const char* allreduce_algo_name(AllreduceAlgo algo) {
       return "ring";
     case AllreduceAlgo::kParamServer:
       return "param-server";
+    case AllreduceAlgo::kHierarchical:
+      return "hierarchical";
   }
   return "?";
+}
+
+bool allreduce_algo_from_name(const char* name, AllreduceAlgo* out) {
+  const std::string_view n = name ? name : "";
+  for (AllreduceAlgo algo :
+       {AllreduceAlgo::kRhdAdjacent, AllreduceAlgo::kRhdRoundRobin,
+        AllreduceAlgo::kRing, AllreduceAlgo::kParamServer,
+        AllreduceAlgo::kHierarchical}) {
+    if (n == allreduce_algo_name(algo)) {
+      *out = algo;
+      return true;
+    }
+  }
+  return false;
 }
 
 topo::Placement placement_for(AllreduceAlgo algo) {
@@ -30,6 +71,10 @@ topo::Placement placement_for(AllreduceAlgo algo) {
     case AllreduceAlgo::kParamServer:
       return topo::Placement::kAdjacent;
     case AllreduceAlgo::kRhdRoundRobin:
+    // The hierarchical algorithm's two-level phase structure is exactly the
+    // improved RHD butterfly under round-robin placement, so a gang laid out
+    // round-robin serves both (and the flat fallback is bit-identical).
+    case AllreduceAlgo::kHierarchical:
       return topo::Placement::kRoundRobin;
   }
   return topo::Placement::kAdjacent;
@@ -109,6 +154,44 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
   SWC_CHECK_MSG(treport.ok(),
                 "swsched rejected the overlap timeline: " << treport.summary());
 
+  // swcheck: algorithm x compression legality plus wire-byte conservation
+  // (each bucket's claimed wire bytes must follow from the codec and the
+  // bucket's raw bytes — a mismatch means the pricing is lying about what
+  // goes on the network).
+  check::CommPlan cplan;
+  cplan.name = "ssgd-comm";
+  cplan.algorithm = allreduce_algo_name(options_.algo);
+  cplan.compression = topo::compression_name(options_.compression);
+  cplan.num_nodes = num_nodes;
+  cplan.supernode_size = options_.supernode_size;
+  cplan.buckets = num_buckets();
+  cplan.raw_bytes = plan.total_bytes;
+  cplan.wire_bytes = 0;
+  for (const auto& b : buckets_) {
+    cplan.wire_bytes += topo::wire_bytes(options_.compression, b.bytes);
+  }
+  const check::Report creport = check::verify_comm(cplan);
+  SWC_CHECK_MSG(creport.ok(),
+                "swcheck rejected the comm config: " << creport.summary());
+
+  if (options_.compression != topo::Compression::kNone) {
+    // One persistent residual vector per node; zero-initialized, carried
+    // across iterations by ef_encode.
+    residual_.assign(static_cast<std::size_t>(num_nodes),
+                     std::vector<float>(nets_[0]->param_count(), 0.0f));
+    // swsched: the error-feedback dataflow (encode writes the residual each
+    // iteration, next iteration's encode reads it) must form a causal chain
+    // per bucket and conserve the compressed wire bytes.
+    std::vector<std::int64_t> bucket_wire;
+    for (const auto& b : buckets_) {
+      bucket_wire.push_back(topo::wire_bytes(options_.compression, b.bytes));
+    }
+    const check::Report ereport = check::verify_timeline(
+        check::timeline_from_ef("ssgd-ef", 3, bucket_wire));
+    SWC_CHECK_MSG(ereport.ok(), "swsched rejected the error-feedback timeline: "
+                                    << ereport.summary());
+  }
+
   if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(
         std::min(options_.threads, num_nodes));
@@ -187,22 +270,50 @@ const topo::CostBreakdown& SsgdTrainer::allreduce_bucket(
     SWC_CHECK_EQ(grads[r].size(), nets_[0]->param_count());
     slices.push_back(std::span<float>(grads[r]).subspan(offset, count));
   }
+  // Compress at the source: every node quantizes its own slice (with the
+  // bucket's error-feedback residual folded in) BEFORE the collective, and
+  // the collective then reduces the decoded floats. The summation tree —
+  // and therefore bitwise determinism — is exactly the uncompressed
+  // algorithm's; only the wire pricing changes below.
+  const topo::Compression comp = options_.compression;
+  if (comp != topo::Compression::kNone) {
+    for (int r = 0; r < p; ++r) {
+      auto res = std::span<float>(residual_[r]).subspan(offset, count);
+      topo::ef_encode(comp, slices[r], res);
+    }
+  }
+
+  // The functional collective prices the RAW bytes it actually moves; with
+  // compression that span is discarded and re-priced at the wire bytes, so
+  // the tracer is suppressed here and the corrected span emitted manually.
+  trace::Tracer* tracer = comp == topo::Compression::kNone ? tracer_ : nullptr;
   topo::CostBreakdown& slot = last_comm_buckets_[b];
   switch (options_.algo) {
     case AllreduceAlgo::kRhdAdjacent:
     case AllreduceAlgo::kRhdRoundRobin:
       slot = topo::allreduce_rhd(slices, topo_, options_.net, placement_,
-                                 tracer_, trace_track_);
+                                 tracer, trace_track_);
       break;
     case AllreduceAlgo::kRing:
       slot = topo::allreduce_ring(slices, topo_, options_.net, placement_,
-                                  tracer_, trace_track_);
+                                  tracer, trace_track_);
       break;
     case AllreduceAlgo::kParamServer:
       slot = topo::allreduce_param_server(slices, topo_, options_.net,
-                                          options_.param_servers, tracer_,
+                                          options_.param_servers, tracer,
                                           trace_track_);
       break;
+    case AllreduceAlgo::kHierarchical:
+      slot = topo::allreduce_hierarchical(slices, topo_, options_.net, tracer,
+                                          trace_track_);
+      break;
+  }
+  if (comp != topo::Compression::kNone) {
+    slot = topo::cost_compressed(
+        comp, buckets_[b].bytes, options_.net,
+        [this](std::int64_t wire) { return cost_for_bytes(wire); });
+    topo::trace_allreduce(tracer_, trace_track_, trace_span_name(options_.algo),
+                          slot);
   }
   // Iteration totals: every bucket's collective is identical across
   // iterations, so summing the per-bucket slots is correct even when the
@@ -216,6 +327,22 @@ const topo::CostBreakdown& SsgdTrainer::allreduce_bucket(
     last_comm_.gamma_bytes += c.gamma_bytes;
   }
   return slot;
+}
+
+topo::CostBreakdown SsgdTrainer::cost_for_bytes(std::int64_t bytes) const {
+  switch (options_.algo) {
+    case AllreduceAlgo::kRhdAdjacent:
+    case AllreduceAlgo::kRhdRoundRobin:
+      return topo::cost_rhd(bytes, topo_, options_.net, placement_);
+    case AllreduceAlgo::kRing:
+      return topo::cost_ring(bytes, topo_, options_.net, placement_);
+    case AllreduceAlgo::kParamServer:
+      return topo::cost_param_server(bytes, topo_, options_.net,
+                                     options_.param_servers);
+    case AllreduceAlgo::kHierarchical:
+      return topo::cost_hierarchical(bytes, topo_, options_.net);
+  }
+  return {};
 }
 
 void SsgdTrainer::apply(std::vector<std::vector<float>>& grads) {
@@ -266,7 +393,28 @@ std::vector<ScalePoint> scalability_curve(
     topo::Topology topo;
     topo.num_nodes = nodes;
     topo.supernode_size = options.supernode_size;
-    const auto bucket_cost = [&](std::int64_t bytes) -> topo::CostBreakdown {
+    // swcheck: the direct rule (not the full phase-composition verifier —
+    // the curve runs to 40,960 nodes, where materializing the hierarchical
+    // schedules would dwarf the pricing itself). Illegal algorithm x
+    // compression combos are rejected before any cost is computed.
+    check::CommPlan cplan;
+    cplan.name = "scalability-comm";
+    cplan.algorithm = allreduce_algo_name(options.algo);
+    cplan.compression = topo::compression_name(options.compression);
+    cplan.num_nodes = nodes;
+    cplan.supernode_size = options.supernode_size;
+    cplan.buckets = static_cast<int>(buckets.size());
+    cplan.raw_bytes = param_bytes;
+    check::Report creport;
+    check::check_comm(cplan, check::Options{}, cplan.name, &creport);
+    SWC_CHECK_MSG(creport.ok(), "swcheck rejected the comm config at "
+                                    << nodes
+                                    << " nodes: " << creport.summary());
+    // Wire pricing: the raw gradient bytes pass through the codec (priced at
+    // memory bandwidth) and the collective moves the compressed bytes. With
+    // kNone the wrapper is the identity, so this is the single path for
+    // both series.
+    const auto raw_cost = [&](std::int64_t bytes) -> topo::CostBreakdown {
       switch (options.algo) {
         case AllreduceAlgo::kRhdAdjacent:
           return topo::cost_rhd(bytes, topo, options.net,
@@ -280,8 +428,14 @@ std::vector<ScalePoint> scalability_curve(
         case AllreduceAlgo::kParamServer:
           return topo::cost_param_server(bytes, topo, options.net,
                                          options.param_servers);
+        case AllreduceAlgo::kHierarchical:
+          return topo::cost_hierarchical(bytes, topo, options.net);
       }
       return {};
+    };
+    const auto bucket_cost = [&](std::int64_t bytes) -> topo::CostBreakdown {
+      return topo::cost_compressed(options.compression, bytes, options.net,
+                                   raw_cost);
     };
     const topo::CostBreakdown comm = bucket_cost(param_bytes);
     const topo::OverlapTimeline overlap =

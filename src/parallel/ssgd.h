@@ -24,13 +24,30 @@
 #include "parallel/thread_pool.h"
 #include "swdnn/conv_plan.h"
 #include "topo/allreduce.h"
+#include "topo/compress.h"
 #include "topo/overlap.h"
 
 namespace swcaffe::parallel {
 
-enum class AllreduceAlgo { kRhdAdjacent, kRhdRoundRobin, kRing, kParamServer };
+/// kHierarchical is the two-level supernode-aware all-reduce
+/// (topo/hierarchical): supernode-local reduce-scatter, inter-supernode
+/// improved RHD over chunk representatives, supernode-local all-gather.
+/// Falls back to flat improved RHD when the topology can't be split
+/// (see topo::hierarchical_applicable).
+enum class AllreduceAlgo {
+  kRhdAdjacent,
+  kRhdRoundRobin,
+  kRing,
+  kParamServer,
+  kHierarchical
+};
 
 const char* allreduce_algo_name(AllreduceAlgo algo);
+
+/// Inverse of allreduce_algo_name ("rhd-adjacent" / "rhd-round-robin" /
+/// "ring" / "param-server" / "hierarchical"); returns false on an unknown
+/// name, leaving *out untouched. For CLI flag parsing.
+bool allreduce_algo_from_name(const char* name, AllreduceAlgo* out);
 
 /// Topology placement implied by the collective: only the paper's improved
 /// RHD mapping deals ranks to supernodes round-robin; everything else keeps
@@ -55,6 +72,15 @@ struct SsgdOptions {
   /// Host worker threads for the replica forward/backward loop (wall-clock
   /// only; results are bit-identical to serial for any value). 1 = serial.
   int threads = 1;
+  /// Gradient compression of the all-reduce payload (topo/compress). Each
+  /// node encode/decodes its packed slice at the source with per-bucket
+  /// error-feedback residuals, so the quantization error telescopes instead
+  /// of accumulating; the collective then combines the decoded values, which
+  /// keeps every algorithm's summation tree (and hence determinism) intact
+  /// while the wire cost is priced at the compressed byte count. kInt8 is
+  /// rejected for ring/param-server by swcheck (re-quantizing partial sums
+  /// at every hop has no error bound).
+  topo::Compression compression = topo::Compression::kNone;
 };
 
 class SsgdTrainer {
@@ -137,8 +163,16 @@ class SsgdTrainer {
   std::vector<topo::CostBreakdown> last_comm_buckets_;
   topo::CostBreakdown last_comm_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options_.threads <= 1
+  /// Per-node error-feedback residuals (param_count floats each); empty
+  /// when compression is kNone. Residuals persist across iterations — the
+  /// carry is what bounds the accumulated quantization drift.
+  std::vector<std::vector<float>> residual_;
   trace::Tracer* tracer_ = nullptr;
   int trace_track_ = 0;
+
+  /// Cost of the configured collective over `bytes` on this trainer's
+  /// topology (pricing only; no data movement).
+  topo::CostBreakdown cost_for_bytes(std::int64_t bytes) const;
 };
 
 /// One point of the Fig. 10/11 curves.

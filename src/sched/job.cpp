@@ -6,6 +6,8 @@
 #include "core/models.h"
 #include "swdnn/layer_estimate.h"
 #include "topo/allreduce.h"
+#include "topo/compress.h"
+#include "topo/hierarchical.h"
 
 namespace swcaffe::sched {
 
@@ -41,20 +43,25 @@ double JobProfile::iter_s(int width, int replicas,
   topo.num_nodes = width;
   topo.supernode_size = options.supernode_size;
   const topo::Placement placement = parallel::placement_for(options.algo);
-  topo::CostBreakdown comm;
-  switch (options.algo) {
-    case parallel::AllreduceAlgo::kRhdAdjacent:
-    case parallel::AllreduceAlgo::kRhdRoundRobin:
-      comm = topo::cost_rhd(param_bytes, topo, options.net, placement);
-      break;
-    case parallel::AllreduceAlgo::kRing:
-      comm = topo::cost_ring(param_bytes, topo, options.net, placement);
-      break;
-    case parallel::AllreduceAlgo::kParamServer:
-      comm = topo::cost_param_server(param_bytes, topo, options.net,
-                                     options.param_servers);
-      break;
-  }
+  // Compression moves the codec'ed bytes over the wire and charges the
+  // encode/decode passes on top (identity when compression is kNone).
+  const topo::CostBreakdown comm = topo::cost_compressed(
+      options.compression, param_bytes, options.net,
+      [&](std::int64_t bytes) -> topo::CostBreakdown {
+        switch (options.algo) {
+          case parallel::AllreduceAlgo::kRhdAdjacent:
+          case parallel::AllreduceAlgo::kRhdRoundRobin:
+            return topo::cost_rhd(bytes, topo, options.net, placement);
+          case parallel::AllreduceAlgo::kRing:
+            return topo::cost_ring(bytes, topo, options.net, placement);
+          case parallel::AllreduceAlgo::kParamServer:
+            return topo::cost_param_server(bytes, topo, options.net,
+                                           options.param_servers);
+          case parallel::AllreduceAlgo::kHierarchical:
+            return topo::cost_hierarchical(bytes, topo, options.net);
+        }
+        return {};
+      });
   return compute_s + comm.seconds;
 }
 

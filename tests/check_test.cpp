@@ -221,6 +221,143 @@ TEST(RlcRules, AllreduceSchedulesAreDeadlockFree) {
   EXPECT_TRUE(verify_allreduce("rhd", 0).has(Code::kGeomInvalid));
 }
 
+TEST(RlcRules, HierarchicalAllreduceSchedulesAreDeadlockFree) {
+  // Engaging geometries: every phase schedule plus the composed phase-order
+  // timeline must be silent.
+  for (auto [nodes, q] : {std::pair{16, 4}, {1024, 256}, {24, 8}}) {
+    const Report report = verify_allreduce("hier", nodes, Options{}, q);
+    EXPECT_TRUE(report.diagnostics().empty())
+        << "hier " << nodes << "/" << q << ": " << report.summary();
+  }
+  // Non-engaging geometries fall back to the flat RHD schedule (mirroring
+  // the runtime) and must be just as silent.
+  for (auto [nodes, q] : {std::pair{10, 4}, {100, 256}, {24, 7}}) {
+    const Report report = verify_allreduce("hier", nodes, Options{}, q);
+    EXPECT_TRUE(report.diagnostics().empty())
+        << "hier fallback " << nodes << "/" << q << ": " << report.summary();
+  }
+  EXPECT_TRUE(verify_allreduce("hier", 0).has(Code::kGeomInvalid));
+}
+
+// --- Communication-config legality (algorithm x compression) -----------------
+
+CommPlan sane_comm_plan() {
+  CommPlan p;
+  p.name = "test-comm";
+  p.algorithm = "hierarchical";
+  p.compression = "int8";
+  p.num_nodes = 1024;
+  p.supernode_size = 256;
+  p.buckets = 4;
+  p.raw_bytes = 4 << 20;
+  p.wire_bytes = (4 << 20) / 4 + 4 * 4;  // raw/4 + buckets * scale header
+  return p;
+}
+
+TEST(CommRules, SanePlanIsSilent) {
+  Report report;
+  check_comm(sane_comm_plan(), Options{}, "test-comm", &report);
+  EXPECT_TRUE(report.diagnostics().empty()) << report.summary();
+  EXPECT_TRUE(verify_comm(sane_comm_plan()).ok());
+}
+
+TEST(CommRules, EveryAlgorithmCodecComboHasAVerdict) {
+  // int8 composes only with single-shot-encode collectives: ring and
+  // parameter-server re-quantize partial sums every hop.
+  for (const char* algo : {"rhd-round-robin", "rhd-adjacent", "hierarchical",
+                           "ring", "param-server"}) {
+    for (const char* codec : {"none", "fp16", "int8"}) {
+      CommPlan p = sane_comm_plan();
+      p.algorithm = algo;
+      p.compression = codec;
+      p.wire_bytes = 0;  // skip the byte-conservation rule here
+      Report report;
+      check_comm(p, Options{}, p.name, &report);
+      const bool illegal =
+          std::string(codec) == "int8" &&
+          (std::string(algo) == "ring" || std::string(algo) == "param-server");
+      EXPECT_EQ(report.has(Code::kCommCompressCombo), illegal)
+          << algo << " x " << codec << ": " << report.summary();
+    }
+  }
+}
+
+TEST(CommRules, WireByteConservationIsEnforced) {
+  // Claimed wire bytes must match the codec encoding exactly: raw for none,
+  // raw/2 for fp16, raw/4 plus one scale header per bucket for int8.
+  CommPlan p = sane_comm_plan();
+  p.wire_bytes += 1;
+  Report report;
+  check_comm(p, Options{}, p.name, &report);
+  EXPECT_TRUE(report.has(Code::kCommCompressBytes)) << report.summary();
+
+  p = sane_comm_plan();
+  p.compression = "fp16";
+  p.wire_bytes = p.raw_bytes / 2;
+  report = Report{};
+  check_comm(p, Options{}, p.name, &report);
+  EXPECT_TRUE(report.diagnostics().empty()) << report.summary();
+  p.wire_bytes = p.raw_bytes;  // forgot to halve
+  report = Report{};
+  check_comm(p, Options{}, p.name, &report);
+  EXPECT_TRUE(report.has(Code::kCommCompressBytes));
+
+  // wire_bytes == 0 means "don't check" — a plan that never claims a wire
+  // total is not held to conservation.
+  p.wire_bytes = 0;
+  report = Report{};
+  check_comm(p, Options{}, p.name, &report);
+  EXPECT_TRUE(report.diagnostics().empty()) << report.summary();
+}
+
+TEST(CommRules, UnknownNamesAndDegenerateGeometryAreInvalid) {
+  CommPlan p = sane_comm_plan();
+  p.algorithm = "butterfly";
+  EXPECT_TRUE(verify_comm(p).has(Code::kGeomInvalid));
+  p = sane_comm_plan();
+  p.compression = "gzip";
+  EXPECT_TRUE(verify_comm(p).has(Code::kGeomInvalid));
+  p = sane_comm_plan();
+  p.num_nodes = 0;
+  EXPECT_TRUE(verify_comm(p).has(Code::kGeomInvalid));
+  p = sane_comm_plan();
+  p.buckets = 0;
+  EXPECT_TRUE(verify_comm(p).has(Code::kGeomInvalid));
+  p = sane_comm_plan();
+  p.raw_bytes = -1;
+  EXPECT_TRUE(verify_comm(p).has(Code::kGeomInvalid));
+}
+
+TEST(CommRules, VerifyCommComposesHierarchicalTimeline) {
+  // For engaging hierarchical plans verify_comm additionally runs the
+  // composed phase-order timeline; both engaging and fallback geometries
+  // must come back clean.
+  CommPlan p = sane_comm_plan();
+  p.num_nodes = 16;
+  p.supernode_size = 4;
+  p.compression = "none";
+  p.wire_bytes = p.raw_bytes;
+  EXPECT_TRUE(verify_comm(p).ok()) << verify_comm(p).summary();
+  p.num_nodes = 10;  // fallback geometry
+  EXPECT_TRUE(verify_comm(p).ok()) << verify_comm(p).summary();
+}
+
+TEST(CommRules, Int8RingRejectedExactlyAsTheTrainerSees) {
+  // The same plan the SsgdTrainer constructor builds: rejection must happen
+  // in verify_comm, BEFORE any pricing.
+  CommPlan p;
+  p.name = "ssgd-comm";
+  p.algorithm = "ring";
+  p.compression = "int8";
+  p.num_nodes = 8;
+  p.buckets = 2;
+  p.raw_bytes = 1 << 16;
+  p.wire_bytes = (1 << 16) / 4 + 2 * 4;
+  const Report report = verify_comm(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kCommCompressCombo));
+}
+
 // --- Implicit convolution predicates (Table II) ------------------------------
 
 TEST(ImplicitRules, BackwardBelow128ChannelsUnsupported) {

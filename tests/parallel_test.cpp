@@ -6,6 +6,7 @@
 #include <span>
 #include <thread>
 
+#include "base/log.h"
 #include "base/rng.h"
 #include "core/models.h"
 #include "fixtures.h"
@@ -153,7 +154,8 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, SsgdAlgoTest,
                          ::testing::Values(AllreduceAlgo::kRhdAdjacent,
                                            AllreduceAlgo::kRhdRoundRobin,
                                            AllreduceAlgo::kRing,
-                                           AllreduceAlgo::kParamServer),
+                                           AllreduceAlgo::kParamServer,
+                                           AllreduceAlgo::kHierarchical),
                          [](const auto& info) {
                            std::string n = allreduce_algo_name(info.param);
                            for (auto& c : n) {
@@ -236,6 +238,136 @@ TEST(SsgdTest, CommCostReflectsPlacement) {
 
   EXPECT_LT(t_rr.last_comm().beta2_bytes, t_adj.last_comm().beta2_bytes);
   EXPECT_LT(t_rr.last_comm().seconds, t_adj.last_comm().seconds);
+}
+
+TEST(SsgdTest, HierarchicalWeightsBitIdenticalToFlatRoundRobin) {
+  // Engaging geometry (8 nodes, q = 2, s = 4, all powers of two): the
+  // two-level algorithm's summation tree equals flat improved RHD's, so
+  // trained weights must match BITWISE after several iterations.
+  const int nodes = 8, sub_batch = 2, dim = 5, classes = 2;
+  core::SolverSpec solver;
+  solver.base_lr = 0.1f;
+  solver.momentum = 0.9f;
+  base::Rng rng(21);
+  std::vector<float> data, labels;
+
+  SsgdOptions flat;
+  flat.algo = AllreduceAlgo::kRhdRoundRobin;
+  flat.supernode_size = 2;
+  SsgdTrainer t_flat(mlp(sub_batch, dim, 6, classes), nodes, solver, flat, 5);
+  SsgdOptions hier = flat;
+  hier.algo = AllreduceAlgo::kHierarchical;
+  SsgdTrainer t_hier(mlp(sub_batch, dim, 6, classes), nodes, solver, hier, 5);
+
+  for (int it = 0; it < 5; ++it) {
+    random_batch(data, labels, nodes * sub_batch, dim, classes, rng);
+    t_flat.step(data, labels);
+    t_hier.step(data, labels);
+  }
+  std::vector<float> w_flat(t_flat.node(0).param_count()),
+      w_hier(t_hier.node(0).param_count());
+  t_flat.node(0).pack_params(w_flat);
+  t_hier.node(0).pack_params(w_hier);
+  EXPECT_EQ(w_flat, w_hier);
+  // Cost parity too: same phase structure, same pricing.
+  EXPECT_DOUBLE_EQ(t_hier.last_comm().seconds, t_flat.last_comm().seconds);
+}
+
+TEST(SsgdTest, CompressedTrainingBitwiseReproducible) {
+  // The compressed path (EF residuals + codec) is a pure function of its
+  // inputs: two trainers stepped through the same batches end bit-identical,
+  // and every node agrees.
+  for (topo::Compression c :
+       {topo::Compression::kFp16, topo::Compression::kInt8}) {
+    const int nodes = 4, sub_batch = 2, dim = 5, classes = 2;
+    core::SolverSpec solver;
+    solver.base_lr = 0.1f;
+    SsgdOptions opt;
+    opt.supernode_size = 2;
+    opt.compression = c;
+    opt.buckets = 2;
+    SsgdTrainer a(mlp(sub_batch, dim, 6, classes), nodes, solver, opt, 17);
+    SsgdTrainer b(mlp(sub_batch, dim, 6, classes), nodes, solver, opt, 17);
+    base::Rng rng(18);
+    std::vector<float> data, labels;
+    for (int it = 0; it < 5; ++it) {
+      random_batch(data, labels, nodes * sub_batch, dim, classes, rng);
+      const double la = a.step(data, labels);
+      const double lb = b.step(data, labels);
+      EXPECT_EQ(la, lb) << topo::compression_name(c) << " iter " << it;
+    }
+    std::vector<float> wa(a.node(0).param_count()),
+        wb(b.node(0).param_count());
+    a.node(0).pack_params(wa);
+    b.node(0).pack_params(wb);
+    EXPECT_EQ(wa, wb) << topo::compression_name(c);
+    for (int r = 1; r < nodes; ++r) {
+      std::vector<float> wr(wa.size());
+      a.node(r).pack_params(wr);
+      EXPECT_EQ(wr, wa) << topo::compression_name(c) << " rank " << r;
+    }
+  }
+}
+
+TEST(SsgdTest, CompressedTrainingStillLearns) {
+  // Error feedback keeps the quantized gradients useful: the loss must
+  // still drop under int8 (the harshest codec).
+  SsgdOptions opt;
+  opt.supernode_size = 2;
+  opt.compression = topo::Compression::kInt8;
+  core::SolverSpec solver;
+  solver.base_lr = 0.2f;
+  solver.momentum = 0.9f;
+  SsgdTrainer trainer(mlp(4, 6, 12, 2), 4, solver, opt, 11);
+  base::Rng rng(12);
+  std::vector<float> data, labels;
+  double first = 0.0, last = 0.0;
+  for (int it = 0; it < 40; ++it) {
+    random_batch(data, labels, 16, 6, 2, rng);
+    const double loss = trainer.step(data, labels);
+    if (it == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(SsgdTest, CompressionShrinksPricedCommBytes) {
+  const int nodes = 4, sub_batch = 2, dim = 5, classes = 2;
+  core::SolverSpec solver;
+  base::Rng rng(23);
+  std::vector<float> data, labels;
+  random_batch(data, labels, nodes * sub_batch, dim, classes, rng);
+
+  SsgdOptions raw;
+  raw.supernode_size = 2;
+  SsgdTrainer t_raw(mlp(sub_batch, dim, 6, classes), nodes, solver, raw, 31);
+  t_raw.step(data, labels);
+
+  SsgdOptions fp16 = raw;
+  fp16.compression = topo::Compression::kFp16;
+  SsgdTrainer t16(mlp(sub_batch, dim, 6, classes), nodes, solver, fp16, 31);
+  t16.step(data, labels);
+
+  EXPECT_LT(t16.last_comm().beta1_bytes + t16.last_comm().beta2_bytes,
+            t_raw.last_comm().beta1_bytes + t_raw.last_comm().beta2_bytes);
+}
+
+TEST(SsgdTest, Int8OverRingRejectedAtConstruction) {
+  // swcheck's comm rule fires in the constructor, before any iteration:
+  // re-quantizing partial sums at every ring hop has no error bound.
+  SsgdOptions opt;
+  opt.algo = AllreduceAlgo::kRing;
+  opt.compression = topo::Compression::kInt8;
+  opt.supernode_size = 2;
+  core::SolverSpec solver;
+  EXPECT_THROW(SsgdTrainer(mlp(2, 5, 6, 2), 4, solver, opt, 1),
+               base::CheckError);
+  opt.algo = AllreduceAlgo::kParamServer;
+  EXPECT_THROW(SsgdTrainer(mlp(2, 5, 6, 2), 4, solver, opt, 1),
+               base::CheckError);
+  // The same codec composes fine with single-shot-encode collectives.
+  opt.algo = AllreduceAlgo::kHierarchical;
+  EXPECT_NO_THROW(SsgdTrainer(mlp(2, 5, 6, 2), 4, solver, opt, 1));
 }
 
 TEST(FullStackTest, NodeRunnerSsgdMatchesBigBatchTraining) {
@@ -468,6 +600,46 @@ TEST(ScalabilityTest, OverlappedSeriesNeverSlowerAndHidesCommAtScale) {
     if (pt.overlap_s < pt.comp_s + pt.comm_s - 1e-12) any_strict_win = true;
   }
   EXPECT_TRUE(any_strict_win);
+}
+
+TEST(ScalabilityTest, HierarchicalCompressedNearLinearAtFullMachine) {
+  // The headline claim: hierarchical + int8 + overlap keeps AlexNet B=256
+  // near-linear all the way to 40,960 nodes, where the flat algorithm has
+  // fallen off the linear trend.
+  hw::CostModel cost;
+  const auto descs = fixtures::alexnet_per_cg_descs();
+  SsgdOptions flat;
+  flat.buckets = 8;
+  SsgdOptions hier = flat;
+  hier.algo = AllreduceAlgo::kHierarchical;
+  hier.compression = topo::Compression::kInt8;
+  const std::vector<int> nodes = {1024, 4096, 40960};
+  const auto c_flat = scalability_curve(cost, descs,
+                                        fixtures::kAlexNetGradientBytes, flat,
+                                        nodes);
+  const auto c_hier = scalability_curve(cost, descs,
+                                        fixtures::kAlexNetGradientBytes, hier,
+                                        nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_LE(c_hier[i].overlap_s, c_flat[i].overlap_s + 1e-12)
+        << nodes[i] << " nodes";
+    EXPECT_GT(c_hier[i].overlap_speedup / nodes[i], 0.9)
+        << nodes[i] << " nodes";
+  }
+  // At 40,960 the flat serial collective is several times the hierarchical
+  // one (the fold crosses the oversubscribed switch with the full message).
+  EXPECT_GT(c_flat.back().comm_s, 2.0 * c_hier.back().comm_s);
+}
+
+TEST(ScalabilityTest, Int8RingRejectedBeforePricing) {
+  hw::CostModel cost;
+  const auto descs = fixtures::alexnet_per_cg_descs();
+  SsgdOptions opt;
+  opt.algo = AllreduceAlgo::kRing;
+  opt.compression = topo::Compression::kInt8;
+  EXPECT_THROW(scalability_curve(cost, descs,
+                                 fixtures::kAlexNetGradientBytes, opt, {64}),
+               base::CheckError);
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "check/plan_model.h"
@@ -321,6 +323,59 @@ TEST(TimelineSilent, ComposedRhdPhasesVerifySilent) {
     phases.push_back(rhd_allreduce_schedule(8));
   }
   EXPECT_TRUE(verify_timeline(timeline_from_comm("rhd-x4", phases)).ok());
+}
+
+TEST(TimelineSilent, ComposedHierarchicalPhasesVerifySilent) {
+  // The three-phase hierarchical decomposition (supernode-local
+  // reduce-scatter -> inter-supernode RHD -> local all-gather) composed
+  // through timeline_from_comm: the phase ordering must be race- and
+  // cycle-free for engaging geometries, clean and ragged alike.
+  for (auto [nodes, q] : {std::pair{16, 4}, {24, 8}, {1024, 256}}) {
+    const std::vector<CommSchedule> phases =
+        hierarchical_allreduce_phases(nodes, q);
+    ASSERT_EQ(phases.size(), 3u) << nodes << "/" << q;
+    const Report report =
+        verify_timeline(timeline_from_comm("hier-comm", phases));
+    EXPECT_TRUE(report.ok()) << nodes << "/" << q << ": " << report.summary();
+  }
+}
+
+TEST(TimelineBroken, ReversedHierarchicalPhaseOrderFiresCycle) {
+  // Reversing the op order inside the inter-supernode phase turns every
+  // send-then-receive exchange into receive-then-send on BOTH partners of
+  // each RHD step: mutual recv-before-send is a happens-before cycle the
+  // composed timeline must reject (each op alone is still well-formed).
+  std::vector<CommSchedule> phases = hierarchical_allreduce_phases(16, 4);
+  std::reverse(phases[1].ops.begin(), phases[1].ops.end());
+  const Report report =
+      verify_timeline(timeline_from_comm("hier-reversed", phases));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kTimelineCycle)) << report.summary();
+}
+
+TEST(TimelineSilent, ErrorFeedbackResidualCarryVerifiesSilent) {
+  // Three compressed iterations over two buckets: residual writes are
+  // ordered by the explicit per-bucket carry edges and the wire ledger
+  // conserves iters * sum(bucket bytes).
+  const Report report = verify_timeline(
+      timeline_from_ef("ef-carry", 3, {1 << 16, 3 << 14}));
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(TimelineBroken, StrippedResidualCarryEdgesFireRace) {
+  // Without the carry edges, iteration t and t+1 both write residual<b>
+  // with no happens-before: exactly the race a trainer that parallelized
+  // iterations over the shared residual buffers would introduce.
+  TimelineGraph g = timeline_from_ef("ef-stripped", 3, {1 << 16, 3 << 14});
+  std::vector<TimelineEdge> kept;
+  for (const TimelineEdge& e : g.edges) {
+    if (e.why != "residual carry") kept.push_back(e);
+  }
+  ASSERT_LT(kept.size(), g.edges.size());  // the extractor did emit them
+  g.edges = std::move(kept);
+  const Report report = verify_timeline(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kTimelineRace)) << report.summary();
 }
 
 // ---------------------------------------------------------------------------

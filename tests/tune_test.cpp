@@ -26,6 +26,7 @@
 #include "topo/overlap.h"
 #include "trace/tracer.h"
 #include "tune/bucket_tune.h"
+#include "tune/comm_tune.h"
 #include "tune/plan_cache.h"
 #include "tune/search_space.h"
 #include "tune/tuner.h"
@@ -349,6 +350,98 @@ TEST(BucketTuneTest, CandidateMenuLeadsWithOneAndDeduplicates) {
   }
   // Degenerate request still yields the serial baseline.
   EXPECT_EQ(bucket_count_candidates(0), std::vector<int>{1});
+}
+
+// --- comm-config search (algorithm x compression x buckets) ------------------
+
+/// An AlexNet-shaped workload: a few heavy fc layers at the end of backward,
+/// light conv gradients early, ~0.5 s of compute per iteration.
+struct CommWorkload {
+  std::vector<double> bwd = {0.02, 0.04, 0.06, 0.10, 0.25};
+  double compute_s = 0.5;
+  std::vector<std::int64_t> bytes = {140'000, 1'200'000, 2'700'000,
+                                     37'000'000, 16'800'000};
+};
+
+TEST(CommTuneTest, BaselineCandidateIsAlwaysFirstLegalAndSingleBucket) {
+  const CommWorkload w;
+  const CommChoice choice = tune_comm(w.bwd, w.compute_s, w.bytes, 64);
+  ASSERT_FALSE(choice.candidates.empty());
+  const CommCandidate& base = choice.candidates.front();
+  EXPECT_EQ(base.algorithm, "rhd-round-robin");
+  EXPECT_EQ(base.compression, topo::Compression::kNone);
+  EXPECT_EQ(base.buckets, 1);
+  EXPECT_TRUE(base.legal);
+  EXPECT_EQ(choice.baseline_s, base.finish_s);
+}
+
+TEST(CommTuneTest, WinnerNeverSlowerThanBaseline) {
+  const CommWorkload w;
+  for (int nodes : {4, 64, 1024, 40960}) {
+    const CommChoice choice = tune_comm(w.bwd, w.compute_s, w.bytes, nodes);
+    EXPECT_LE(choice.overlapped_s, choice.baseline_s) << nodes;
+    // The reported winner really is in the table with matching numbers.
+    bool found = false;
+    for (const CommCandidate& c : choice.candidates) {
+      if (c.legal && c.algorithm == choice.algorithm &&
+          c.compression == choice.compression && c.buckets == choice.buckets &&
+          c.finish_s == choice.overlapped_s) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << nodes;
+  }
+}
+
+TEST(CommTuneTest, IllegalCombosAreRecordedButNeverPriced) {
+  const CommWorkload w;
+  const CommChoice choice = tune_comm(w.bwd, w.compute_s, w.bytes, 64);
+  int rejected = 0;
+  for (const CommCandidate& c : choice.candidates) {
+    const bool int8_multi_hop =
+        c.compression == topo::Compression::kInt8 &&
+        (c.algorithm == "ring" || c.algorithm == "param-server");
+    if (!c.legal) {
+      ++rejected;
+      // Only the int8 x multi-hop combos are illegal, and a rejected
+      // candidate carries no price.
+      EXPECT_TRUE(int8_multi_hop) << c.algorithm;
+      EXPECT_EQ(c.finish_s, 0.0);
+    } else {
+      EXPECT_FALSE(int8_multi_hop) << c.algorithm;
+      EXPECT_GT(c.finish_s, 0.0);
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  // The winner is never one of the rejected shapes.
+  EXPECT_FALSE(choice.compression == topo::Compression::kInt8 &&
+               (choice.algorithm == "ring" ||
+                choice.algorithm == "param-server"));
+}
+
+TEST(CommTuneTest, DeterministicAcrossReruns) {
+  const CommWorkload w;
+  const CommChoice a = tune_comm(w.bwd, w.compute_s, w.bytes, 1024);
+  const CommChoice b = tune_comm(w.bwd, w.compute_s, w.bytes, 1024);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.compression, b.compression);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(a.overlapped_s, b.overlapped_s);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].finish_s, b.candidates[i].finish_s) << i;
+    EXPECT_EQ(a.candidates[i].legal, b.candidates[i].legal) << i;
+  }
+}
+
+TEST(CommTuneTest, HierarchicalWinsAtFullMachineScale) {
+  // At 40,960 nodes the flat RHD's non-power-of-two fold is ruinous; the
+  // tuned choice must be the two-level hierarchy, and it must beat the
+  // paper baseline by a wide margin, not a rounding error.
+  const CommWorkload w;
+  const CommChoice choice = tune_comm(w.bwd, w.compute_s, w.bytes, 40960);
+  EXPECT_EQ(choice.algorithm, "hierarchical");
+  EXPECT_LT(choice.overlapped_s, 0.5 * choice.baseline_s);
 }
 
 }  // namespace
