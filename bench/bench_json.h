@@ -2,7 +2,8 @@
 // its headline numbers as named metrics and, when invoked with
 // `--json <path>` (or `--json=<path>`), writes them as one JSON object
 //
-//   {"bench": "<name>", "schema_version": N, "metrics": {...}}
+//   {"bench": "<name>", "schema_version": N, "wall_clock_s": W,
+//    "metrics": {...}}
 //
 // on destruction — the machine-readable twin of the printed tables, suitable
 // for checking into BENCH_*.json files or diffing across commits. The
@@ -14,6 +15,7 @@
 #pragma once
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -26,8 +28,13 @@ namespace swcaffe::bench {
 
 /// Version of the BENCH_*.json envelope: v2 added this field itself; v3
 /// added bench_overlap's hierarchical/compressed full-machine series
-/// (hier_* metrics to 40,960 nodes).
-inline constexpr int kBenchJsonSchemaVersion = 3;
+/// (hier_* metrics to 40,960 nodes); v4 added the top-level wall_clock_s
+/// self-timing (harness wall clock from JsonBench construction to the write
+/// — the number the simulator perf-smoke gate budgets). wall_clock_s varies
+/// run to run by nature: byte-determinism diffs must normalize it away (see
+/// the sed step in the CI bench jobs) — it is a top-level envelope field,
+/// never a metric, precisely so that one normalization handles every bench.
+inline constexpr int kBenchJsonSchemaVersion = 4;
 
 /// Sanitizes a human-facing label ("VGG-16 (B=16/CG)") into a metric key
 /// ("vgg_16_b_16_cg"): lowercase, runs of non-alphanumerics collapse to '_'.
@@ -47,7 +54,8 @@ inline std::string metric_key(const std::string& label) {
 class JsonBench {
  public:
   JsonBench(std::string bench_name, int argc, char** argv)
-      : name_(std::move(bench_name)) {
+      : name_(std::move(bench_name)),
+        start_(std::chrono::steady_clock::now()) {
     for (int i = 1; i < argc; ++i) {
       if (std::strncmp(argv[i], "--json=", 7) == 0) {
         path_ = argv[i] + 7;
@@ -67,8 +75,14 @@ class JsonBench {
       std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
       return;
     }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    char wall_buf[32];
+    std::snprintf(wall_buf, sizeof(wall_buf), "%.6f", wall);
     out << "{\"bench\": \"" << name_ << "\", \"schema_version\": "
-        << kBenchJsonSchemaVersion << ", \"metrics\": {";
+        << kBenchJsonSchemaVersion << ", \"wall_clock_s\": " << wall_buf
+        << ", \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       if (i > 0) out << ", ";
       out << '"' << metrics_[i].first << "\": ";
@@ -96,6 +110,7 @@ class JsonBench {
 
  private:
   std::string name_;
+  std::chrono::steady_clock::time_point start_;
   std::string path_;
   std::vector<std::pair<std::string, double>> metrics_;
 };

@@ -7,7 +7,7 @@
 //                [--tune] [--plan-cache FILE] [--json OUT]
 //                [--threads N] [--replicas R]
 //                [--nodes N] [--algo=ALGO] [--compress=none|fp16|int8]
-//                [--trace=out.json] [--trace-report]
+//                [--sweep] [--trace=out.json] [--trace-report]
 //   swcaffe_time <net.prototxt | alexnet | vgg16 | vgg19 | resnet50 |
 //                 googlenet> [iterations] [batch]        (legacy positional)
 //
@@ -32,6 +32,13 @@
 // rhd-round-robin [default], rhd-adjacent, hierarchical, ring, param-server)
 // and gradient codec (--compress: none [default], fp16, int8), reporting
 // wire bytes and the simulated collective time next to the compute time.
+//
+// --sweep runs the swsim timing-only scalability sweep: the model's
+// Fig. 10/11 curve (serial + overlapped series, 8 buckets) priced at node
+// counts 4..40,960 under the configured --algo/--compress, fanned over
+// --threads workers. Pure pricing — no replica tensors — so the full
+// machine sweep completes in well under a second; the section reports its
+// own wall clock.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -47,6 +54,7 @@
 #include "core/proto.h"
 #include "hw/cost_model.h"
 #include "parallel/ssgd.h"
+#include "parallel/sweep.h"
 #include "swdnn/layer_estimate.h"
 #include "topo/hierarchical.h"
 #include "trace/chrome_trace.h"
@@ -106,6 +114,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   int replicas = 8;
   int nodes = 0;
+  bool sweep = false;
   parallel::AllreduceAlgo algo = parallel::AllreduceAlgo::kRhdRoundRobin;
   topo::Compression compress = topo::Compression::kNone;
 
@@ -146,6 +155,8 @@ int main(int argc, char** argv) {
       // Value re-parsed by JsonBench; consumed here so it isn't positional.
     } else if (std::strcmp(argv[i], "--tune") == 0) {
       tune = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
     } else if (std::strcmp(argv[i], "--trace-report") == 0) {
       trace_report = true;
     } else if (argv[i][0] == '-') {
@@ -399,6 +410,59 @@ int main(int argc, char** argv) {
     bench.metric("allreduce_s", comm.seconds);
     bench.metric("allreduce_wire_bytes",
                  static_cast<double>(topo::wire_bytes(compress, param_bytes)));
+  }
+
+  // --- Timing-only scalability sweep (--sweep) -----------------------------
+  if (sweep) {
+    parallel::SweepSeries series;
+    series.label = model;
+    series.descs_per_cg = descs;
+    series.param_bytes = core::total_param_bytes(descs);
+    series.options.algo = algo;
+    series.options.compression = compress;
+    series.options.buckets = 8;
+    series.node_counts = {4, 16, 64, 256, 1024, 4096, 40960};
+    const hw::CostModel sweep_cost;  // untraced: pricing only
+    const double s0 = now_s();
+    std::vector<parallel::SweepResult> results;
+    try {
+      results = parallel::scalability_sweep(sweep_cost, {series},
+                                            std::max(threads, 1));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep rejected: %s\n", e.what());
+      return 2;
+    }
+    const double sweep_wall = now_s() - s0;
+    std::printf("\ntiming-only scalability sweep (%s, %s, %d buckets):\n",
+                parallel::allreduce_algo_name(algo),
+                topo::compression_name(compress), series.options.buckets);
+    base::TablePrinter st({"nodes", "comm", "speedup", "overlapped",
+                           "exposed comm", "overlap speedup"});
+    const auto fmt_x = [](double v) {
+      char b[32];
+      std::snprintf(b, sizeof b, "%.1fx", v);
+      return std::string(b);
+    };
+    for (const parallel::ScalePoint& pt : results.at(0).points) {
+      st.add_row({std::to_string(pt.nodes),
+                  base::format_seconds(pt.comm_s), fmt_x(pt.speedup),
+                  base::format_seconds(pt.overlap_s),
+                  base::format_seconds(pt.exposed_comm_s),
+                  fmt_x(pt.overlap_speedup)});
+    }
+    st.print(std::cout);
+    std::printf("swept %zu full-machine points in %s wall clock (%d "
+                "threads, no replica tensors)\n",
+                results.at(0).points.size(),
+                base::format_seconds(sweep_wall).c_str(),
+                std::max(threads, 1));
+    const parallel::ScalePoint& top = results.at(0).points.back();
+    bench.metric("sweep_points",
+                 static_cast<double>(results.at(0).points.size()));
+    bench.metric("sweep_wall_s", sweep_wall);
+    bench.metric("sweep_top_nodes", static_cast<double>(top.nodes));
+    bench.metric("sweep_top_overlap_s", top.overlap_s);
+    bench.metric("sweep_top_speedup", top.overlap_speedup);
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 //                 [--buckets N] [--threads N]
 //                 [--algo=ALGO] [--compress=none|fp16|int8]
 //                 [--checkpoint-every N] [--checkpoint-prefix PATH]
+//                 [--timing-only]
 // With no (positional) arguments a built-in demo net is used. --tune runs
 // the swtune plan search before training (every core-group replica executes
 // the tuned strategies, and the simulated time is priced at the tuned
@@ -35,6 +36,14 @@
 // all-reduce: rhd-round-robin [default], rhd-adjacent, hierarchical, ring,
 // param-server) and --compress (the gradient codec with error feedback:
 // none [default], fp16, int8 — deterministic, bit-identical across reruns).
+//
+// --timing-only prices ONE SSGD iteration on the swsim fast path instead of
+// training: a single prototype replica is built (no per-node tensors, no
+// gradient floats move) and the iteration's compute, all-reduce and
+// overlapped schedule are priced across --nodes nodes with the configured
+// --algo/--compress/--buckets. The priced communication is bit-identical to
+// what the functional trainer would charge (pinned by tests), so this is
+// the cheap way to ask "what would this config cost at 40,960 nodes?".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,8 +53,11 @@
 
 #include "../bench/bench_json.h"
 #include "base/units.h"
+#include "core/models.h"
 #include "core/proto.h"
 #include "fault/ft_ssgd.h"
+#include "hw/cost_model.h"
+#include "parallel/ssgd.h"
 #include "parallel/trainer.h"
 #include "trace/chrome_trace.h"
 #include "trace/report.h"
@@ -201,6 +213,7 @@ int main(int argc, char** argv) {
   topo::Compression compress = topo::Compression::kNone;
   int checkpoint_every = 0;
   std::string checkpoint_prefix = "swcaffe_train.ckpt";
+  bool timing_only = false;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -211,6 +224,8 @@ int main(int argc, char** argv) {
       trace_report = true;
     } else if (std::strcmp(argv[i], "--tune") == 0) {
       tune = true;
+    } else if (std::strcmp(argv[i], "--timing-only") == 0) {
+      timing_only = true;
     } else if (std::strncmp(argv[i], "--plan-cache=", 13) == 0) {
       plan_cache = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--plan-cache") == 0 && i + 1 < argc) {
@@ -285,6 +300,45 @@ int main(int argc, char** argv) {
     net_spec = core::parse_net_prototxt(kDemoNet);
     solver_spec = core::parse_solver_prototxt(kDemoSolver);
     if (positional.size() == 1) iterations = std::atoi(positional[0]);
+  }
+
+  if (timing_only) {
+    if (have_faults) {
+      std::fprintf(stderr, "--timing-only prices a healthy iteration; it "
+                           "cannot be combined with --faults\n");
+      return 2;
+    }
+    parallel::SsgdOptions so;
+    so.algo = algo;
+    so.compression = compress;
+    so.buckets = buckets;
+    so.timing_only = true;
+    parallel::SsgdTrainer trainer(net_spec, nodes, solver_spec, so, 1);
+    const hw::CostModel cost;
+    const parallel::TimedIteration it =
+        trainer.price_iteration(cost, core::describe_net_spec(net_spec));
+    std::printf("timing-only pricing of '%s' across %d nodes "
+                "(%s, %s, %d buckets):\n",
+                net_spec.name.c_str(), nodes,
+                parallel::allreduce_algo_name(algo),
+                topo::compression_name(compress), trainer.num_buckets());
+    std::printf("  compute (fwd+bwd):     %s\n",
+                base::format_seconds(it.comp_s).c_str());
+    std::printf("  all-reduce (serial):   %s (%d startups)\n",
+                base::format_seconds(it.comm.seconds).c_str(),
+                it.comm.alpha_terms);
+    std::printf("  serial iteration:      %s\n",
+                base::format_seconds(it.serial_s).c_str());
+    std::printf("  overlapped iteration:  %s (exposed comm %s)\n",
+                base::format_seconds(it.overlap.finish_s).c_str(),
+                base::format_seconds(it.overlap.exposed_comm_s).c_str());
+    bench.metric("timed_nodes", static_cast<double>(nodes));
+    bench.metric("timed_comp_s", it.comp_s);
+    bench.metric("timed_comm_s", it.comm.seconds);
+    bench.metric("timed_serial_s", it.serial_s);
+    bench.metric("timed_overlap_s", it.overlap.finish_s);
+    bench.metric("timed_exposed_comm_s", it.overlap.exposed_comm_s);
+    return 0;
   }
 
   if (have_faults) {

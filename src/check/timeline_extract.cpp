@@ -514,4 +514,42 @@ TimelineGraph timeline_from_schedule(
   return g;
 }
 
+TimelineGraph timeline_from_events(const std::string& name,
+                                   const std::vector<std::string>& actors,
+                                   const std::vector<std::string>& resources,
+                                   const sim::EventLog& log) {
+  TimelineGraph g;
+  g.name = name;
+  for (const std::string& a : actors) g.add_actor(a);
+  for (const std::string& r : resources) g.add_resource(r);
+  // Lay events out in the vocabulary's documented total order so each
+  // actor's program order (insertion order per actor, which is what the
+  // race pass reads) equals its time order. The sort is stable on the seq
+  // tie-break because seq is unique.
+  std::vector<const sim::Event*> ordered;
+  ordered.reserve(log.events().size());
+  for (const sim::Event& e : log.events()) ordered.push_back(&e);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const sim::Event* a, const sim::Event* b) {
+              return sim::event_before(*a, *b);
+            });
+  for (const sim::Event* e : ordered) {
+    TimelineEvent ev;
+    ev.name = e->name;
+    ev.actor = e->actor;
+    ev.resource = e->resource;
+    ev.start_s = e->time_s;
+    ev.end_s = e->end_s();
+    ev.bytes = e->bytes;
+    g.add_event(std::move(ev));
+  }
+  return g;
+}
+
+TimelineGraph timeline_from_sim(const std::string& name,
+                                const sim::Engine& engine) {
+  return timeline_from_events(name, engine.actor_names(),
+                              engine.resource_names(), engine.log());
+}
+
 }  // namespace swcaffe::check

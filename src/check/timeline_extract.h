@@ -50,6 +50,8 @@
 #include "hw/params.h"
 #include "sched/record.h"
 #include "serve/request.h"
+#include "sim/engine.h"
+#include "sim/event.h"
 #include "topo/overlap.h"
 
 namespace swcaffe::check {
@@ -124,5 +126,22 @@ TimelineGraph timeline_from_comm(const std::string& name,
 /// would be caught.
 TimelineGraph timeline_from_ef(const std::string& name, int iters,
                                const std::vector<std::int64_t>& bucket_wire_bytes);
+
+/// Builds a timeline straight from a swsim event log — the shared event
+/// vocabulary needs no per-subsystem re-derivation. `actors` / `resources`
+/// name the graph's lanes and exclusive resources (every event's ids must be
+/// in range); events are laid out in the vocabulary's documented total order
+/// (time_s, actor, seq) so each actor's program order is its time order.
+/// Instants become point events. The graph carries whatever the log saw —
+/// edges/ledgers/deadlines are the caller's to add before verifying.
+TimelineGraph timeline_from_events(const std::string& name,
+                                   const std::vector<std::string>& actors,
+                                   const std::vector<std::string>& resources,
+                                   const sim::EventLog& log);
+
+/// Convenience: extracts the timeline of a finished sim::Engine run (its
+/// actors, resources and recorded log).
+TimelineGraph timeline_from_sim(const std::string& name,
+                                const sim::Engine& engine);
 
 }  // namespace swcaffe::check

@@ -1,15 +1,21 @@
 #include "hw/rlc.h"
 
 #include "base/log.h"
+#include "sim/event.h"
 #include "trace/tracer.h"
 
 namespace swcaffe::hw {
 
 namespace {
 
-/// Mirrors one charged RLC operation into the attached tracer (if any).
+/// Mirrors one charged RLC operation into the attached tracer and/or swsim
+/// event log (if any), stamped at `start_s` on the fabric's elapsed clock.
 void trace_rlc(const CostModel& cost, const char* name, std::size_t bytes,
-               double seconds) {
+               double start_s, double seconds) {
+  if (sim::EventLog* log = cost.event_log()) {
+    log->charge(cost.event_actor(), start_s, seconds,
+                static_cast<std::int64_t>(bytes), name);
+  }
   trace::Tracer* tracer = cost.tracer();
   if (!tracer) return;
   const int track = cost.trace_track();
@@ -46,9 +52,10 @@ void RlcFabric::row_broadcast(int row, int src_col,
     ledger_.rlc_bytes += bytes;
   }
   const double seconds = cost_.rlc_time(bytes, /*broadcast=*/true);
+  const double start = ledger_.elapsed_s;
   ledger_.elapsed_s += seconds;
   trace_rlc(cost_, "rlc.row_broadcast",
-            bytes * (params_.mesh_cols - 1), seconds);
+            bytes * (params_.mesh_cols - 1), start, seconds);
 }
 
 void RlcFabric::col_broadcast(int src_row, int col,
@@ -61,9 +68,10 @@ void RlcFabric::col_broadcast(int src_row, int col,
     ledger_.rlc_bytes += bytes;
   }
   const double seconds = cost_.rlc_time(bytes, /*broadcast=*/true);
+  const double start = ledger_.elapsed_s;
   ledger_.elapsed_s += seconds;
   trace_rlc(cost_, "rlc.col_broadcast",
-            bytes * (params_.mesh_rows - 1), seconds);
+            bytes * (params_.mesh_rows - 1), start, seconds);
 }
 
 void RlcFabric::send(int src_row, int src_col, int dst_row, int dst_col,
@@ -83,8 +91,9 @@ void RlcFabric::send(int src_row, int src_col, int dst_row, int dst_col,
   }
   ledger_.rlc_bytes += bytes;
   const double seconds = cost_.rlc_time(bytes, /*broadcast=*/false);
+  const double start = ledger_.elapsed_s;
   ledger_.elapsed_s += seconds;
-  trace_rlc(cost_, "rlc.send", bytes, seconds);
+  trace_rlc(cost_, "rlc.send", bytes, start, seconds);
 }
 
 std::vector<double> RlcFabric::receive_row(int row, int col) {

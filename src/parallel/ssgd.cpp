@@ -7,6 +7,8 @@
 #include "check/rules.h"
 #include "check/timeline_extract.h"
 #include "check/verify.h"
+#include "parallel/sweep.h"
+#include "sim/event.h"
 #include "swdnn/layer_estimate.h"
 #include "topo/hierarchical.h"
 
@@ -92,11 +94,14 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
   // Topology placement depends only on the configured algorithm; computed
   // once here and reused by every allreduce() call.
   placement_ = placement_for(options_.algo);
-  for (int i = 0; i < num_nodes; ++i) {
+  // Timing-only mode materializes one prototype replica: the bucket layout
+  // and its verification read the live layers, but no gradients ever move.
+  const int replicas = options_.timing_only ? 1 : num_nodes;
+  for (int i = 0; i < replicas; ++i) {
     nets_.push_back(std::make_unique<core::Net>(spec, seed));
   }
-  for (int i = 1; i < num_nodes; ++i) nets_[i]->copy_params_from(*nets_[0]);
-  for (int i = 0; i < num_nodes; ++i) {
+  for (int i = 1; i < replicas; ++i) nets_[i]->copy_params_from(*nets_[0]);
+  for (int i = 0; i < replicas; ++i) {
     solvers_.push_back(std::make_unique<core::SgdSolver>(*nets_[i], solver));
   }
 
@@ -162,7 +167,26 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
   cplan.name = "ssgd-comm";
   cplan.algorithm = allreduce_algo_name(options_.algo);
   cplan.compression = topo::compression_name(options_.compression);
-  cplan.num_nodes = num_nodes;
+  // verify_comm expands the hierarchical algorithm into its full per-node
+  // message schedule and race-checks the whole timeline — superlinear in
+  // the node count, which at full-machine counts (40,960) is exactly the
+  // cost the timing-only fast path exists to avoid. The schedule invariants
+  // are per-phase-structure, not per-count, so past the cap verify a
+  // representative sub-machine: the largest supernode multiple within the
+  // cap when the real topology engages the two-level algorithm (keeping
+  // its phase structure engaged in the verified plan too), the cap itself
+  // otherwise. The byte math (raw vs wire) stays the real, uncapped one.
+  constexpr int kVerifyNodeCap = 2048;
+  int verify_nodes = num_nodes;
+  if (verify_nodes > kVerifyNodeCap) {
+    const int q = options_.supernode_size;
+    if (topo::hierarchical_applicable(topo_) && q < kVerifyNodeCap) {
+      verify_nodes = (kVerifyNodeCap / q) * q;
+    } else {
+      verify_nodes = kVerifyNodeCap;
+    }
+  }
+  cplan.num_nodes = verify_nodes;
   cplan.supernode_size = options_.supernode_size;
   cplan.buckets = num_buckets();
   cplan.raw_bytes = plan.total_bytes;
@@ -176,9 +200,13 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
 
   if (options_.compression != topo::Compression::kNone) {
     // One persistent residual vector per node; zero-initialized, carried
-    // across iterations by ef_encode.
-    residual_.assign(static_cast<std::size_t>(num_nodes),
-                     std::vector<float>(nets_[0]->param_count(), 0.0f));
+    // across iterations by ef_encode. Timing-only mode never encodes, so it
+    // skips the (num_nodes x param_count) allocation but still verifies the
+    // error-feedback dataflow below.
+    if (!options_.timing_only) {
+      residual_.assign(static_cast<std::size_t>(num_nodes),
+                       std::vector<float>(nets_[0]->param_count(), 0.0f));
+    }
     // swsched: the error-feedback dataflow (encode writes the residual each
     // iteration, next iteration's encode reads it) must form a causal chain
     // per bucket and conserve the compressed wire bytes.
@@ -192,7 +220,7 @@ SsgdTrainer::SsgdTrainer(const core::NetSpec& spec, int num_nodes,
                                     << ereport.summary());
   }
 
-  if (options_.threads > 1) {
+  if (options_.threads > 1 && !options_.timing_only) {
     pool_ = std::make_unique<ThreadPool>(
         std::min(options_.threads, num_nodes));
   }
@@ -210,6 +238,9 @@ double SsgdTrainer::step(std::span<const float> data,
 double SsgdTrainer::forward_backward_packed(
     std::span<const float> data, std::span<const float> labels,
     std::vector<std::vector<float>>& grads) {
+  SWC_CHECK_MSG(!options_.timing_only,
+                "timing-only trainer has no replica tensors; use "
+                "price_iteration()");
   const int p = num_nodes();
   const std::size_t data_per_node = nets_[0]->blob("data")->count();
   const std::size_t labels_per_node = nets_[0]->blob("label")->count();
@@ -257,6 +288,9 @@ const topo::CostBreakdown& SsgdTrainer::allreduce(
 
 const topo::CostBreakdown& SsgdTrainer::allreduce_bucket(
     std::vector<std::vector<float>>& grads, int b) {
+  SWC_CHECK_MSG(!options_.timing_only,
+                "timing-only trainer has no replica tensors; use "
+                "price_iteration()");
   const int p = num_nodes();
   SWC_CHECK_EQ(grads.size(), static_cast<std::size_t>(p));
   SWC_CHECK_GE(b, 0);
@@ -329,6 +363,50 @@ const topo::CostBreakdown& SsgdTrainer::allreduce_bucket(
   return slot;
 }
 
+TimedIteration SsgdTrainer::price_iteration(
+    const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs_per_cg,
+    const std::map<std::string, dnn::ConvEstimate>* conv_overrides) const {
+  SWC_CHECK_EQ(descs_per_cg.size(), nets_[0]->layers().size());
+  static const std::map<std::string, dnn::ConvEstimate> kNoOverrides;
+  const dnn::NetTimeline tl = dnn::estimate_net_timeline(
+      cost, descs_per_cg, conv_overrides ? *conv_overrides : kNoOverrides);
+
+  // The exact pricing allreduce_bucket() charges: the codec wrapper over
+  // the configured collective (identity when compression is off; the
+  // functional collectives return the analytic breakdown bit for bit).
+  const auto bucket_cost = [this](std::int64_t bytes) -> topo::CostBreakdown {
+    return topo::cost_compressed(
+        options_.compression, bytes, options_.net,
+        [this](std::int64_t wire) { return cost_for_bytes(wire); });
+  };
+
+  TimedIteration it;
+  it.comp_s = tl.total_s;
+  // Per-bucket totals accumulate in layer order — the same order
+  // allreduce_bucket() sums last_comm_buckets_ — so the serial-model comm
+  // equals the functional step()'s last_comm() bit for bit.
+  for (const auto& b : buckets_) {
+    const topo::CostBreakdown c = bucket_cost(b.bytes);
+    it.comm.seconds += c.seconds;
+    it.comm.alpha_terms += c.alpha_terms;
+    it.comm.beta1_bytes += c.beta1_bytes;
+    it.comm.beta2_bytes += c.beta2_bytes;
+    it.comm.gamma_bytes += c.gamma_bytes;
+  }
+  sim::EventLog log;
+  it.overlap = topo::schedule_overlap(buckets_, tl.bwd_s, tl.total_s,
+                                      bucket_cost, &log);
+  it.serial_s = it.comp_s + it.comm.seconds;
+  // swsched: the engine's own event log IS the timeline — extract it
+  // directly (no per-subsystem re-derivation) and verify exclusive network
+  // occupancy before the priced times are trusted.
+  const check::Report report = check::verify_timeline(check::timeline_from_events(
+      "ssgd-priced-iteration", {"compute", "network"}, {"network"}, log));
+  SWC_CHECK_MSG(report.ok(), "swsched rejected the priced iteration timeline: "
+                                 << report.summary());
+  return it;
+}
+
 topo::CostBreakdown SsgdTrainer::cost_for_bytes(std::int64_t bytes) const {
   switch (options_.algo) {
     case AllreduceAlgo::kRhdAdjacent:
@@ -346,6 +424,9 @@ topo::CostBreakdown SsgdTrainer::cost_for_bytes(std::int64_t bytes) const {
 }
 
 void SsgdTrainer::apply(std::vector<std::vector<float>>& grads) {
+  SWC_CHECK_MSG(!options_.timing_only,
+                "timing-only trainer has no replica tensors; use "
+                "price_iteration()");
   const int p = num_nodes();
   SWC_CHECK_EQ(grads.size(), static_cast<std::size_t>(p));
   if (options_.average) {
@@ -361,6 +442,9 @@ void SsgdTrainer::apply(std::vector<std::vector<float>>& grads) {
 }
 
 void SsgdTrainer::apply_aggregate(std::span<const float> grad) {
+  SWC_CHECK_MSG(!options_.timing_only,
+                "timing-only trainer has no replica tensors; use "
+                "price_iteration()");
   SWC_CHECK_EQ(grad.size(), nets_[0]->param_count());
   for (int r = 0; r < num_nodes(); ++r) {
     nets_[r]->unpack_param_diffs(grad);
@@ -373,92 +457,12 @@ std::vector<ScalePoint> scalability_curve(
     const std::vector<core::LayerDesc>& descs_per_cg, std::int64_t param_bytes,
     const SsgdOptions& options, const std::vector<int>& node_counts,
     const std::map<std::string, dnn::ConvEstimate>* conv_overrides) {
-  static const std::map<std::string, dnn::ConvEstimate> kNoOverrides;
-  const dnn::NetTimeline tl = dnn::estimate_net_timeline(
-      cost, descs_per_cg, conv_overrides ? *conv_overrides : kNoOverrides);
-  const double comp = tl.total_s;
-
-  // Bucket the packed message along the descriptors' parameter layout; the
-  // descriptors may describe a sub-batch replica of the same architecture,
-  // so the per-layer bytes are rescaled to sum exactly to `param_bytes`.
-  std::vector<std::int64_t> layer_bytes;
-  layer_bytes.reserve(descs_per_cg.size());
-  for (const auto& d : descs_per_cg) layer_bytes.push_back(d.param_bytes());
-  layer_bytes = topo::scale_layer_bytes(layer_bytes, param_bytes);
-  const std::vector<topo::GradientBucket> buckets =
-      topo::make_buckets(layer_bytes, options.buckets);
-
+  const SeriesTiming series = prepare_series(cost, descs_per_cg, param_bytes,
+                                             options, conv_overrides);
   std::vector<ScalePoint> out;
+  out.reserve(node_counts.size());
   for (int nodes : node_counts) {
-    topo::Topology topo;
-    topo.num_nodes = nodes;
-    topo.supernode_size = options.supernode_size;
-    // swcheck: the direct rule (not the full phase-composition verifier —
-    // the curve runs to 40,960 nodes, where materializing the hierarchical
-    // schedules would dwarf the pricing itself). Illegal algorithm x
-    // compression combos are rejected before any cost is computed.
-    check::CommPlan cplan;
-    cplan.name = "scalability-comm";
-    cplan.algorithm = allreduce_algo_name(options.algo);
-    cplan.compression = topo::compression_name(options.compression);
-    cplan.num_nodes = nodes;
-    cplan.supernode_size = options.supernode_size;
-    cplan.buckets = static_cast<int>(buckets.size());
-    cplan.raw_bytes = param_bytes;
-    check::Report creport;
-    check::check_comm(cplan, check::Options{}, cplan.name, &creport);
-    SWC_CHECK_MSG(creport.ok(), "swcheck rejected the comm config at "
-                                    << nodes
-                                    << " nodes: " << creport.summary());
-    // Wire pricing: the raw gradient bytes pass through the codec (priced at
-    // memory bandwidth) and the collective moves the compressed bytes. With
-    // kNone the wrapper is the identity, so this is the single path for
-    // both series.
-    const auto raw_cost = [&](std::int64_t bytes) -> topo::CostBreakdown {
-      switch (options.algo) {
-        case AllreduceAlgo::kRhdAdjacent:
-          return topo::cost_rhd(bytes, topo, options.net,
-                                topo::Placement::kAdjacent);
-        case AllreduceAlgo::kRhdRoundRobin:
-          return topo::cost_rhd(bytes, topo, options.net,
-                                topo::Placement::kRoundRobin);
-        case AllreduceAlgo::kRing:
-          return topo::cost_ring(bytes, topo, options.net,
-                                 topo::Placement::kAdjacent);
-        case AllreduceAlgo::kParamServer:
-          return topo::cost_param_server(bytes, topo, options.net,
-                                         options.param_servers);
-        case AllreduceAlgo::kHierarchical:
-          return topo::cost_hierarchical(bytes, topo, options.net);
-      }
-      return {};
-    };
-    const auto bucket_cost = [&](std::int64_t bytes) -> topo::CostBreakdown {
-      return topo::cost_compressed(options.compression, bytes, options.net,
-                                   raw_cost);
-    };
-    const topo::CostBreakdown comm = bucket_cost(param_bytes);
-    const topo::OverlapTimeline overlap =
-        topo::schedule_overlap(buckets, tl.bwd_s, comp, bucket_cost);
-    // swsched: every overlapped timeline the curve reports must verify
-    // silent before its numbers are trusted.
-    const check::Report treport = check::verify_timeline(
-        check::timeline_from_overlap("scalability-overlap", tl.bwd_s, comp,
-                                     overlap, param_bytes));
-    SWC_CHECK_MSG(treport.ok(), "swsched rejected the overlap timeline at "
-                                    << nodes << " nodes: "
-                                    << treport.summary());
-    ScalePoint pt;
-    pt.nodes = nodes;
-    pt.comp_s = comp;
-    pt.comm_s = comm.seconds;
-    pt.speedup = nodes * comp / (comp + comm.seconds);
-    pt.comm_fraction = comm.seconds / (comp + comm.seconds);
-    pt.overlap_s = overlap.finish_s;
-    pt.exposed_comm_s = overlap.exposed_comm_s;
-    pt.overlap_speedup = nodes * comp / overlap.finish_s;
-    pt.buckets = static_cast<int>(buckets.size());
-    out.push_back(pt);
+    out.push_back(price_scale_point(series, param_bytes, options, nodes));
   }
   return out;
 }

@@ -81,6 +81,24 @@ struct SsgdOptions {
   /// rejected for ring/param-server by swcheck (re-quantizing partial sums
   /// at every hop has no error bound).
   topo::Compression compression = topo::Compression::kNone;
+  /// Timing-only mode (the swsim fast path): the trainer builds ONE
+  /// prototype replica — enough to derive and verify the bucket layout from
+  /// live layers — instead of num_nodes, and prices iterations through
+  /// price_iteration() instead of training. The functional phases (step,
+  /// forward_backward_packed, allreduce, apply) throw; there are no replica
+  /// tensors to touch. Priced times are bit-identical to what the
+  /// functional path charges (pinned by tests).
+  bool timing_only = false;
+};
+
+/// One priced (not executed) SSGD iteration of the timing-only fast path.
+struct TimedIteration {
+  double comp_s = 0.0;  ///< forward + backward estimate (one node, 4 CGs)
+  /// Serial-model all-reduce total: per-bucket collective costs summed in
+  /// layer order, exactly how step() accumulates last_comm().
+  topo::CostBreakdown comm;
+  topo::OverlapTimeline overlap;  ///< bucketed schedule on the swsim engine
+  double serial_s = 0.0;          ///< comp_s + comm.seconds
 };
 
 class SsgdTrainer {
@@ -124,10 +142,26 @@ class SsgdTrainer {
   /// bounded-staleness path, where aggregation happened upstream).
   void apply_aggregate(std::span<const float> grad);
 
+  /// Prices one iteration without touching replica tensors: compute from
+  /// the analytic layer estimators (`descs_per_cg` must describe the same
+  /// layer sequence as the replica, one descriptor per layer), per-bucket
+  /// collectives at this trainer's exact bucket layout and pricing, and the
+  /// overlapped schedule on the swsim engine. The engine's own event log is
+  /// extracted (check::timeline_from_events) and verified by swsched before
+  /// the numbers are returned. Available in both modes; the priced comm
+  /// equals the functional step()'s last_comm() bit for bit.
+  TimedIteration price_iteration(
+      const hw::CostModel& cost,
+      const std::vector<core::LayerDesc>& descs_per_cg,
+      const std::map<std::string, dnn::ConvEstimate>* conv_overrides =
+          nullptr) const;
+
   core::Net& node(int i) { return *nets_[i]; }
   core::SgdSolver& solver(int i) { return *solvers_[i]; }
   const SsgdOptions& options() const { return options_; }
-  int num_nodes() const { return static_cast<int>(nets_.size()); }
+  /// Simulated cluster size (in timing-only mode only ONE replica exists —
+  /// the prototype at node(0) — but pricing still spans this many nodes).
+  int num_nodes() const { return topo_.num_nodes; }
   const topo::CostBreakdown& last_comm() const { return last_comm_; }
   int iter() const { return solvers_[0]->iter(); }
 

@@ -1,0 +1,79 @@
+// swsim timing-only fast path for the full Fig. 10/11 scalability sweeps.
+//
+// scalability_curve prices one series at a time and re-derives the per-layer
+// compute timeline on every call; a full-machine sweep (five batch-size
+// series x seven node counts, plus the hierarchical/compressed series out to
+// 40,960 nodes) repeats that prep dozens of times and runs strictly
+// serially. This module splits the work the way the arithmetic actually
+// factors:
+//
+//  * prepare_series — the per-series prep (analytic NetTimeline + bucket
+//    layout of the packed message), computed ONCE per series;
+//  * price_scale_point — ONE (series, node-count) point: swcheck comm
+//    legality, codec-wrapped collective pricing, the swsim overlap schedule
+//    and its swsched verification. This is the exact per-node body of
+//    scalability_curve — both paths call it, so they are bit-identical by
+//    construction;
+//  * scalability_sweep — fans every (series, node) point over the swsim
+//    worker pool. Points are independent (pure arithmetic on the prepared
+//    series state) and results land in index-order slots, so the sweep is
+//    bit-identical to calling scalability_curve per series at ANY thread
+//    count — pinned by tests and the bench determinism gates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "parallel/ssgd.h"
+#include "swdnn/layer_estimate.h"
+
+namespace swcaffe::parallel {
+
+/// Per-series prep of the analytic fast path, computed once and reused by
+/// every node count: the per-layer compute timeline and the layer-aligned
+/// bucket layout of the packed gradient message (descriptor bytes rescaled
+/// to sum exactly to param_bytes).
+struct SeriesTiming {
+  dnn::NetTimeline timeline;
+  std::vector<topo::GradientBucket> buckets;
+};
+
+SeriesTiming prepare_series(
+    const hw::CostModel& cost, const std::vector<core::LayerDesc>& descs_per_cg,
+    std::int64_t param_bytes, const SsgdOptions& options,
+    const std::map<std::string, dnn::ConvEstimate>* conv_overrides = nullptr);
+
+/// Prices one Fig. 10/11 point at `nodes` nodes from the prepared series
+/// state. Shared per-point body of scalability_curve and scalability_sweep.
+ScalePoint price_scale_point(const SeriesTiming& series,
+                             std::int64_t param_bytes,
+                             const SsgdOptions& options, int nodes);
+
+/// One curve of the sweep: a network architecture (descriptors + packed
+/// message size) under one SSGD configuration, priced at every node count.
+struct SweepSeries {
+  std::string label;
+  std::vector<core::LayerDesc> descs_per_cg;
+  std::int64_t param_bytes = 0;
+  SsgdOptions options;
+  std::vector<int> node_counts;
+  /// Optional tuned conv pricing (must outlive the sweep call).
+  const std::map<std::string, dnn::ConvEstimate>* conv_overrides = nullptr;
+};
+
+struct SweepResult {
+  std::string label;
+  std::vector<ScalePoint> points;  ///< index-matched to node_counts
+};
+
+/// Runs the whole sweep: per-series prep once, then every (series, node)
+/// point priced independently on `threads` workers (1 = serial). Results
+/// are bit-identical to scalability_curve per series for any thread count.
+std::vector<SweepResult> scalability_sweep(const hw::CostModel& cost,
+                                           const std::vector<SweepSeries>& series,
+                                           int threads = 1);
+
+}  // namespace swcaffe::parallel

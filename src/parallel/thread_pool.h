@@ -1,61 +1,13 @@
-// Fixed worker thread pool for replica-parallel simulation.
-//
-// The SSGD trainer's replicas are fully independent between collectives
-// (each owns its Net, its solver and its gradient buffer), so the
-// forward/backward loop over replicas is embarrassingly parallel on the
-// host. parallel_for runs a loop body across the workers AND the calling
-// thread, blocking until every index has completed — determinism is the
-// caller's job (each index must touch disjoint state and any reduction must
-// happen after the join, in index order).
+// The replica worker pool moved into swsim (sim/thread_pool.h) when the
+// discrete-event engine extended it from replica loops to node-level event
+// processing; this forwarding alias keeps the parallel:: spelling working
+// for the trainer and its tests.
 #pragma once
 
-#include <algorithm>
-#include <condition_variable>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "sim/thread_pool.h"
 
 namespace swcaffe::parallel {
 
-class ThreadPool {
- public:
-  /// `threads` is the TOTAL concurrency of parallel_for: the pool spawns
-  /// threads - 1 workers and the calling thread contributes the last lane.
-  /// threads <= 1 spawns nothing and parallel_for degenerates to a serial
-  /// loop.
-  explicit ThreadPool(int threads);
-  ~ThreadPool();
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Total concurrency (workers + the caller).
-  int threads() const { return static_cast<int>(workers_.size()) + 1; }
-
-  /// Runs fn(i) for every i in [begin, end); returns after ALL have
-  /// completed. Indices are claimed one at a time under the pool mutex, so
-  /// any worker may run any index — the body must not depend on which
-  /// thread runs it. Not reentrant: fn must not call parallel_for.
-  void parallel_for(int begin, int end, const std::function<void(int)>& fn);
-
-  static int hardware_threads() {
-    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  }
-
- private:
-  void worker_loop();
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< signals a new parallel_for batch
-  std::condition_variable done_cv_;  ///< signals the batch drained
-  const std::function<void(int)>* fn_ = nullptr;
-  int next_ = 0;     ///< next unclaimed index
-  int end_ = 0;      ///< one past the last index
-  int pending_ = 0;  ///< indices claimed-or-unclaimed but not yet finished
-  std::int64_t generation_ = 0;  ///< batch counter (wakes idle workers once)
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
+using ThreadPool = sim::ThreadPool;
 
 }  // namespace swcaffe::parallel

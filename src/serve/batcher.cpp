@@ -6,19 +6,24 @@
 #include "base/log.h"
 #include "check/timeline.h"
 #include "check/timeline_extract.h"
-#include "topo/overlap.h"
+#include "sim/engine.h"
 
 namespace swcaffe::serve {
 
 namespace {
 
-/// Event-loop state shared by the arrival and launch handlers.
+/// Handler state shared by the arrival and launch-deadline events.
 struct Server {
   const InferenceEngine& engine;
   const ServeOptions& opts;
+  sim::Engine* sim = nullptr;
+  int server_actor = 0;  ///< actor 0: launch deadlines (ties beat arrivals)
+  int client_actor = 0;  ///< actor 1: the open-loop arrival stream
+  int server_res = 0;    ///< the one inference engine, served exclusively
   ServeResult result;
   std::deque<std::int64_t> queue;  ///< admitted request ids, FIFO
-  topo::BusyResource busy;
+  std::uint64_t deadline_event = 0;
+  bool deadline_armed = false;
 
   trace::Tracer* tracer() const { return opts.tracer; }
   int server_track() const { return opts.trace_track; }
@@ -43,12 +48,30 @@ struct Server {
     const double worst_forward = engine.batch_time(max_batch);
     const std::int64_t batches_ahead =
         static_cast<std::int64_t>(queue.size()) / max_batch;
-    const double backlog_free =
-        busy.busy_until() > t_s + opts.batcher.max_delay_s
-            ? busy.busy_until()
-            : t_s + opts.batcher.max_delay_s;
+    const double busy_until = sim->resource(server_res).busy_until();
+    const double backlog_free = busy_until > t_s + opts.batcher.max_delay_s
+                                    ? busy_until
+                                    : t_s + opts.batcher.max_delay_s;
     return backlog_free +
            static_cast<double>(batches_ahead + 1) * worst_forward;
+  }
+
+  /// Posts the queue's launch deadline: the oldest member's arrival +
+  /// max_delay. The queue drains completely on every launch (a full batch
+  /// launches the instant it fills), so the oldest member is always the
+  /// request that just made the queue non-empty and at most one timer is
+  /// ever pending.
+  void arm_deadline() {
+    const double deadline =
+        result.requests[static_cast<std::size_t>(queue.front())].arrival_s +
+        opts.batcher.max_delay_s;
+    deadline_event = sim->post(deadline, server_actor, "launch.deadline",
+                               [this](sim::Engine& eng) {
+                                 deadline_armed = false;
+                                 mark_time(eng.now());
+                                 launch(eng.now());
+                               });
+    deadline_armed = true;
   }
 
   void on_arrival(std::int64_t id, double t_s) {
@@ -69,7 +92,16 @@ struct Server {
     ++result.admitted;
     queue.push_back(id);
     if (static_cast<int>(queue.size()) >= opts.batcher.max_batch) {
+      // The batch filled before its deadline; the pending timer (none yet
+      // when this arrival is also the one that made the queue non-empty)
+      // is obsolete.
+      if (deadline_armed) {
+        sim->cancel(deadline_event);
+        deadline_armed = false;
+      }
       launch(t_s);
+    } else if (queue.size() == 1) {
+      arm_deadline();
     }
   }
 
@@ -85,7 +117,8 @@ struct Server {
     b.first_arrival_s =
         result.requests[static_cast<std::size_t>(queue.front())].arrival_s;
     b.forward_s = engine.batch_time(b.size);
-    b.launch_s = busy.serve(t_s, b.forward_s);
+    b.launch_s = sim->acquire(server_res, server_actor, t_s, b.forward_s,
+                              "serve.forward", 0);
     b.finish_s = b.launch_s + b.forward_s;
 
     trace::Tracer* tr = tracer();
@@ -101,6 +134,11 @@ struct Server {
                        "serve.queue", r.arrival_s, b.launch_s);
       }
     }
+    // Every launch drains the whole queue: a full batch launches the moment
+    // its last member arrives, so the queue never exceeds max_batch, and a
+    // deadline launch takes everything waiting. arm_deadline()'s
+    // one-pending-timer invariant rests on this.
+    SWC_CHECK(queue.empty());
     if (tr) {
       const std::string label =
           "batch " + std::to_string(b.id) + " (x" + std::to_string(b.size) +
@@ -128,7 +166,11 @@ ServeResult simulate_serving(const InferenceEngine& engine,
   SWC_CHECK_GE(options.batcher.max_delay_s, 0.0);
   SWC_CHECK_GT(options.admission.slo_s, 0.0);
 
-  Server server{engine, options, {}, {}, {}};
+  sim::Engine sim;
+  Server server{engine, options, &sim};
+  server.server_actor = sim.add_actor("server");
+  server.client_actor = sim.add_actor("clients");
+  server.server_res = sim.add_resource("engine");
   server.result.requests.resize(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     SWC_CHECK_MSG(i == 0 || arrivals[i] > arrivals[i - 1],
@@ -143,26 +185,19 @@ ServeResult simulate_serving(const InferenceEngine& engine,
     tr->set_track_name(server.batch_track(), "serve.batches");
   }
 
-  // Two event sources, merged in time order: the next arrival and the
-  // queue's launch deadline (oldest member's arrival + max_delay). Ties go
-  // to the deadline so a max_delay of zero degenerates to batch-of-one
-  // serving, the unbatched baseline.
-  std::size_t next = 0;
-  while (next < arrivals.size() || !server.queue.empty()) {
-    if (!server.queue.empty()) {
-      const double deadline =
-          server.result.requests[static_cast<std::size_t>(server.queue.front())]
-              .arrival_s +
-          options.batcher.max_delay_s;
-      if (next >= arrivals.size() || deadline <= arrivals[next]) {
-        server.mark_time(deadline);
-        server.launch(deadline);
-        continue;
-      }
-    }
-    server.on_arrival(static_cast<std::int64_t>(next), arrivals[next]);
-    ++next;
+  // The old hand-merged two-source loop (next arrival vs. queue deadline,
+  // ties to the deadline) is now the engine's documented (time, actor, seq)
+  // order: deadlines fire on the server actor (0), arrivals on the client
+  // actor (1), so at one instant the deadline still wins and a max_delay of
+  // zero degenerates to batch-of-one serving, the unbatched baseline.
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const std::int64_t id = static_cast<std::int64_t>(i);
+    sim.post(
+        arrivals[i], server.client_actor, "request.arrival",
+        [&server, id](sim::Engine& eng) { server.on_arrival(id, eng.now()); });
   }
+  sim.run();
+  SWC_CHECK(server.queue.empty());
 
   ServeResult& res = server.result;
   if (res.offered > 0) {
@@ -172,7 +207,8 @@ ServeResult simulate_serving(const InferenceEngine& engine,
   if (!res.batches.empty()) {
     res.makespan_s = res.batches.back().finish_s;
     res.throughput_rps = static_cast<double>(res.admitted) / res.makespan_s;
-    res.utilization = server.busy.busy_s() / res.makespan_s;
+    res.utilization =
+        sim.resource(server.server_res).busy_s() / res.makespan_s;
     res.mean_batch_size = static_cast<double>(res.admitted) /
                           static_cast<double>(res.batches.size());
   }

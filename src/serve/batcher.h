@@ -1,12 +1,16 @@
 // swserve dynamic batcher + SLO admission control.
 //
 // A discrete-event simulation of one inference server fed by an open-loop
-// arrival stream. Requests queue FIFO; a batch launches when `max_batch`
-// requests are waiting or when the oldest has waited `max_delay_s`,
-// whichever comes first — the classic latency/throughput knob pair. The
-// server serves one batch at a time on a topo::BusyResource (the same
-// busy-interval machinery the overlap scheduler uses for the network link),
-// so batch k+1 starts at max(its formation time, batch k's finish).
+// arrival stream, run on the swsim engine (sim::Engine): arrivals post as
+// events on a client actor, the queue's launch deadline is a cancellable
+// timer on the server actor, and the engine's documented (time, actor, seq)
+// order replaces the old hand-merged two-source loop. Requests queue FIFO;
+// a batch launches when `max_batch` requests are waiting or when the oldest
+// has waited `max_delay_s`, whichever comes first — the classic
+// latency/throughput knob pair. The server serves one batch at a time on an
+// exclusive sim resource (the same busy-interval machinery the overlap
+// scheduler uses for the network link), so batch k+1 starts at max(its
+// formation time, batch k's finish).
 //
 // Admission control rejects a request at arrival when a *conservative upper
 // bound* on its completion time would miss the SLO:

@@ -1,0 +1,103 @@
+// swsim — discrete-event simulation engine.
+//
+// A timestamped event queue over sequential actors and exclusive resources.
+// Handlers fire in the vocabulary's documented total order — (time_s,
+// actor, seq): earlier simulated time first, then the lower actor id, then
+// posting order — so ties at one instant resolve the same way on every run
+// (the batcher's launch-deadline-beats-arrival rule is this order, not a
+// special case). A handler may post further events at or after the current
+// time and may occupy resources via acquire(), which applies the
+// busy-interval discipline (start = max(ready, the resource's previous
+// finish)) and records the occupancy in the engine's event log.
+//
+// The log IS the timeline: every span/charge recorded while simulating can
+// be handed to swsched (check::timeline_from_events) without re-deriving
+// interval placement per subsystem. The engine is single-threaded and
+// deterministic; running INDEPENDENT engines in parallel is what
+// sim::simulate_actors is for (node-level event processing on the shared
+// worker pool).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/resource.h"
+
+namespace swcaffe::sim {
+
+class Engine;
+
+/// Fired when the event's time arrives; may post()/acquire() on the engine.
+using Handler = std::function<void(Engine&)>;
+
+class Engine {
+ public:
+  /// Registers a sequential lane / an exclusive resource; returns its id.
+  int add_actor(std::string name);
+  int add_resource(std::string name);
+
+  /// Schedules `fn` to fire at absolute time `t_s` on `actor`. Posting into
+  /// the simulated past is a time-travel bug and throws. Returns an id for
+  /// cancel(). Events at one instant fire in (actor, seq) order.
+  std::uint64_t post(double t_s, int actor, std::string name, Handler fn);
+
+  /// Revokes a pending event (e.g. a launch deadline obsoleted by a full
+  /// batch). Cancelling an already-fired or unknown id is a no-op.
+  void cancel(std::uint64_t id);
+
+  /// Processes events until the queue drains. Empty queues are a no-op.
+  void run();
+
+  /// Time of the event being processed (0 before the first event fires).
+  double now() const { return now_; }
+  std::int64_t events_processed() const { return processed_; }
+
+  /// Busy-interval occupancy of an exclusive resource: the item starts at
+  /// max(ready_s, the resource's busy horizon), holds it for `duration_s`,
+  /// and the occupancy is recorded in the log on `actor`. Returns the start.
+  double acquire(int resource, int actor, double ready_s, double duration_s,
+                 std::string name, std::int64_t bytes = 0);
+
+  /// Records already-placed work (e.g. the compute pass the schedule is
+  /// built against) into the log without occupying a resource.
+  void record_span(int actor, double start_s, double duration_s,
+                   std::string name, std::int64_t bytes = 0,
+                   EventKind kind = EventKind::kSpan);
+
+  const Resource& resource(int id) const;
+  const std::vector<std::string>& actor_names() const { return actors_; }
+  const std::vector<std::string>& resource_names() const {
+    return resource_names_;
+  }
+  /// Every span/charge recorded while simulating, in record order.
+  const EventLog& log() const { return log_; }
+
+ private:
+  struct Pending {
+    double time_s = 0.0;
+    int actor = 0;
+    std::uint64_t id = 0;  ///< posting order — the final tie-break
+  };
+  struct PendingAfter {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      if (a.actor != b.actor) return a.actor > b.actor;
+      return a.id > b.id;
+    }
+  };
+
+  std::vector<std::string> actors_;
+  std::vector<std::string> resource_names_;
+  std::vector<Resource> resources_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingAfter> queue_;
+  std::vector<Handler> handlers_;  ///< indexed by event id; empty = cancelled
+  EventLog log_;
+  double now_ = 0.0;
+  std::int64_t processed_ = 0;
+};
+
+}  // namespace swcaffe::sim

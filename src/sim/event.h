@@ -1,0 +1,91 @@
+// swsim event vocabulary.
+//
+// One record type describes every timed thing the simulator does: a charge
+// on a hardware engine (DMA transfer, RLC message), a span of work on an
+// actor (a compute pass, a collective on the network link), or an instant.
+// The engine (sim/engine.h), the hardware cost model's charge sites
+// (hw::CostModel::set_event_log) and the swsched timeline analyzer
+// (check::timeline_from_events) all speak this one vocabulary, so a
+// timeline can be extracted straight from whatever ran instead of being
+// re-derived per subsystem.
+//
+// Events are totally ordered by (time_s, actor, seq) — documented here once
+// and pinned by tests: earlier simulated time first; at equal times the
+// lower actor id; at equal (time, actor) the earlier-recorded event. `seq`
+// is assigned by the log/engine in record order, so the order is total and
+// reproducible across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/log.h"
+
+namespace swcaffe::sim {
+
+enum class EventKind {
+  kSpan,    ///< work occupying [time_s, time_s + duration_s] on its actor
+  kCharge,  ///< a priced hardware charge (span with a byte payload)
+  kInstant, ///< a point event (duration 0)
+};
+
+struct Event {
+  double time_s = 0.0;      ///< start of the interval
+  double duration_s = 0.0;  ///< length (0 for instants)
+  int actor = 0;            ///< sequential lane the event executes on
+  int resource = -1;        ///< exclusive resource occupied, -1 = none
+  std::int64_t bytes = 0;   ///< payload moved/charged by the event
+  std::uint64_t seq = 0;    ///< record order — the final tie-break
+  EventKind kind = EventKind::kSpan;
+  std::string name;
+
+  double end_s() const { return time_s + duration_s; }
+};
+
+/// Total order of the shared vocabulary: (time_s, actor, seq).
+inline bool event_before(const Event& a, const Event& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.actor != b.actor) return a.actor < b.actor;
+  return a.seq < b.seq;
+}
+
+/// Append-only log of recorded events. Charge sites (hw::DmaEngine,
+/// hw::RlcFabric) and the event engine both write here; seq numbers are
+/// assigned in record order.
+class EventLog {
+ public:
+  /// Records one event; fills in its seq and returns its index.
+  std::size_t record(Event e) {
+    SWC_CHECK_GE(e.duration_s, 0.0);
+    e.seq = next_seq_++;
+    events_.push_back(std::move(e));
+    return events_.size() - 1;
+  }
+
+  /// Convenience: record a charge span of `seconds` starting at `start_s`.
+  void charge(int actor, double start_s, double seconds, std::int64_t bytes,
+              std::string name) {
+    Event e;
+    e.time_s = start_s;
+    e.duration_s = seconds;
+    e.actor = actor;
+    e.bytes = bytes;
+    e.kind = EventKind::kCharge;
+    e.name = std::move(name);
+    record(std::move(e));
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  void clear() {
+    events_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace swcaffe::sim

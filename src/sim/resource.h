@@ -1,0 +1,42 @@
+// swsim exclusive resource: the busy-interval primitive.
+//
+// One resource serving work items as busy intervals: an item that becomes
+// ready at `ready_s` starts at max(ready_s, previous finish) and occupies
+// the resource for `duration_s`. This single primitive is the scheduling
+// core shared by the overlapped all-reduce (one network link serving
+// gradient buckets, topo::schedule_overlap), the swserve dynamic batcher
+// (one inference engine serving request batches) and the event engine's
+// acquire() — it used to exist as topo::BusyResource before swsim hoisted
+// it here.
+#pragma once
+
+#include "base/log.h"
+
+namespace swcaffe::sim {
+
+class Resource {
+ public:
+  /// Schedules one item; returns its start time and advances the busy
+  /// horizon to start + duration_s. Durations must be non-negative (a
+  /// negative duration would rewind the horizon and un-serialize the
+  /// resource); ready times may arrive in any order — an item ready before
+  /// the frontier simply queues behind it.
+  double serve(double ready_s, double duration_s) {
+    SWC_CHECK_GE(duration_s, 0.0);
+    const double start = ready_s > busy_until_ ? ready_s : busy_until_;
+    busy_until_ = start + duration_s;
+    busy_s_ += duration_s;
+    return start;
+  }
+
+  /// Earliest time the next item could start.
+  double busy_until() const { return busy_until_; }
+  /// Total time the resource spent serving (for utilization accounting).
+  double busy_s() const { return busy_s_; }
+
+ private:
+  double busy_until_ = 0.0;
+  double busy_s_ = 0.0;
+};
+
+}  // namespace swcaffe::sim

@@ -1,8 +1,8 @@
-#include "parallel/thread_pool.h"
+#include "sim/thread_pool.h"
 
 #include "base/log.h"
 
-namespace swcaffe::parallel {
+namespace swcaffe::sim {
 
 ThreadPool::ThreadPool(int threads) {
   SWC_CHECK_GT(threads, 0);
@@ -68,4 +68,15 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace swcaffe::parallel
+void simulate_actors(int count, int threads,
+                     const std::function<void(int)>& body) {
+  SWC_CHECK_GE(count, 0);
+  if (threads <= 1 || count <= 1) {
+    for (int i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, count));
+  pool.parallel_for(0, count, body);
+}
+
+}  // namespace swcaffe::sim

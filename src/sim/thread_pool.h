@@ -1,0 +1,72 @@
+// Fixed worker thread pool for embarrassingly parallel simulation.
+//
+// Two users share this pool discipline:
+//  * the SSGD trainer's replica loop (replicas are fully independent between
+//    collectives — each owns its Net, solver and gradient buffer);
+//  * swsim's node-level event processing (sim::simulate_actors): every
+//    (series, config, node-count) point of a timing-only sweep runs its own
+//    event engine, and independent engines may run on any worker.
+//
+// parallel_for runs a loop body across the workers AND the calling thread,
+// blocking until every index has completed — determinism is the caller's
+// job (each index must touch disjoint state and any reduction must happen
+// after the join, in index order).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swcaffe::sim {
+
+class ThreadPool {
+ public:
+  /// `threads` is the TOTAL concurrency of parallel_for: the pool spawns
+  /// threads - 1 workers and the calling thread contributes the last lane.
+  /// threads <= 1 spawns nothing and parallel_for degenerates to a serial
+  /// loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the caller).
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [begin, end); returns after ALL have
+  /// completed. Indices are claimed one at a time under the pool mutex, so
+  /// any worker may run any index — the body must not depend on which
+  /// thread runs it. Not reentrant: fn must not call parallel_for.
+  void parallel_for(int begin, int end, const std::function<void(int)>& fn);
+
+  static int hardware_threads() {
+    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals a new parallel_for batch
+  std::condition_variable done_cv_;  ///< signals the batch drained
+  const std::function<void(int)>* fn_ = nullptr;
+  int next_ = 0;     ///< next unclaimed index
+  int end_ = 0;      ///< one past the last index
+  int pending_ = 0;  ///< indices claimed-or-unclaimed but not yet finished
+  std::int64_t generation_ = 0;  ///< batch counter (wakes idle workers once)
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every actor index in [0, count) on a transient pool of
+/// `threads` lanes (serial when threads <= 1 — no pool is built). Each index
+/// is one independent simulation actor; bodies must touch disjoint state, so
+/// results written by index are bit-identical for any thread count.
+void simulate_actors(int count, int threads,
+                     const std::function<void(int)>& body);
+
+}  // namespace swcaffe::sim

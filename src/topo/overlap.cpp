@@ -5,6 +5,7 @@
 #include <string>
 
 #include "base/log.h"
+#include "sim/engine.h"
 
 namespace swcaffe::topo {
 
@@ -110,7 +111,8 @@ std::vector<std::int64_t> scale_layer_bytes(
 OverlapTimeline schedule_overlap(const std::vector<GradientBucket>& buckets,
                                  const std::vector<double>& layer_bwd_s,
                                  double compute_s,
-                                 const BucketCostFn& bucket_cost) {
+                                 const BucketCostFn& bucket_cost,
+                                 sim::EventLog* event_log) {
   SWC_CHECK(!buckets.empty());
   const int n = static_cast<int>(layer_bwd_s.size());
   SWC_CHECK_GT(n, 0);
@@ -123,29 +125,50 @@ OverlapTimeline schedule_overlap(const std::vector<GradientBucket>& buckets,
 
   OverlapTimeline tl;
   tl.compute_s = compute_s;
-  BusyResource network;
-  // Service in reverse layer order: backward produces the highest layers'
-  // gradients first. ready = compute_s - prefix[first_layer] is exact (no
-  // re-accumulation drift): the bucket starting at layer 0 is ready at
-  // exactly compute_s, which is what makes the single-bucket schedule
-  // reproduce the serial model bit-for-bit.
+  sim::Engine engine;
+  const int compute_actor = engine.add_actor("compute");
+  const int net_actor = engine.add_actor("network");
+  const int net = engine.add_resource("network");
+  engine.record_span(compute_actor, 0.0, compute_s, "compute.fwd_bwd");
+  // One "bucket ready" event per bucket, posted in reverse layer order:
+  // backward produces the highest layers' gradients first. ready =
+  // compute_s - prefix[first_layer] is exact (no re-accumulation drift): the
+  // bucket starting at layer 0 is ready at exactly compute_s, which is what
+  // makes the single-bucket schedule reproduce the serial model bit-for-bit.
+  // Ready times are monotone non-decreasing along this posting order
+  // (first_layer shrinks, so prefix[first_layer] shrinks) and the engine
+  // breaks equal-time ties by posting order, so handlers fire in exactly the
+  // service order of the serial busy-interval loop this replaced — the
+  // engine schedule is bit-identical by construction. A ready time a float
+  // hair below zero (compute_s is allowed to undershoot the backward sum by
+  // 1e-12) posts at zero but still serves at its raw ready time.
   for (int b = static_cast<int>(buckets.size()) - 1; b >= 0; --b) {
     const GradientBucket& bucket = buckets[b];
     SWC_CHECK_GE(bucket.first_layer, 0);
     SWC_CHECK_LE(bucket.first_layer, bucket.last_layer);
     SWC_CHECK_LT(bucket.last_layer, n);
-    BucketTiming t;
-    t.bucket = bucket;
-    t.ready_s = compute_s - prefix[bucket.first_layer];
-    t.cost = bucket_cost(bucket.bytes);
-    t.start_s = network.serve(t.ready_s, t.cost.seconds);
-    t.end_s = t.start_s + t.cost.seconds;
-    tl.comm_s += t.cost.seconds;
-    tl.alpha_terms += t.cost.alpha_terms;
-    tl.buckets.push_back(t);
+    const double ready = compute_s - prefix[bucket.first_layer];
+    engine.post(
+        std::max(ready, 0.0), net_actor, "bucket.ready",
+        [&tl, &bucket_cost, bucket, ready, net, net_actor](sim::Engine& eng) {
+          BucketTiming t;
+          t.bucket = bucket;
+          t.ready_s = ready;
+          t.cost = bucket_cost(bucket.bytes);
+          t.start_s = eng.acquire(net, net_actor, ready, t.cost.seconds,
+                                  "comm.allreduce", bucket.bytes);
+          t.end_s = t.start_s + t.cost.seconds;
+          tl.comm_s += t.cost.seconds;
+          tl.alpha_terms += t.cost.alpha_terms;
+          tl.buckets.push_back(t);
+        });
   }
-  tl.finish_s = std::max(compute_s, network.busy_until());
+  engine.run();
+  SWC_CHECK_EQ(static_cast<std::size_t>(engine.events_processed()),
+               buckets.size());
+  tl.finish_s = std::max(compute_s, engine.resource(net).busy_until());
   tl.exposed_comm_s = std::max(0.0, tl.finish_s - compute_s);
+  if (event_log) *event_log = engine.log();
   return tl;
 }
 

@@ -12,12 +12,14 @@
 // The model here is purely analytic (no floats move):
 //  * make_buckets partitions per-layer gradient bytes into contiguous,
 //    layer-aligned buckets of roughly equal volume;
-//  * schedule_overlap places each bucket's collective on a single shared
-//    network resource (busy intervals: a bucket starts at
-//    max(its ready time, previous bucket's finish)) and reports the
-//    iteration finish time plus the *exposed* communication — the tail of
-//    comm that sticks out past the end of compute, which is the only part
-//    a training iteration actually waits for;
+//  * schedule_overlap runs the buckets through a swsim event engine: one
+//    "bucket ready" event per bucket fires when backward has produced its
+//    layers, and the handler occupies the single exclusive network resource
+//    (busy intervals: a bucket starts at max(its ready time, previous
+//    bucket's finish)). The timeline reports the iteration finish plus the
+//    *exposed* communication — the tail of comm that sticks out past the
+//    end of compute, which is the only part a training iteration actually
+//    waits for;
 //  * trace_overlap renders the schedule as per-bucket "comm.allreduce"
 //    spans on a dedicated network track, so a Perfetto timeline visibly
 //    shows comm hiding under backward.
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "base/log.h"
+#include "sim/event.h"
 #include "topo/allreduce.h"
 #include "trace/tracer.h"
 
@@ -72,37 +75,6 @@ std::vector<std::int64_t> scale_layer_bytes(
 /// al., bound by the caller so this module stays algorithm-agnostic).
 using BucketCostFn = std::function<CostBreakdown(std::int64_t bytes)>;
 
-/// One resource serving work items as busy intervals: an item that becomes
-/// ready at `ready_s` starts at max(ready_s, previous finish) and occupies
-/// the resource for `duration_s`. This is the scheduling core of
-/// schedule_overlap (one network serving gradient buckets) and of the
-/// swserve dynamic batcher (one inference engine serving request batches) —
-/// extracted so both timelines share the same discipline.
-class BusyResource {
- public:
-  /// Schedules one item; returns its start time and advances the busy
-  /// horizon to start + duration_s. Durations must be non-negative (a
-  /// negative duration would rewind the horizon and un-serialize the
-  /// resource); ready times may arrive in any order — an item ready before
-  /// the frontier simply queues behind it.
-  double serve(double ready_s, double duration_s) {
-    SWC_CHECK_GE(duration_s, 0.0);
-    const double start = ready_s > busy_until_ ? ready_s : busy_until_;
-    busy_until_ = start + duration_s;
-    busy_s_ += duration_s;
-    return start;
-  }
-
-  /// Earliest time the next item could start.
-  double busy_until() const { return busy_until_; }
-  /// Total time the resource spent serving (for utilization accounting).
-  double busy_s() const { return busy_s_; }
-
- private:
-  double busy_until_ = 0.0;
-  double busy_s_ = 0.0;
-};
-
 /// One bucket's placement on the simulated timeline.
 struct BucketTiming {
   GradientBucket bucket;
@@ -131,11 +103,15 @@ struct OverlapTimeline {
 /// serves buckets in reverse layer order as busy intervals
 /// (start = max(ready, previous end)); `bucket_cost` prices each bucket.
 /// `compute_s` is the full forward+backward time and must be >= the sum of
-/// `layer_bwd_s` (forward plus backward of the priced layers).
+/// `layer_bwd_s` (forward plus backward of the priced layers). `event_log`,
+/// when non-null, receives the engine's recorded event log (the compute
+/// span plus one network charge per bucket) — ready for swsched extraction
+/// via check::timeline_from_events.
 OverlapTimeline schedule_overlap(const std::vector<GradientBucket>& buckets,
                                  const std::vector<double>& layer_bwd_s,
                                  double compute_s,
-                                 const BucketCostFn& bucket_cost);
+                                 const BucketCostFn& bucket_cost,
+                                 sim::EventLog* event_log = nullptr);
 
 /// Renders the timeline on `track`: one "comm.allreduce" span per bucket at
 /// its scheduled [start, end] interval (named "bucket<k>[lo..hi]") with the

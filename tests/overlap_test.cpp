@@ -209,53 +209,8 @@ TEST(ScheduleOverlapTest, TraceEmitsOneSpanPerBucket) {
   trace_overlap(nullptr, 0, tl);  // null tracer is a no-op, not a crash
 }
 
-// ---------------------------------------------------------------------------
-// BusyResource
-// ---------------------------------------------------------------------------
-
-TEST(BusyResourceTest, ZeroDurationItemsReserveNothing) {
-  // A zero-duration item starts where it lands but moves neither the busy
-  // frontier nor the utilization accumulator; later work is unaffected.
-  BusyResource busy;
-  EXPECT_EQ(busy.serve(1.0, 0.0), 1.0);
-  EXPECT_EQ(busy.busy_until(), 1.0);
-  EXPECT_EQ(busy.busy_s(), 0.0);
-  EXPECT_EQ(busy.serve(0.5, 2.0), 1.0);  // queues behind the point item
-  EXPECT_EQ(busy.busy_until(), 3.0);
-  EXPECT_EQ(busy.busy_s(), 2.0);
-}
-
-TEST(BusyResourceTest, ExactFrontierArrivalStartsImmediately) {
-  // An item ready exactly at the frontier neither waits nor overlaps: the
-  // tie resolves to back-to-back service with zero idle gap.
-  BusyResource busy;
-  EXPECT_EQ(busy.serve(0.0, 1.5), 0.0);
-  EXPECT_EQ(busy.serve(1.5, 0.5), 1.5);
-  EXPECT_EQ(busy.busy_until(), 2.0);
-  EXPECT_EQ(busy.busy_s(), 2.0);
-}
-
-TEST(BusyResourceTest, NonMonotoneReadyTimesStillSerialize) {
-  // Ready times may arrive out of order (bucket k+1 of a skewed split can
-  // be ready before bucket k is served). Service stays FIFO in call order:
-  // an early-ready item queues behind the frontier, and a late-ready item
-  // opens an idle gap rather than sliding in front of prior work.
-  BusyResource busy;
-  EXPECT_EQ(busy.serve(5.0, 1.0), 5.0);
-  EXPECT_EQ(busy.serve(2.0, 1.0), 6.0);  // ready long ago: queues, no rewind
-  EXPECT_EQ(busy.serve(10.0, 1.0), 10.0);  // late: idle gap [7, 10]
-  EXPECT_EQ(busy.busy_until(), 11.0);
-  EXPECT_EQ(busy.busy_s(), 3.0);
-}
-
-TEST(BusyResourceTest, NegativeDurationIsRejected) {
-  // A negative duration would rewind the frontier and let the next item
-  // overlap already-granted service; the contract forbids it outright.
-  BusyResource busy;
-  busy.serve(0.0, 1.0);
-  EXPECT_THROW(busy.serve(0.0, -0.5), base::CheckError);
-  EXPECT_EQ(busy.busy_until(), 1.0);  // the failed call left no trace
-}
+// The BusyResource busy-interval tests moved to sim_test.cpp when the
+// primitive was hoisted into swsim (sim::Resource).
 
 }  // namespace
 }  // namespace swcaffe::topo
